@@ -1,0 +1,32 @@
+//! Criterion bench for the Fig 2 workload: the boundary algorithm on
+//! small-separator analogs (wall time of the full simulated pipeline —
+//! partitioning, kernels, transfers — at a reduced scale; the paper-shape
+//! *simulated* numbers come from `repro fig2`).
+
+use apsp_bench::experiments::run_boundary;
+use apsp_bench::{build_analogs, scaled_v100};
+use apsp_core::options::BoundaryOptions;
+use apsp_graph::suite::table3_small_separator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = 192; // tiny graphs: benches measure host throughput
+    let profile = scaled_v100(scale);
+    let runs = build_analogs(&table3_small_separator()[..3], scale);
+    let mut group = c.benchmark_group("fig2_boundary");
+    group.sample_size(10);
+    for run in &runs {
+        group.bench_function(run.entry.name, |b| {
+            b.iter(|| {
+                let out = run_boundary(&profile, black_box(&run.graph), &BoundaryOptions::default())
+                    .unwrap();
+                black_box(out.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the Fig 3 workload: batched Johnson's on the
+//! "other sparse" analogs.
+
+use apsp_bench::experiments::run_johnson;
+use apsp_bench::{build_analogs, scaled_johnson, scaled_v100};
+use apsp_graph::suite::table3_other_sparse;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = 192;
+    let profile = scaled_v100(scale);
+    let jopts = scaled_johnson(scale);
+    let runs = build_analogs(&table3_other_sparse()[..3], scale);
+    let mut group = c.benchmark_group("fig3_johnson");
+    group.sample_size(10);
+    for run in &runs {
+        // Deep scaling shrinks memory (1/s²) faster than the CSR input
+        // (1/s); floor capacity at a few × the graph, as the real 16 GB
+        // device trivially provides.
+        let floor = 4 * run.graph.storage_bytes() as u64;
+        let profile = profile.with_memory_bytes(profile.memory_bytes.max(floor));
+        group.bench_function(run.entry.name, |b| {
+            b.iter(|| {
+                let out = run_johnson(&profile, black_box(&run.graph), &jopts).unwrap();
+                black_box(out.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Fig 8 workload: boundary-algorithm transfer
+//! optimizations toggled on a small-separator analog.
+
+use apsp_bench::experiments::run_boundary;
+use apsp_bench::{build_analogs, scaled_v100};
+use apsp_core::options::BoundaryOptions;
+use apsp_graph::suite::table3_small_separator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = 192;
+    let profile = scaled_v100(scale);
+    let run = &build_analogs(&table3_small_separator()[..1], scale)[0];
+    let mut group = c.benchmark_group("fig8_boundary_optimizations");
+    group.sample_size(10);
+    for (tag, batch, overlap) in [
+        ("naive", false, false),
+        ("batched", true, false),
+        ("batched_overlap", true, true),
+    ] {
+        let opts = BoundaryOptions {
+            batch_transfers: batch,
+            overlap_transfers: overlap,
+            ..Default::default()
+        };
+        group.bench_function(tag, |b| {
+            b.iter(|| {
+                let out = run_boundary(&profile, black_box(&run.graph), &opts).unwrap();
+                black_box(out.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

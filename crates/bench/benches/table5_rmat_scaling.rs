@@ -1,0 +1,34 @@
+//! Criterion bench for the Table V workload: Johnson's on growing R-MAT
+//! graphs, on both device profiles.
+
+use apsp_bench::experiments::run_johnson;
+use apsp_bench::{scaled_johnson_for, scaled_k80, scaled_v100};
+use apsp_graph::generators::{rmat, RmatParams, WeightRange};
+use apsp_gpu_sim::DeviceProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = 128;
+    let mut group = c.benchmark_group("table5_rmat");
+    group.sample_size(10);
+    for n in [256usize, 512, 1024] {
+        let g = rmat(n, 16 * n, RmatParams::scale_free(), WeightRange::default(), n as u64);
+        for (tag, base, profile) in [
+            ("v100", DeviceProfile::v100(), scaled_v100(scale)),
+            ("k80", DeviceProfile::k80(), scaled_k80(scale)),
+        ] {
+            let jopts = scaled_johnson_for(&base, scale);
+            group.bench_with_input(BenchmarkId::new(tag, n), &g, |b, g| {
+                b.iter(|| {
+                    let out = run_johnson(&profile, black_box(g), &jopts).unwrap();
+                    black_box(out.0)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

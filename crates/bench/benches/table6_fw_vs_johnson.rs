@@ -1,0 +1,39 @@
+//! Criterion bench for the Table VI workload: blocked Floyd-Warshall vs
+//! Johnson's across a density sweep at fixed n.
+
+use apsp_bench::experiments::{run_fw, run_johnson};
+use apsp_bench::{scaled_johnson, scaled_v100};
+use apsp_core::options::FwOptions;
+use apsp_graph::generators::{rmat, RmatParams, WeightRange};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = 128;
+    let profile = scaled_v100(scale);
+    let jopts = scaled_johnson(scale);
+    let n = 625;
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    // FW once (its time is density-independent).
+    let sparse = rmat(n, 2 * n, RmatParams::scale_free(), WeightRange::default(), 1);
+    group.bench_function("blocked_fw", |b| {
+        b.iter(|| {
+            let out = run_fw(&profile, black_box(&sparse), &FwOptions::default()).unwrap();
+            black_box(out.0)
+        })
+    });
+    for deg in [2usize, 8, 32] {
+        let g = rmat(n, deg * n, RmatParams::scale_free(), WeightRange::default(), deg as u64);
+        group.bench_with_input(BenchmarkId::new("johnson_deg", deg), &g, |b, g| {
+            b.iter(|| {
+                let out = run_johnson(&profile, black_box(g), &jopts).unwrap();
+                black_box(out.0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! `apsp-run` — compute APSP for a real graph file on a simulated device.
+//!
+//! ```text
+//! apsp-run <graph.mtx|graph.gr> [options]
+//!
+//!   --device v100|k80        device profile          (default v100)
+//!   --memory-mib <n>         override device memory
+//!   --algorithm fw|johnson|boundary   force an implementation
+//!   --spill <dir>            disk-backed result store
+//!   --scale <s>              apply reproduction scaling rules to the profile
+//!   --sample <count>         print this many random distances (default 3)
+//!   --verify <rows>          re-derive this many random rows with Dijkstra
+//!   --trace                  print the device Gantt chart afterwards
+//! ```
+//!
+//! Drop in a SuiteSparse `.mtx` or a DIMACS `.gr` road network and this
+//! runs the paper's full pipeline on it: selector, out-of-core execution,
+//! profiler report.
+
+use apsp_core::options::Algorithm;
+use apsp_core::{apsp, ApspOptions, StorageBackend};
+use apsp_graph::io::{read_matrix_market, WeightMode};
+use apsp_graph::io_dimacs::read_dimacs;
+use apsp_graph::CsrGraph;
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+use std::path::PathBuf;
+
+struct Args {
+    path: PathBuf,
+    device: String,
+    memory_mib: Option<u64>,
+    algorithm: Option<Algorithm>,
+    spill: Option<PathBuf>,
+    scale: Option<usize>,
+    sample: usize,
+    verify: usize,
+    trace: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: PathBuf::new(),
+        device: "v100".into(),
+        memory_mib: None,
+        algorithm: None,
+        spill: None,
+        scale: None,
+        sample: 3,
+        verify: 0,
+        trace: false,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut got_path = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--device" => args.device = it.next().ok_or("--device needs a value")?,
+            "--memory-mib" => {
+                args.memory_mib =
+                    Some(it.next().ok_or("--memory-mib needs a value")?.parse().map_err(|_| "bad --memory-mib")?)
+            }
+            "--algorithm" => {
+                args.algorithm = Some(match it.next().ok_or("--algorithm needs a value")?.as_str() {
+                    "fw" => Algorithm::FloydWarshall,
+                    "johnson" => Algorithm::Johnson,
+                    "boundary" => Algorithm::Boundary,
+                    other => return Err(format!("unknown algorithm '{other}'")),
+                })
+            }
+            "--spill" => args.spill = Some(PathBuf::from(it.next().ok_or("--spill needs a value")?)),
+            "--scale" => {
+                args.scale =
+                    Some(it.next().ok_or("--scale needs a value")?.parse().map_err(|_| "bad --scale")?)
+            }
+            "--sample" => {
+                args.sample = it.next().ok_or("--sample needs a value")?.parse().map_err(|_| "bad --sample")?
+            }
+            "--verify" => {
+                args.verify = it.next().ok_or("--verify needs a value")?.parse().map_err(|_| "bad --verify")?
+            }
+            "--trace" => args.trace = true,
+            other if !got_path && !other.starts_with("--") => {
+                args.path = PathBuf::from(other);
+                got_path = true;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if !got_path {
+        return Err("missing graph file".into());
+    }
+    Ok(args)
+}
+
+fn load(path: &PathBuf) -> Result<CsrGraph, String> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("mtx") => read_matrix_market(path, WeightMode::ScaledAbs { scale: 1.0 })
+            .map_err(|e| e.to_string()),
+        Some("gr") => read_dimacs(path).map_err(|e| e.to_string()),
+        _ => Err("unsupported extension (want .mtx or .gr)".into()),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--scale s] [--sample n] [--trace]");
+            std::process::exit(2);
+        }
+    };
+    let graph = match load(&args.path) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("failed to load {}: {e}", args.path.display());
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "loaded {}: n = {}, m = {}, density = {:.4}%",
+        args.path.display(),
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.density() * 100.0
+    );
+
+    let mut profile = match args.device.as_str() {
+        "v100" => DeviceProfile::v100(),
+        "k80" => DeviceProfile::k80(),
+        other => {
+            eprintln!("unknown device '{other}'");
+            std::process::exit(2);
+        }
+    };
+    if let Some(s) = args.scale {
+        profile = profile.scaled_for_reproduction(s);
+    }
+    if let Some(mib) = args.memory_mib {
+        profile = profile.with_memory_bytes(mib << 20);
+    }
+    println!(
+        "device: {} ({} MiB)",
+        profile.name,
+        profile.memory_bytes >> 20
+    );
+
+    let mut dev = GpuDevice::new(profile);
+    if args.trace {
+        dev.enable_trace();
+    }
+    let opts = ApspOptions {
+        algorithm: args.algorithm,
+        storage: match &args.spill {
+            Some(dir) => StorageBackend::Disk(dir.clone()),
+            None => StorageBackend::Memory,
+        },
+        ..Default::default()
+    };
+    let result = match apsp(&graph, &mut dev, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("apsp failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("algorithm: {}", result.algorithm);
+    if let Some(sel) = &result.selection {
+        for (alg, est) in &sel.estimates {
+            println!("  estimate {alg}: {est:.6} s");
+        }
+    }
+    println!("simulated time: {:.6} s", result.sim_seconds);
+    let r = &result.report;
+    println!(
+        "transfers: {:.1} MiB D2H in {} calls, {:.1} MiB H2D in {} calls; peak device memory {:.1} MiB",
+        r.bytes_d2h as f64 / (1 << 20) as f64,
+        r.transfers_d2h,
+        r.bytes_h2d as f64 / (1 << 20) as f64,
+        r.transfers_h2d,
+        r.peak_memory as f64 / (1 << 20) as f64,
+    );
+
+    // Deterministic pseudo-random distance samples.
+    let n = graph.num_vertices();
+    let mut state = 0x5EEDu64;
+    for _ in 0..args.sample {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let i = (state as usize) % n;
+        let j = (state >> 32) as usize % n;
+        match result.store.get(i, j) {
+            Ok(d) if d < apsp_graph::INF => println!("dist({i}, {j}) = {d}"),
+            Ok(_) => println!("dist({i}, {j}) = unreachable"),
+            Err(e) => println!("dist({i}, {j}) read failed: {e}"),
+        }
+    }
+    if args.verify > 0 {
+        match apsp_core::verify::verify_rows(&graph, &result.store, args.verify, 0xC0FFEE) {
+            Ok(v) if v.is_verified() => println!("verification: {v:?}"),
+            Ok(v) => {
+                eprintln!("VERIFICATION FAILED: {v:?}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("verification read error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if args.trace {
+        println!("\ndevice timeline:");
+        print!("{}", apsp_gpu_sim::trace::render_gantt(dev.trace(), 100));
+    }
+}

@@ -1,0 +1,64 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment>        run one experiment
+//! repro all                 run everything (≈ tens of minutes of host time)
+//! REPRO_SCALE=64 repro all  faster, smaller-scale run
+//! ```
+
+use apsp_bench::experiments::{large, optimizations, selector_exps, speedups, tables};
+
+const EXPERIMENTS: &[(&str, fn())] = &[
+    ("table1", tables::table1 as fn()),
+    ("table2", tables::table2),
+    ("table3", tables::table3),
+    ("table4", tables::table4),
+    ("fig2", speedups::fig2),
+    ("fig3", speedups::fig3),
+    ("fig4", speedups::fig4),
+    ("fig5", large::fig5),
+    ("table5", large::table5),
+    ("fig6", selector_exps::fig6),
+    ("fig7", selector_exps::fig7),
+    ("table6", selector_exps::table6),
+    ("fig8", optimizations::fig8),
+    ("ablation-dynpar", optimizations::ablation_dynpar),
+    ("ablation-k", optimizations::ablation_k),
+    ("ablation-delta", optimizations::ablation_delta),
+    ("ablation-sssp", optimizations::ablation_sssp),
+    ("ablation-incore", optimizations::ablation_incore),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return;
+    }
+    for arg in &args {
+        if arg == "all" {
+            for (name, f) in EXPERIMENTS {
+                println!("\n########## {name} ##########");
+                f();
+            }
+            continue;
+        }
+        match EXPERIMENTS.iter().find(|(name, _)| name == arg) {
+            Some((_, f)) => f(),
+            None => {
+                eprintln!("unknown experiment: {arg}");
+                usage();
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: repro <experiment>... | all");
+    eprintln!("experiments:");
+    for (name, _) in EXPERIMENTS {
+        eprintln!("  {name}");
+    }
+    eprintln!("env: REPRO_SCALE=<n> overrides every experiment's scale divisor");
+}

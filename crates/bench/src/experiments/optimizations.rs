@@ -1,0 +1,266 @@
+//! Fig 8 and the ablation studies.
+
+use crate::experiments::{label, run_boundary, run_johnson};
+use crate::{build_analogs, fmt_secs, scale_or, scaled_johnson, scaled_v100, Table};
+use apsp_core::options::{BoundaryOptions, DynamicParallelism};
+use apsp_graph::generators::{rmat, RmatParams, WeightRange};
+use apsp_graph::suite::table3_small_separator;
+
+/// Fig 8: benefits of the boundary algorithm's optimizations on the
+/// small-separator graphs. Paper bands: batching 1.988–5.706×, overlap a
+/// further 12.7–29.1%.
+pub fn fig8() {
+    let scale = scale_or(32);
+    println!("== Fig 8: boundary-algorithm optimizations (scale 1/{scale}) ==");
+    println!("paper bands: batching 1.988x .. 5.706x; overlap +12.7% .. +29.1%");
+    let profile = scaled_v100(scale);
+    let mut t = Table::new(vec![
+        "graph",
+        "naive",
+        "batched",
+        "batching speedup",
+        "batched+overlap",
+        "overlap gain",
+        "naive transfer frac",
+    ]);
+    let mut batch_speedups = Vec::new();
+    let mut overlap_gains = Vec::new();
+    for run in build_analogs(&table3_small_separator(), scale) {
+        let base = BoundaryOptions {
+            batch_transfers: false,
+            overlap_transfers: false,
+            ..Default::default()
+        };
+        let batched = BoundaryOptions {
+            batch_transfers: true,
+            overlap_transfers: false,
+            ..Default::default()
+        };
+        let both = BoundaryOptions {
+            batch_transfers: true,
+            overlap_transfers: true,
+            ..Default::default()
+        };
+        let (Ok((t_naive, _, rep_naive)), Ok((t_batch, _, _)), Ok((t_both, _, _))) = (
+            run_boundary(&profile, &run.graph, &base),
+            run_boundary(&profile, &run.graph, &batched),
+            run_boundary(&profile, &run.graph, &both),
+        ) else {
+            t.row(vec![label(&run), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
+        let speedup = t_naive / t_batch;
+        let gain = (t_batch - t_both) / t_batch * 100.0;
+        batch_speedups.push(speedup);
+        overlap_gains.push(gain);
+        t.row(vec![
+            label(&run),
+            fmt_secs(t_naive),
+            fmt_secs(t_batch),
+            format!("{speedup:.2}x"),
+            fmt_secs(t_both),
+            format!("{gain:.1}%"),
+            format!("{:.1}%", rep_naive.transfer_fraction() * 100.0),
+        ]);
+    }
+    t.print();
+    range("batching speedup", &batch_speedups, "x");
+    range("overlap gain", &overlap_gains, "%");
+    println!();
+}
+
+/// Ablation: dynamic parallelism on/off for Johnson's on scale-free
+/// graphs whose batch size is too small to saturate the device.
+pub fn ablation_dynpar() {
+    let scale = scale_or(32);
+    println!("== Ablation: dynamic parallelism (scale 1/{scale}) ==");
+    let profile = scaled_v100(scale);
+    let n = (100_000 / scale).max(512);
+    let mut t = Table::new(vec!["m", "bat", "DP off", "DP on", "speedup"]);
+    for deg in [32usize, 64, 128] {
+        let m = n * deg;
+        let g = rmat(n, m, RmatParams::scale_free(), WeightRange::default(), 0xD1 + deg as u64);
+        let mut off = scaled_johnson(scale);
+        off.dynamic_parallelism = DynamicParallelism::Off;
+        // Shrink the batch to force under-utilization, as happens at
+        // paper scale for edge-heavy graphs.
+        off.queue_words_per_edge = 32.0 / scale as f64;
+        let mut on = off;
+        on.dynamic_parallelism = DynamicParallelism::On;
+        on.heavy_degree_threshold = 128;
+        let (Ok((t_off, stats, _)), Ok((t_on, _, _))) = (
+            run_johnson(&profile, &g, &off),
+            run_johnson(&profile, &g, &on),
+        ) else {
+            continue;
+        };
+        t.row(vec![
+            g.num_edges().to_string(),
+            stats.batch_size.to_string(),
+            fmt_secs(t_off),
+            fmt_secs(t_on),
+            format!("{:.2}x", t_off / t_on),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation: component-count sweep for the boundary algorithm (the paper
+/// settles on √n/4 as the best default).
+pub fn ablation_k() {
+    let scale = scale_or(32);
+    println!("== Ablation: boundary component count k (scale 1/{scale}) ==");
+    let profile = scaled_v100(scale);
+    let runs = build_analogs(&table3_small_separator()[..2], scale);
+    let mut t = Table::new(vec!["graph", "k", "NB", "sim time"]);
+    for run in &runs {
+        let n = run.graph.num_vertices();
+        let default_k = apsp_core::ooc_boundary::default_num_components(n);
+        for k in [default_k / 2, default_k, default_k * 2, default_k * 4] {
+            let opts = BoundaryOptions {
+                num_components: Some(k.max(2)),
+                ..Default::default()
+            };
+            match run_boundary(&profile, &run.graph, &opts) {
+                Ok((s, stats, _)) => t.row(vec![
+                    run.entry.name.to_string(),
+                    stats.num_components.to_string(),
+                    stats.total_boundary.to_string(),
+                    fmt_secs(s),
+                ]),
+                Err(e) => t.row(vec![
+                    run.entry.name.to_string(),
+                    k.to_string(),
+                    "-".into(),
+                    format!("{e}"),
+                ]),
+            }
+        }
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation: Near-Far Δ sweep for Johnson's.
+pub fn ablation_delta() {
+    let scale = scale_or(48);
+    println!("== Ablation: Near-Far delta (scale 1/{scale}) ==");
+    let profile = scaled_v100(scale);
+    let run = &build_analogs(&table3_small_separator()[..1], scale)[0];
+    let mut t = Table::new(vec!["delta", "sim time", "relaxations", "near iters"]);
+    for delta in [1u32, 10, 50, 100, 500] {
+        let mut opts = scaled_johnson(scale);
+        opts.delta = Some(delta);
+        match run_johnson(&profile, &run.graph, &opts) {
+            Ok((s, stats, _)) => t.row(vec![
+                delta.to_string(),
+                fmt_secs(s),
+                stats.work.total_relaxations().to_string(),
+                stats.work.near_iterations.to_string(),
+            ]),
+            Err(e) => t.row(vec![delta.to_string(), format!("{e}"), "-".into(), "-".into()]),
+        }
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation: Near-Far vs device Bellman-Ford as the SSSP engine — the
+/// related-work trade-off the paper discusses (Section VI): Bellman-Ford
+/// parallelizes perfectly but redoes every edge each round.
+pub fn ablation_sssp() {
+    use apsp_gpu_sim::GpuDevice;
+    let scale = scale_or(64);
+    println!("== Ablation: SSSP engine, Near-Far vs Bellman-Ford (scale 1/{scale}) ==");
+    let profile = scaled_v100(scale);
+    let mut t = Table::new(vec![
+        "graph",
+        "near-far time",
+        "near-far relax",
+        "bellman-ford time",
+        "bellman-ford relax",
+        "BF slowdown",
+    ]);
+    for run in build_analogs(&table3_small_separator()[..3], scale) {
+        let g = &run.graph;
+        // Near-Far (single source 0, device-charged via one MSSP launch).
+        let mut d1 = GpuDevice::new(profile.clone());
+        let s1 = d1.default_stream();
+        let mut out = apsp_kernels::DeviceMatrix::alloc_inf(&d1, 1, g.num_vertices()).unwrap();
+        let outcome = apsp_kernels::mssp::mssp_kernel(
+            &mut d1,
+            s1,
+            g,
+            &[0],
+            &mut out,
+            apsp_kernels::mssp::MsspOptions::new(apsp_kernels::nearfar::default_delta(g)),
+        );
+        let t_nf = d1.synchronize().seconds();
+        // Bellman-Ford.
+        let mut d2 = GpuDevice::new(profile.clone());
+        let s2 = d2.default_stream();
+        let (_, bf) = apsp_kernels::bellman_ford::bellman_ford_device(&mut d2, s2, g, 0);
+        let t_bf = d2.synchronize().seconds();
+        t.row(vec![
+            run.entry.name.to_string(),
+            fmt_secs(t_nf),
+            outcome.stats.total_relaxations().to_string(),
+            fmt_secs(t_bf),
+            bf.relaxations.to_string(),
+            format!("{:.1}x", t_bf / t_nf),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// Ablation: the in-core prior-work baseline vs the out-of-core
+/// Floyd-Warshall across growing n — showing the size wall the paper's
+/// implementations remove, and the (small) out-of-core overhead below it.
+pub fn ablation_incore() {
+    use apsp_core::in_core::{in_core_fw, max_in_core_vertices};
+    use apsp_core::options::FwOptions;
+    use apsp_gpu_sim::GpuDevice;
+    let scale = scale_or(32);
+    println!("== Ablation: in-core baseline vs out-of-core FW (scale 1/{scale}) ==");
+    let profile = scaled_v100(scale);
+    let cap = max_in_core_vertices(&GpuDevice::new(profile.clone()));
+    println!("device holds at most a {cap}² matrix in-core");
+    let mut t = Table::new(vec!["n", "in-core", "out-of-core", "ooc overhead"]);
+    for frac in [0.5f64, 0.9, 1.5, 3.0] {
+        let n = ((cap as f64 * frac) as usize).max(16);
+        let g = rmat(
+            n,
+            8 * n,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            0x1C + n as u64,
+        );
+        let mut d1 = GpuDevice::new(profile.clone());
+        let in_core = in_core_fw(&mut d1, &g).map(|(_, s)| s.sim_seconds);
+        let ooc = crate::experiments::run_fw(&profile, &g, &FwOptions::default())
+            .map(|(s, _, _)| s);
+        let overhead = match (&in_core, &ooc) {
+            (Ok(i), Ok(o)) => format!("{:+.1}%", (o / i - 1.0) * 100.0),
+            _ => "-".into(),
+        };
+        t.row(vec![
+            n.to_string(),
+            in_core.map_or_else(|e| e.to_string(), fmt_secs),
+            ooc.map_or_else(|e| e.to_string(), fmt_secs),
+            overhead,
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+fn range(what: &str, xs: &[f64], unit: &str) {
+    if xs.is_empty() {
+        return;
+    }
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!("measured {what} range: {min:.2}{unit} .. {max:.2}{unit}");
+}

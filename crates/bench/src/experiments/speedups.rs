@@ -1,0 +1,151 @@
+//! Figures 2–4: speedups of the out-of-core GPU implementations over the
+//! CPU baselines.
+//!
+//! CPU times come from the calibrated [`apsp_cpu::cost::CpuCostModel`]
+//! evaluated at the analog's actual size (see DESIGN.md for why measured
+//! wall time on this host cannot stand in for the paper's 28-thread
+//! Xeon); GPU times are the device simulator's output for the same
+//! analogs.
+
+use crate::experiments::{label, run_boundary, run_johnson};
+use crate::{build_analogs, fmt_secs, scale_or, scaled_johnson, scaled_v100, Table};
+use apsp_core::options::BoundaryOptions;
+use apsp_cpu::cost::CpuCostModel;
+use apsp_graph::suite::{table3_other_sparse, table3_small_separator};
+
+/// Fig 2: boundary algorithm vs BGL-Plus on the small-separator graphs.
+/// Paper band: 8.22–12.40×.
+pub fn fig2() {
+    let scale = scale_or(32);
+    println!("== Fig 2: OOC boundary vs BGL-Plus, small-separator graphs (scale 1/{scale}) ==");
+    println!("paper speedup band: 8.22x .. 12.40x");
+    let cpu = CpuCostModel::default();
+    let profile = scaled_v100(scale);
+    let mut t = Table::new(vec!["graph", "BGL-Plus (model)", "boundary (sim)", "speedup"]);
+    let mut speedups = Vec::new();
+    for run in build_analogs(&table3_small_separator(), scale) {
+        let (n, m) = (run.graph.num_vertices(), run.graph.num_edges());
+        let cpu_s = cpu.bgl_plus_seconds(n, m);
+        match run_boundary(&profile, &run.graph, &BoundaryOptions::default()) {
+            Ok((gpu_s, _, _)) => {
+                let speedup = cpu_s / gpu_s;
+                speedups.push(speedup);
+                t.row(vec![
+                    label(&run),
+                    fmt_secs(cpu_s),
+                    fmt_secs(gpu_s),
+                    format!("{speedup:.2}x"),
+                ]);
+            }
+            Err(e) => t.row(vec![label(&run), fmt_secs(cpu_s), format!("{e}"), "-".into()]),
+        }
+    }
+    t.print();
+    summarize("speedup", &speedups);
+}
+
+/// Fig 3: Johnson's vs BGL-Plus on the other sparse graphs.
+/// Paper band: 2.23–2.79×.
+pub fn fig3() {
+    let scale = scale_or(48);
+    println!("== Fig 3: OOC Johnson vs BGL-Plus, other sparse graphs (scale 1/{scale}) ==");
+    println!("paper speedup band: 2.23x .. 2.79x");
+    let cpu = CpuCostModel::default();
+    let profile = scaled_v100(scale);
+    let jopts = scaled_johnson(scale);
+    let mut t = Table::new(vec![
+        "graph",
+        "BGL-Plus (model)",
+        "Johnson (sim)",
+        "bat",
+        "speedup",
+    ]);
+    let mut speedups = Vec::new();
+    for run in build_analogs(&table3_other_sparse(), scale) {
+        let (n, m) = (run.graph.num_vertices(), run.graph.num_edges());
+        let cpu_s = cpu.bgl_plus_seconds(n, m);
+        match run_johnson(&profile, &run.graph, &jopts) {
+            Ok((gpu_s, stats, _)) => {
+                let speedup = cpu_s / gpu_s;
+                speedups.push(speedup);
+                t.row(vec![
+                    label(&run),
+                    fmt_secs(cpu_s),
+                    fmt_secs(gpu_s),
+                    stats.batch_size.to_string(),
+                    format!("{speedup:.2}x"),
+                ]);
+            }
+            Err(e) => t.row(vec![
+                label(&run),
+                fmt_secs(cpu_s),
+                format!("{e}"),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    t.print();
+    summarize("speedup", &speedups);
+}
+
+/// Fig 4: our implementation vs SuperFW and Galois (reported-number
+/// baselines reproduced as cost models). Paper bands: 4.70–69.2× over
+/// SuperFW, 79.93–152.62× over Galois.
+///
+/// Galois (Θ(n·m)) scales with our Johnson times under the 1/s workload
+/// scaling, so its ratio is computed at the analog size directly.
+/// SuperFW is Θ(n³), which scales by an extra 1/s: its comparison is
+/// therefore *projected to paper scale* — our measured simulated time
+/// grows by s² (Johnson's n·m scaling) against `superfw_seconds(n_paper)`.
+pub fn fig4() {
+    let scale = scale_or(48);
+    println!("== Fig 4: vs SuperFW and Galois, other sparse graphs (scale 1/{scale}) ==");
+    println!("paper bands: SuperFW 4.70x .. 69.2x;  Galois 79.93x .. 152.62x");
+    let cpu = CpuCostModel::default();
+    let profile = scaled_v100(scale);
+    let jopts = scaled_johnson(scale);
+    let mut t = Table::new(vec![
+        "graph",
+        "ours (sim)",
+        "ours @paper scale",
+        "SuperFW @paper scale",
+        "vs SuperFW",
+        "Galois (model)",
+        "vs Galois",
+    ]);
+    let mut s_fw = Vec::new();
+    let mut s_ga = Vec::new();
+    for run in build_analogs(&table3_other_sparse(), scale) {
+        let (n, m) = (run.graph.num_vertices(), run.graph.num_edges());
+        let Ok((ours, _, _)) = run_johnson(&profile, &run.graph, &jopts) else {
+            continue;
+        };
+        let ours_paper = ours * (scale * scale) as f64;
+        let superfw = cpu.superfw_seconds(run.entry.n_paper);
+        let galois = cpu.galois_seconds(n, m);
+        s_fw.push(superfw / ours_paper);
+        s_ga.push(galois / ours);
+        t.row(vec![
+            label(&run),
+            fmt_secs(ours),
+            fmt_secs(ours_paper),
+            fmt_secs(superfw),
+            format!("{:.1}x", superfw / ours_paper),
+            fmt_secs(galois),
+            format!("{:.1}x", galois / ours),
+        ]);
+    }
+    t.print();
+    summarize("vs SuperFW", &s_fw);
+    summarize("vs Galois", &s_ga);
+}
+
+fn summarize(what: &str, xs: &[f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().cloned().fold(0.0f64, f64::max);
+    println!("measured {what} range: {min:.2}x .. {max:.2}x\n");
+}

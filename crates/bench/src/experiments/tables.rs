@@ -1,0 +1,130 @@
+//! Tables I–IV: algorithm summary, device specs, and the input suites.
+
+use crate::{build_analogs, scale_or, suite_config, Table};
+use apsp_graph::suite::{SuiteEntry, TABLE3, TABLE4};
+use apsp_gpu_sim::DeviceProfile;
+use apsp_partition::{kway_partition, PartitionConfig};
+
+/// Table I: the qualitative comparison of the three implementations.
+pub fn table1() {
+    println!("== Table I: comparison of the implementations ==");
+    let mut t = Table::new(vec!["property", "Floyd-Warshall", "Johnson's", "Boundary"]);
+    t.row(vec![
+        "computation complexity",
+        "O(n^3)",
+        "O(n m log n) .. O(n m)",
+        "O(n^1.5) .. O(n^3)",
+    ]);
+    t.row(vec![
+        "data access / control flow",
+        "regular",
+        "irregular",
+        "regular",
+    ]);
+    t.row(vec![
+        "data movement",
+        "O(n_d * n^2)",
+        "O(n^2)",
+        "O(n^2)",
+    ]);
+    t.row(vec![
+        "target graphs",
+        "dense",
+        "sparse scale-free",
+        "small separator",
+    ]);
+    t.print();
+}
+
+/// Table II: the simulated device profiles standing in for the paper's
+/// V100 and K80.
+pub fn table2() {
+    println!("== Table II: simulated device profiles ==");
+    let mut t = Table::new(vec!["property", "Tesla V100", "Tesla K80"]);
+    let v = DeviceProfile::v100();
+    let k = DeviceProfile::k80();
+    let row = |name: &str, f: &dyn Fn(&DeviceProfile) -> String| {
+        vec![name.to_string(), f(&v), f(&k)]
+    };
+    let mut push = |name: &str, f: &dyn Fn(&DeviceProfile) -> String| {
+        t.row(row(name, f));
+    };
+    push("device memory (GiB)", &|p| {
+        format!("{:.0}", p.memory_bytes as f64 / (1u64 << 30) as f64)
+    });
+    push("SMs", &|p| p.sm_count.to_string());
+    push("effective compute (Gop/s)", &|p| {
+        format!("{:.0}", p.compute_ops_per_sec / 1e9)
+    });
+    push("memory bandwidth (GB/s)", &|p| {
+        format!("{:.0}", p.mem_bandwidth / 1e9)
+    });
+    push("D2H throughput (GB/s, measured)", &|p| {
+        format!("{:.2}", p.d2h_bytes_per_sec / 1e9)
+    });
+    t.print();
+}
+
+fn suite_table(title: &str, entries: &[SuiteEntry], scale: usize, with_separator: bool) {
+    println!("{title} (scale 1/{scale})");
+    let mut headers = vec![
+        "matrix".to_string(),
+        "paper n(K)".to_string(),
+        "paper m(K)".to_string(),
+        "analog n".to_string(),
+        "analog m".to_string(),
+        "density(%)".to_string(),
+    ];
+    if with_separator {
+        headers.push("sqrt(k*n)".to_string());
+        headers.push("#boundary".to_string());
+        headers.push("small sep?".to_string());
+    }
+    let mut t = Table::new(headers);
+    let cfg = suite_config(scale);
+    for e in entries {
+        let g = e.generate(&cfg);
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut row = vec![
+            e.name.to_string(),
+            (e.n_paper / 1000).to_string(),
+            (e.m_paper / 1000).to_string(),
+            n.to_string(),
+            m.to_string(),
+            format!("{:.4}", g.density() * 100.0),
+        ];
+        if with_separator {
+            let k = apsp_core::ooc_boundary::default_num_components(n);
+            let p = kway_partition(&g, k, &PartitionConfig::default());
+            let nb = p.num_boundary_nodes(&g);
+            let ideal = ((k * n) as f64).sqrt();
+            row.push(format!("{ideal:.0}"));
+            row.push(nb.to_string());
+            row.push(if e.small_separator { "yes" } else { "no" }.to_string());
+        }
+        t.row(row);
+    }
+    t.print();
+}
+
+/// Table III: the 19 graphs whose output fits host RAM, with measured
+/// boundary counts of the analogs.
+pub fn table3() {
+    let scale = scale_or(32);
+    suite_table("== Table III: input graphs (output fits host RAM) ==", TABLE3, scale, true);
+}
+
+/// Table IV: the 10 graphs whose output exceeds host RAM.
+pub fn table4() {
+    let scale = scale_or(96);
+    suite_table(
+        "== Table IV: large input graphs (output exceeds host RAM) ==",
+        TABLE4,
+        scale,
+        false,
+    );
+    // Sanity line showing which analogs actually got generated.
+    let runs = build_analogs(&TABLE4.iter().collect::<Vec<_>>(), scale);
+    println!("generated {} analogs", runs.len());
+}

@@ -1,0 +1,204 @@
+//! Unified front-end: select (or accept) an algorithm and run it.
+
+use crate::error::ApspError;
+use crate::ooc_boundary::{ooc_boundary, BoundaryRunStats};
+use crate::ooc_fw::{init_store_from_graph, ooc_floyd_warshall, FwRunStats};
+use crate::ooc_johnson::{ooc_johnson, JohnsonRunStats};
+use crate::options::{Algorithm, ApspOptions};
+use crate::selector::{CostModels, JohnsonModel, Selection};
+use crate::tile_store::TileStore;
+use apsp_graph::CsrGraph;
+use apsp_gpu_sim::{GpuDevice, SimReport};
+
+/// Per-algorithm detail statistics.
+#[derive(Debug, Clone)]
+pub enum RunDetails {
+    /// Out-of-core Floyd-Warshall ran.
+    FloydWarshall(FwRunStats),
+    /// Out-of-core Johnson's ran.
+    Johnson(JohnsonRunStats),
+    /// The boundary algorithm ran.
+    Boundary(BoundaryRunStats),
+}
+
+/// The result of [`apsp`].
+#[derive(Debug)]
+pub struct ApspResult {
+    /// The full distance matrix (RAM or disk per the options).
+    pub store: TileStore,
+    /// Which implementation produced it.
+    pub algorithm: Algorithm,
+    /// The selector's reasoning (`None` when an algorithm was forced).
+    pub selection: Option<Selection>,
+    /// Simulated seconds of the run (selector probing excluded, matching
+    /// how the paper reports its numbers).
+    pub sim_seconds: f64,
+    /// Device profiling snapshot at completion.
+    pub report: SimReport,
+    /// Implementation-specific statistics.
+    pub details: RunDetails,
+}
+
+/// Compute APSP for `g` on `dev`, choosing the implementation with the
+/// paper's selector unless `opts.algorithm` forces one.
+///
+/// ```
+/// use apsp_core::{apsp, ApspOptions};
+/// use apsp_graph::generators::{gnp, WeightRange};
+/// use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+///
+/// let g = gnp(120, 0.04, WeightRange::new(1, 100), 7);
+/// // Small device memory ⇒ the out-of-core machinery engages.
+/// let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+/// let result = apsp(&g, &mut dev, &ApspOptions::default()).unwrap();
+/// assert_eq!(result.store.get(5, 5).unwrap(), 0);
+/// assert!(result.sim_seconds > 0.0);
+/// ```
+pub fn apsp(g: &CsrGraph, dev: &mut GpuDevice, opts: &ApspOptions) -> Result<ApspResult, ApspError> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err(ApspError::InvalidInput("graph has no vertices".into()));
+    }
+    let (algorithm, selection) = match opts.algorithm {
+        Some(a) => (a, None),
+        None => {
+            let models = CostModels::calibrate_cached(dev.profile());
+            let johnson = JohnsonModel::probe(dev.profile(), g, &opts.selector, &opts.johnson)?;
+            let selection = models.select(g, &opts.selector, &johnson);
+            (selection.algorithm, Some(selection))
+        }
+    };
+    let mut store = TileStore::new(n, &opts.storage)?;
+    let (sim_seconds, details) = match algorithm {
+        Algorithm::FloydWarshall => {
+            init_store_from_graph(g, &mut store)?;
+            let stats = ooc_floyd_warshall(dev, &mut store, &opts.fw)?;
+            (stats.sim_seconds, RunDetails::FloydWarshall(stats))
+        }
+        Algorithm::Johnson => {
+            let stats = ooc_johnson(dev, g, &mut store, &opts.johnson)?;
+            (stats.sim_seconds, RunDetails::Johnson(stats))
+        }
+        Algorithm::Boundary => {
+            let stats = ooc_boundary(dev, g, &mut store, &opts.boundary)?;
+            (stats.sim_seconds, RunDetails::Boundary(stats))
+        }
+    };
+    Ok(ApspResult {
+        store,
+        algorithm,
+        selection,
+        sim_seconds,
+        report: dev.report(),
+        details,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ApspOptions;
+    use crate::selector::SelectorConfig;
+    use apsp_cpu::bgl_plus_apsp;
+    use apsp_graph::generators::{gnp, grid_2d, GridOptions, WeightRange};
+    use apsp_gpu_sim::DeviceProfile;
+
+    #[test]
+    fn forced_algorithms_all_agree() {
+        let g = gnp(90, 0.06, WeightRange::default(), 51);
+        let reference = bgl_plus_apsp(&g);
+        for alg in [
+            Algorithm::FloydWarshall,
+            Algorithm::Johnson,
+            Algorithm::Boundary,
+        ] {
+            let mut dev = GpuDevice::new(DeviceProfile::v100());
+            let opts = ApspOptions {
+                algorithm: Some(alg),
+                ..Default::default()
+            };
+            let result = apsp(&g, &mut dev, &opts).unwrap();
+            assert_eq!(result.algorithm, alg);
+            assert_eq!(
+                result.store.to_dist_matrix().unwrap(),
+                reference,
+                "algorithm {alg}"
+            );
+            assert!(result.selection.is_none());
+        }
+    }
+
+    #[test]
+    fn auto_selection_runs_and_is_correct() {
+        // A dense-ish small graph: the filter should rule out boundary.
+        let g = gnp(100, 0.05, WeightRange::default(), 3);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(1 << 20));
+        let opts = ApspOptions {
+            selector: SelectorConfig {
+                // density ≈ 5%: above the default 1% threshold.
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &opts).unwrap();
+        let selection = result.selection.as_ref().unwrap();
+        assert!(!selection.estimates.is_empty());
+        assert_eq!(result.algorithm, selection.algorithm);
+        assert_eq!(result.store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn very_sparse_class_considers_boundary_and_picks_argmin() {
+        // A grid classified very-sparse must be ranked against the
+        // boundary algorithm (at this toy size either may win — the
+        // paper-shape "boundary wins" check lives in the Fig 6
+        // reproduction at realistic scale).
+        let g = grid_2d(18, 18, GridOptions::default(), WeightRange::default(), 9);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let opts = ApspOptions {
+            selector: SelectorConfig {
+                // 324 vertices / 2448 edges: density 1.1e-2 — force the
+                // very-sparse class the paper-scale graph would be in.
+                density_lo: 0.05,
+                density_hi: 0.5,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &opts).unwrap();
+        let sel = result.selection.as_ref().unwrap();
+        let algos: Vec<Algorithm> = sel.estimates.iter().map(|&(a, _)| a).collect();
+        assert!(algos.contains(&Algorithm::Boundary), "{algos:?}");
+        assert!(algos.contains(&Algorithm::Johnson), "{algos:?}");
+        assert!(!algos.contains(&Algorithm::FloydWarshall), "{algos:?}");
+        // The winner is the argmin of the estimates.
+        let best = sel
+            .estimates
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(sel.algorithm, best);
+        assert_eq!(result.store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_invalid() {
+        let g = apsp_graph::GraphBuilder::new(0).build();
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        assert!(apsp(&g, &mut dev, &ApspOptions::default()).is_err());
+    }
+
+    #[test]
+    fn report_contains_kernel_activity() {
+        let g = gnp(60, 0.08, WeightRange::default(), 13);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let opts = ApspOptions {
+            algorithm: Some(Algorithm::Johnson),
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &opts).unwrap();
+        assert!(result.report.kernels.contains_key("mssp") || result.report.kernels.contains_key("mssp_dynpar"));
+        assert!(result.sim_seconds > 0.0);
+    }
+}

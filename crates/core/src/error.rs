@@ -1,0 +1,74 @@
+//! Error type for the out-of-core APSP implementations.
+
+use apsp_gpu_sim::OutOfDeviceMemory;
+
+/// Anything that can go wrong while computing APSP out-of-core.
+#[derive(Debug)]
+pub enum ApspError {
+    /// The device cannot hold even the minimum working set (e.g. one
+    /// matrix tile plus the graph) for the chosen algorithm.
+    DeviceTooSmall {
+        /// Which algorithm gave up.
+        algorithm: &'static str,
+        /// Human-readable sizing detail.
+        detail: String,
+    },
+    /// A device allocation failed unexpectedly mid-run.
+    OutOfDeviceMemory(OutOfDeviceMemory),
+    /// The host-side tile store failed (disk-backed stores only).
+    Storage(std::io::Error),
+    /// The input graph is unusable (e.g. zero vertices where the
+    /// algorithm needs at least one).
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for ApspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApspError::DeviceTooSmall { algorithm, detail } => {
+                write!(f, "device too small for {algorithm}: {detail}")
+            }
+            ApspError::OutOfDeviceMemory(e) => write!(f, "{e}"),
+            ApspError::Storage(e) => write!(f, "tile store I/O error: {e}"),
+            ApspError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApspError::OutOfDeviceMemory(e) => Some(e),
+            ApspError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OutOfDeviceMemory> for ApspError {
+    fn from(e: OutOfDeviceMemory) -> Self {
+        ApspError::OutOfDeviceMemory(e)
+    }
+}
+
+impl From<std::io::Error> for ApspError {
+    fn from(e: std::io::Error) -> Self {
+        ApspError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ApspError::DeviceTooSmall {
+            algorithm: "boundary",
+            detail: "bound matrix needs 1 GiB".into(),
+        };
+        assert!(e.to_string().contains("boundary"));
+        let io = ApspError::from(std::io::Error::new(std::io::ErrorKind::Other, "disk full"));
+        assert!(io.to_string().contains("disk full"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Out-of-core GPU APSP — the paper's contribution.
+//!
+//! Three out-of-core implementations compute the full `n × n` distance
+//! matrix of graphs whose output exceeds device memory:
+//!
+//! * [`ooc_fw`] — Algorithm 1, the out-of-core blocked Floyd-Warshall:
+//!   `n_d × n_d` device-sized tiles, three-stage rounds, `O(n_d · n²)`
+//!   data movement;
+//! * [`ooc_johnson`] — Algorithm 2, batched Johnson's: `bat` Near-Far
+//!   SSSP instances per kernel (one per thread block), `O(n²)` data
+//!   movement, optional dynamic parallelism for high-degree vertices;
+//! * [`ooc_boundary`] — Algorithm 3, the boundary algorithm: k-way
+//!   partition, per-component Floyd-Warshall (dist₂), boundary-graph
+//!   Floyd-Warshall (dist₃), and the chained min-plus products
+//!   `A(i,j) = C2B[i] ⊗ bound(i,j) ⊗ B2C[j]` (dist₄), with the paper's
+//!   transfer-batching and compute/transfer-overlap optimizations.
+//!
+//! [`selector`] implements Section IV: the density filter plus the three
+//! cost models, able to pick the winning implementation without running
+//! the full computation. [`api::apsp`] is the unified front-end.
+//!
+//! Results land in a [`tile_store::TileStore`] — host RAM, or a disk
+//! directory when even the host cannot hold the output (the paper's
+//! Table IV regime).
+
+pub mod api;
+pub mod error;
+pub mod in_core;
+pub mod multi_gpu;
+pub mod ooc_boundary;
+pub mod ooc_fw;
+pub mod ooc_johnson;
+pub mod options;
+pub mod paths;
+pub mod selector;
+pub mod tile_store;
+pub mod verify;
+
+pub use api::{apsp, ApspResult};
+pub use error::ApspError;
+pub use options::{Algorithm, ApspOptions, BoundaryOptions, JohnsonOptions};
+pub use selector::{CostModels, Selection, SelectorConfig};
+pub use tile_store::{StorageBackend, TileStore};

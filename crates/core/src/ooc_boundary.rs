@@ -1,0 +1,741 @@
+//! Algorithm 3: the out-of-core boundary algorithm.
+//!
+//! 1. Partition the graph into `k` components (METIS-substitute k-way),
+//!    renumbering vertices so each component is contiguous with its
+//!    boundary nodes first (the paper's Fig 1a).
+//! 2. dist₂: blocked Floyd-Warshall on each diagonal block `A(i,i)`.
+//! 3. dist₃: build the boundary graph (original cross edges + virtual
+//!    edges from dist₂) and run blocked Floyd-Warshall on it.
+//! 4. dist₄: for every block,
+//!    `A(i,j) = C2B[i] ⊗ bound(i,j) ⊗ B2C[j]` (minimized with dist₂ on the
+//!    diagonal), streaming results to the host.
+//!
+//! Step 4's `k²` small result blocks are the transfer bottleneck the paper
+//! measures at 70–84% of runtime; the **batching** optimization
+//! accumulates `N_row = S_rem / (N_max · n · W)` component row-panels in a
+//! device staging buffer per transfer, and **overlap** double-buffers the
+//! staging so D2H copies hide behind the next components' compute.
+
+use crate::error::ApspError;
+use crate::options::BoundaryOptions;
+use crate::tile_store::TileStore;
+use apsp_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
+use apsp_gpu_sim::{DeviceBuffer, GpuDevice, KernelCost, LaunchConfig, Pinning, StreamId};
+use apsp_kernels::fw_block::fw_device;
+use apsp_kernels::minplus::minplus_product;
+use apsp_kernels::DeviceMatrix;
+use apsp_partition::{kway_partition, PartitionConfig, PartitionLayout};
+
+/// Outcome statistics of one boundary-algorithm run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundaryRunStats {
+    /// Components used (`k`), after any auto-shrinking to fit the device.
+    pub num_components: usize,
+    /// Total boundary nodes (`NB`).
+    pub total_boundary: usize,
+    /// Largest component (`N_max`).
+    pub max_component: usize,
+    /// Row-panels accumulated per transfer (`N_row`; 1 without batching).
+    pub n_row: usize,
+    /// Simulated seconds for the whole run (excludes host-side
+    /// partitioning, which the paper also performs on the CPU).
+    pub sim_seconds: f64,
+}
+
+/// The paper's default component count, `√n / 4` (Section V-F).
+pub fn default_num_components(n: usize) -> usize {
+    apsp_partition::kway::default_num_components(n)
+}
+
+/// Kernel-efficiency divisor for the boundary path.
+///
+/// Its kernels — per-component Floyd-Warshall on modest blocks, the
+/// boundary-graph Floyd-Warshall, and k² chained *skinny* min-plus panel
+/// multiplies with strided extractions — run well below the dense-FW
+/// anchor efficiency on real hardware. The value is calibrated so the
+/// paper-scale boundary run reproduces the measured behaviour of its
+/// Figs 2 and 8: speedups of 8.2–12.4× over BGL-Plus with unoptimized
+/// transfer fractions of 70–84%.
+pub const BOUNDARY_KERNEL_EFFICIENCY_DIVISOR: f64 = 8.0;
+
+/// Run the out-of-core boundary algorithm into `store`.
+pub fn ooc_boundary(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &BoundaryOptions,
+) -> Result<BoundaryRunStats, ApspError> {
+    let result = ooc_boundary_inner(dev, g, store, opts);
+    // Restore the device's efficiency context on every exit path.
+    dev.set_kernel_efficiency_divisor(1.0);
+    result
+}
+
+fn ooc_boundary_inner(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &BoundaryOptions,
+) -> Result<BoundaryRunStats, ApspError> {
+    let n = g.num_vertices();
+    assert_eq!(store.n(), n);
+    if n == 0 {
+        return Ok(BoundaryRunStats {
+            num_components: 0,
+            total_boundary: 0,
+            max_component: 0,
+            n_row: 0,
+            sim_seconds: 0.0,
+        });
+    }
+
+    // ---- Step 1: partition (host CPU, as in the paper).
+    let requested_k = opts
+        .num_components
+        .unwrap_or_else(|| default_num_components(n))
+        .clamp(1, n);
+    let pcfg = PartitionConfig {
+        seed: opts.partition_seed,
+        ..Default::default()
+    };
+    // Shrink k until the boundary matrix and working set fit the device;
+    // fewer components ⇒ fewer boundary nodes (at higher dist₂ cost),
+    // mirroring the paper's observation that non-small-separator graphs
+    // only admit a small number of components.
+    let mut k = requested_k;
+    let mut layout = loop {
+        let partition = kway_partition(g, k, &pcfg);
+        let layout = PartitionLayout::new(g, &partition);
+        if working_set_fits(dev, &layout) || k <= 2 {
+            break layout;
+        }
+        k = (k / 2).max(2);
+    };
+    // If transfer batching is on but not even one staging row-panel fits
+    // alongside the working set, try doubling k once: smaller components
+    // mean smaller `N_max · n` panels (at somewhat more boundary). Going
+    // further multiplies the k² per-block overheads past any transfer
+    // win, so a candidate is adopted only if it actually restores
+    // batching; otherwise the per-block pinned fallback is cheaper.
+    if opts.batch_transfers && !staging_fits(dev, opts, &layout) {
+        let k2 = (layout.num_components() * 2).min(n / 2).max(2);
+        if k2 > layout.num_components() {
+            let candidate = PartitionLayout::new(g, &kway_partition(g, k2, &pcfg));
+            if working_set_fits(dev, &candidate) && staging_fits(dev, opts, &candidate) {
+                layout = candidate;
+            }
+        }
+    }
+    let pg = layout.permute_graph(g);
+    let k = layout.num_components();
+    let nb_total = layout.total_boundary();
+    let n_max = layout.max_component_size();
+    let nb_max = (0..k).map(|i| layout.boundary_count(i)).max().unwrap_or(0);
+    let w = std::mem::size_of::<Dist>() as u64;
+    if !working_set_fits(dev, &layout) {
+        return Err(ApspError::DeviceTooSmall {
+            algorithm: "out-of-core boundary",
+            detail: format!(
+                "minimum working set ({} bytes: boundary graph of {nb_total} nodes, {n_max}² block) exceeds free device memory ({} bytes) even at k = {k}",
+                working_set_bytes(nb_total, n_max, nb_max),
+                dev.free_memory()
+            ),
+        });
+    }
+
+    let start = dev.elapsed().seconds();
+    dev.set_kernel_efficiency_divisor(BOUNDARY_KERNEL_EFFICIENCY_DIVISOR);
+    let s0 = dev.default_stream();
+    let s1 = if opts.overlap_transfers {
+        dev.create_stream()
+    } else {
+        s0
+    };
+
+    // ---- Step 2: dist₂ on each diagonal block.
+    let mut dist2: Vec<Vec<Dist>> = Vec::with_capacity(k);
+    for i in 0..k {
+        let range = layout.component_range(i);
+        let sz = range.len();
+        let mut block = adjacency_block(&pg, range.clone());
+        let mut tile = DeviceMatrix::alloc_inf(dev, sz, sz)?;
+        if sz > 0 {
+            tile.upload_rows(dev, s0, 0, &block, Pinning::Pinned);
+            fw_device(dev, s0, &mut tile);
+            tile.download_rows(dev, s0, 0..sz, &mut block, Pinning::Pinned);
+        }
+        dist2.push(block);
+    }
+
+    // ---- Step 3: the boundary graph and dist₃.
+    let bofs: Vec<usize> = {
+        let mut v = Vec::with_capacity(k + 1);
+        let mut acc = 0usize;
+        v.push(0);
+        for i in 0..k {
+            acc += layout.boundary_count(i);
+            v.push(acc);
+        }
+        v
+    };
+    let mut bound_host = vec![INF; nb_total * nb_total];
+    for d in 0..nb_total {
+        bound_host[d * nb_total + d] = 0;
+    }
+    // Virtual edges: dist₂ restricted to boundary × boundary of each
+    // component (boundary nodes occupy each block's first rows/cols).
+    for i in 0..k {
+        let nb = layout.boundary_count(i);
+        let sz = layout.component_size(i);
+        for a in 0..nb {
+            for b in 0..nb {
+                let d = dist2[i][a * sz + b];
+                let cell = &mut bound_host[(bofs[i] + a) * nb_total + (bofs[i] + b)];
+                if d < *cell {
+                    *cell = d;
+                }
+            }
+        }
+    }
+    // Original cross-component edges (both endpoints are boundary nodes
+    // by definition).
+    let comp_of = component_index(&layout);
+    for v in 0..n as VertexId {
+        let ci = comp_of[v as usize];
+        let local_v = v as usize - layout.component_range(ci).start;
+        if local_v >= layout.boundary_count(ci) {
+            continue; // interior vertex: no cross edges by definition
+        }
+        for (u, wgt) in pg.edges_from(v) {
+            let cj = comp_of[u as usize];
+            if ci == cj {
+                continue;
+            }
+            let local_u = u as usize - layout.component_range(cj).start;
+            debug_assert!(local_u < layout.boundary_count(cj));
+            let cell =
+                &mut bound_host[(bofs[ci] + local_v) * nb_total + (bofs[cj] + local_u)];
+            if wgt < *cell {
+                *cell = wgt;
+            }
+        }
+    }
+    let mut bound = DeviceMatrix::alloc_inf(dev, nb_total, nb_total)?;
+    if nb_total > 0 {
+        bound.upload_rows(dev, s0, 0, &bound_host, Pinning::Pinned);
+        fw_device(dev, s0, &mut bound);
+    }
+    drop(bound_host);
+
+    // ---- Step 4: dist₄, streamed to the host.
+    // Staging capacity: after the resident boundary matrix and the peak
+    // per-block working set, the rest of the device is the output buffer
+    // (the paper's `S_rem`), split across two buffers when overlapping.
+    let per_block_working =
+        ((n_max * nb_max) * 3 + nb_max * nb_max + n_max * n_max) as u64 * w;
+    let s_rem = dev.free_memory().saturating_sub(per_block_working);
+    let panel_words = (n_max * n).max(1);
+    // `N_row = S_rem / (N_max · n · W)` per buffer. If two buffers don't
+    // fit, sacrifice staging overlap before sacrificing batching; with no
+    // room at all, fall back to per-block transfers (still correct).
+    let mut staging_buffers = if opts.overlap_transfers { 2usize } else { 1 };
+    let mut n_row_budget = (s_rem / w) as usize / panel_words / staging_buffers;
+    if n_row_budget == 0 && staging_buffers == 2 {
+        staging_buffers = 1;
+        n_row_budget = (s_rem / w) as usize / panel_words;
+    }
+    let batching = opts.batch_transfers && n_row_budget >= 1;
+    let n_row = if batching {
+        n_row_budget.clamp(1, k)
+    } else {
+        1
+    };
+    // One panel row-group per staged component; two staging buffers when
+    // overlapping so the D2H of one hides behind compute into the other.
+    let staging_len = n_row * n_max * n;
+    let mut stagings: Vec<DeviceBuffer<Dist>> = Vec::new();
+    if batching {
+        for _ in 0..staging_buffers {
+            stagings.push(dev.alloc(staging_len)?);
+        }
+    }
+    let mut staged: Vec<usize> = Vec::new(); // component ids in the active staging
+    let mut active = 0usize; // which staging buffer / stream
+    let mut host_panel = vec![0 as Dist; n_max * n];
+    let mut scatter_row = vec![0 as Dist; n];
+
+    for i in 0..k {
+        let irange = layout.component_range(i);
+        let sz_i = irange.len();
+        let nb_i = layout.boundary_count(i);
+        let stream = pick_stream(opts, active, s0, s1);
+        // C2B[i]: all rows × boundary columns of dist₂(i) (device-side
+        // extraction; charged as a copy kernel).
+        let c2b_host = extract_cols(&dist2[i], sz_i, 0..nb_i);
+        let c2b = upload_panel(dev, stream, sz_i, nb_i, &c2b_host)?;
+        charge_extract(dev, stream, sz_i * nb_i);
+
+        for j in 0..k {
+            let jrange = layout.component_range(j);
+            let sz_j = jrange.len();
+            let nb_j = layout.boundary_count(j);
+            // bound(i, j): resident dist₃ panel (device-side extraction).
+            let bound_ij_host = bound.submatrix(bofs[i]..bofs[i] + nb_i, bofs[j]..bofs[j] + nb_j);
+            let bound_ij = upload_panel_free(dev, nb_i, nb_j, &bound_ij_host)?;
+            charge_extract(dev, stream, nb_i * nb_j);
+            // B2C[j]: boundary rows × all columns of dist₂(j).
+            let b2c_host = &dist2[j][..nb_j * sz_j];
+            let b2c = upload_panel(dev, stream, nb_j, sz_j, b2c_host)?;
+            charge_extract(dev, stream, nb_j * sz_j);
+
+            // tmp₁ = C2B[i] ⊗ bound(i,j);  block = tmp₁ ⊗ B2C[j].
+            let mut tmp1 = DeviceMatrix::alloc_inf(dev, sz_i, nb_j)?;
+            minplus_product(dev, stream, &mut tmp1, &c2b, &bound_ij);
+            let mut block = DeviceMatrix::alloc_inf(dev, sz_i, sz_j)?;
+            minplus_product(dev, stream, &mut block, &tmp1, &b2c);
+            if i == j {
+                // Same-component pairs also have the all-interior paths of
+                // dist₂; elementwise min (one fused kernel in the real
+                // implementation).
+                elementwise_min(dev, stream, &mut block, &dist2[i]);
+            }
+
+            if batching {
+                // The second multiply writes straight into the staging
+                // buffer region in the real kernel; mirror the data.
+                let slot = staged.len();
+                let base = slot * n_max * n + jrange.start;
+                let staging = &mut stagings[active];
+                for r in 0..sz_i {
+                    staging.as_mut_slice()[base + r * n..base + r * n + sz_j]
+                        .copy_from_slice(&block.as_slice()[r * sz_j..(r + 1) * sz_j]);
+                }
+            } else {
+                // Per-block path: one D2H per block — the k² small
+                // transfers the paper measures at 70–84% of runtime. The
+                // true naive baseline (batching off) copies out of
+                // pageable memory; when batching was requested but could
+                // not be staged, at least keep the pinned buffers.
+                let pinning = if opts.batch_transfers {
+                    Pinning::Pinned
+                } else {
+                    Pinning::Pageable
+                };
+                let mut host_block = vec![0 as Dist; sz_i * sz_j];
+                block.download_rows(dev, stream, 0..sz_i, &mut host_block, pinning);
+                for r in 0..sz_i {
+                    host_panel[r * n + jrange.start..r * n + jrange.start + sz_j]
+                        .copy_from_slice(&host_block[r * sz_j..(r + 1) * sz_j]);
+                }
+            }
+        }
+
+        if batching {
+            staged.push(i);
+            let last = i + 1 == k;
+            if staged.len() == n_row || last {
+                flush_staging(
+                    dev,
+                    pick_stream(opts, active, s0, s1),
+                    &stagings[active],
+                    &staged,
+                    &layout,
+                    n_max,
+                    store,
+                    &mut scatter_row,
+                )?;
+                staged.clear();
+                if stagings.len() == 2 {
+                    active = 1 - active;
+                }
+            }
+        } else {
+            // Unbatched: the host panel for component i is complete.
+            write_panel(store, &layout, i, &host_panel, &mut scatter_row)?;
+        }
+    }
+
+    let sim_seconds = dev.synchronize().seconds() - start;
+    Ok(BoundaryRunStats {
+        num_components: k,
+        total_boundary: nb_total,
+        max_component: n_max,
+        n_row,
+        sim_seconds,
+    })
+}
+
+/// Whether at least one staging row-panel (two when overlapping) fits
+/// beside the working set — the precondition for transfer batching.
+fn staging_fits(dev: &GpuDevice, opts: &BoundaryOptions, layout: &PartitionLayout) -> bool {
+    let w = std::mem::size_of::<Dist>() as u64;
+    let n = layout.num_vertices() as u64;
+    let nb_max = (0..layout.num_components())
+        .map(|i| layout.boundary_count(i))
+        .max()
+        .unwrap_or(0);
+    let buffers = if opts.overlap_transfers { 2u64 } else { 1 };
+    let panel = layout.max_component_size() as u64 * n * w;
+    working_set_bytes(layout.total_boundary(), layout.max_component_size(), nb_max)
+        + buffers * panel
+        <= dev.free_memory()
+}
+
+/// Quick feasibility estimate used while shrinking `k`.
+fn working_set_fits(dev: &GpuDevice, layout: &PartitionLayout) -> bool {
+    let nb_max = (0..layout.num_components())
+        .map(|i| layout.boundary_count(i))
+        .max()
+        .unwrap_or(0);
+    working_set_fits_bytes(
+        dev.free_memory(),
+        layout.total_boundary(),
+        layout.max_component_size(),
+        nb_max,
+    )
+}
+
+/// Whether the boundary algorithm's *minimum* resident working set — the
+/// boundary distance matrix plus one block's operand panels
+/// (C2B, B2C, tmp₁, bound(i,j), output block) — fits in `free_bytes`.
+/// The staging buffers are extra and degrade gracefully (batching falls
+/// back to per-block transfers), so they are not part of feasibility.
+/// Shared with the selector's boundary cost model so the model's
+/// feasibility reasoning matches the runtime's.
+pub fn working_set_fits_bytes(
+    free_bytes: u64,
+    total_boundary: usize,
+    max_component: usize,
+    max_boundary_per_component: usize,
+) -> bool {
+    working_set_bytes(total_boundary, max_component, max_boundary_per_component) <= free_bytes
+}
+
+fn working_set_bytes(total_boundary: usize, max_component: usize, max_boundary_per_component: usize) -> u64 {
+    let w = std::mem::size_of::<Dist>() as u64;
+    let nb = total_boundary as u64;
+    let n_max = max_component as u64;
+    let nb_max = max_boundary_per_component as u64;
+    let bound_bytes = nb * nb * w;
+    let per_block = (3 * n_max * nb_max + nb_max * nb_max + n_max * n_max) * w;
+    bound_bytes + per_block
+}
+
+/// Map each (permuted) vertex to its component index.
+fn component_index(layout: &PartitionLayout) -> Vec<usize> {
+    let mut comp = vec![0usize; layout.num_vertices()];
+    for i in 0..layout.num_components() {
+        for v in layout.component_range(i) {
+            comp[v] = i;
+        }
+    }
+    comp
+}
+
+/// Dense adjacency block of `range × range` from the permuted graph.
+fn adjacency_block(pg: &CsrGraph, range: std::ops::Range<usize>) -> Vec<Dist> {
+    let sz = range.len();
+    let mut block = vec![INF; sz * sz];
+    for r in 0..sz {
+        block[r * sz + r] = 0;
+    }
+    for (r, v) in range.clone().enumerate() {
+        for (u, wgt) in pg.edges_from(v as VertexId) {
+            let u = u as usize;
+            if range.contains(&u) && u != v {
+                let cell = &mut block[r * sz + (u - range.start)];
+                if wgt < *cell {
+                    *cell = wgt;
+                }
+            }
+        }
+    }
+    block
+}
+
+fn extract_cols(block: &[Dist], side: usize, cols: std::ops::Range<usize>) -> Vec<Dist> {
+    let width = cols.len();
+    let mut out = Vec::with_capacity(side * width);
+    for r in 0..side {
+        out.extend_from_slice(&block[r * side + cols.start..r * side + cols.end]);
+    }
+    out
+}
+
+/// Upload a host panel into a fresh device matrix, charging the H2D.
+fn upload_panel(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    rows: usize,
+    cols: usize,
+    host: &[Dist],
+) -> Result<DeviceMatrix, ApspError> {
+    let mut m = DeviceMatrix::alloc_inf(dev, rows, cols)?;
+    if !host.is_empty() {
+        m.upload_rows(dev, stream, 0, host, Pinning::Pinned);
+    }
+    Ok(m)
+}
+
+/// Device-side panel materialization (no PCIe traffic — the data is
+/// already resident; the copy cost is charged via [`charge_extract`]).
+fn upload_panel_free(
+    dev: &GpuDevice,
+    rows: usize,
+    cols: usize,
+    host: &[Dist],
+) -> Result<DeviceMatrix, ApspError> {
+    let mut m = DeviceMatrix::alloc_inf(dev, rows, cols)?;
+    m.as_mut_slice().copy_from_slice(host);
+    Ok(m)
+}
+
+/// Charge a device-side extraction/copy kernel moving `elems` distances.
+fn charge_extract(dev: &mut GpuDevice, stream: StreamId, elems: usize) {
+    dev.launch(
+        stream,
+        "extract",
+        LaunchConfig::saturating(),
+        KernelCost::regular(0.0, (elems * 8) as f64),
+    );
+}
+
+/// Elementwise `block = min(block, other)`, charged as one fused kernel.
+fn elementwise_min(dev: &mut GpuDevice, stream: StreamId, block: &mut DeviceMatrix, other: &[Dist]) {
+    debug_assert_eq!(block.as_slice().len(), other.len());
+    for (b, &o) in block.as_mut_slice().iter_mut().zip(other.iter()) {
+        if o < *b {
+            *b = o;
+        }
+    }
+    dev.launch(
+        stream,
+        "elementwise_min",
+        LaunchConfig::saturating(),
+        KernelCost::regular(other.len() as f64, (other.len() * 12) as f64),
+    );
+}
+
+/// One batched D2H of every staged component panel, then scatter the rows
+/// into the store in original vertex order.
+#[allow(clippy::too_many_arguments)]
+fn flush_staging(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    staging: &DeviceBuffer<Dist>,
+    staged: &[usize],
+    layout: &PartitionLayout,
+    n_max: usize,
+    store: &mut TileStore,
+    scatter_row: &mut [Dist],
+) -> Result<(), ApspError> {
+    let n = layout.num_vertices();
+    let used = staged.len() * n_max * n;
+    let mut host = vec![0 as Dist; used];
+    dev.d2h(stream, staging, 0..used, &mut host, Pinning::Pinned);
+    for (slot, &comp) in staged.iter().enumerate() {
+        let panel = &host[slot * n_max * n..slot * n_max * n + n_max * n];
+        write_panel(store, layout, comp, panel, scatter_row)?;
+    }
+    Ok(())
+}
+
+/// Scatter component `comp`'s row panel (permuted order, width `n`) into
+/// the store under original vertex ids.
+fn write_panel(
+    store: &mut TileStore,
+    layout: &PartitionLayout,
+    comp: usize,
+    panel: &[Dist],
+    scatter_row: &mut [Dist],
+) -> Result<(), ApspError> {
+    let n = layout.num_vertices();
+    let range = layout.component_range(comp);
+    for (r, new_row) in range.enumerate() {
+        let old_row = layout.old_of(new_row as VertexId) as usize;
+        for new_col in 0..n {
+            scatter_row[layout.old_of(new_col as VertexId) as usize] = panel[r * n + new_col];
+        }
+        // The algorithm never writes a distance worse than dist_add of
+        // its inputs; diagonal zero is preserved by dist₂'s diagonal.
+        debug_assert_eq!(scatter_row[old_row], 0);
+        store.write_row(old_row, scatter_row)?;
+    }
+    Ok(())
+}
+
+fn pick_stream(opts: &BoundaryOptions, active: usize, s0: StreamId, s1: StreamId) -> StreamId {
+    if opts.overlap_transfers && active == 1 {
+        s1
+    } else {
+        s0
+    }
+}
+
+// Unused-import guard: dist_add is used in debug assertions narrative
+// only; keep a reference so the import stays meaningful if assertions
+// change.
+#[allow(dead_code)]
+fn _type_check() -> Dist {
+    dist_add(0, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile_store::StorageBackend;
+    use apsp_cpu::bgl_plus_apsp;
+    use apsp_graph::generators::{gnp, grid_2d, random_geometric, GridOptions, WeightRange};
+    use apsp_gpu_sim::DeviceProfile;
+
+    fn run_boundary(
+        g: &CsrGraph,
+        dev: &mut GpuDevice,
+        opts: &BoundaryOptions,
+    ) -> (apsp_cpu::DistMatrix, BoundaryRunStats) {
+        let mut store = TileStore::new(g.num_vertices(), &StorageBackend::Memory).unwrap();
+        let stats = ooc_boundary(dev, g, &mut store, opts).unwrap();
+        (store.to_dist_matrix().unwrap(), stats)
+    }
+
+    #[test]
+    fn matches_reference_on_grid() {
+        let g = grid_2d(9, 9, GridOptions::default(), WeightRange::default(), 3);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let opts = BoundaryOptions {
+            num_components: Some(4),
+            ..Default::default()
+        };
+        let (result, stats) = run_boundary(&g, &mut dev, &opts);
+        assert_eq!(result, bgl_plus_apsp(&g));
+        assert_eq!(stats.num_components, 4);
+        assert!(stats.total_boundary > 0);
+    }
+
+    #[test]
+    fn matches_reference_on_geometric() {
+        let g = random_geometric(220, 0.09, WeightRange::default(), 11);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let (result, _) = run_boundary(&g, &mut dev, &BoundaryOptions::default());
+        assert_eq!(result, bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn matches_reference_on_disconnected_graph() {
+        // Disconnected inputs exercise INF propagation through all steps.
+        let mut b = apsp_graph::GraphBuilder::new(40);
+        let grid = grid_2d(4, 5, GridOptions::default(), WeightRange::default(), 5);
+        for e in grid.edges() {
+            b.add_edge(e.src, e.dst, e.weight);
+            b.add_edge(e.src + 20, e.dst + 20, e.weight);
+        }
+        let g = b.build();
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let opts = BoundaryOptions {
+            num_components: Some(3),
+            ..Default::default()
+        };
+        let (result, _) = run_boundary(&g, &mut dev, &opts);
+        assert_eq!(result, bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn all_optimization_combinations_agree() {
+        let g = grid_2d(8, 8, GridOptions::default(), WeightRange::default(), 7);
+        let reference = bgl_plus_apsp(&g);
+        for batch in [false, true] {
+            for overlap in [false, true] {
+                let mut dev = GpuDevice::new(DeviceProfile::v100());
+                let opts = BoundaryOptions {
+                    num_components: Some(5),
+                    batch_transfers: batch,
+                    overlap_transfers: overlap,
+                    ..Default::default()
+                };
+                let (result, _) = run_boundary(&g, &mut dev, &opts);
+                assert_eq!(result, reference, "batch={batch} overlap={overlap}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_reduces_transfer_count_and_time() {
+        let g = random_geometric(300, 0.07, WeightRange::default(), 13);
+        let run = |batch: bool| {
+            let mut dev = GpuDevice::new(DeviceProfile::v100());
+            let opts = BoundaryOptions {
+                num_components: Some(10),
+                batch_transfers: batch,
+                overlap_transfers: false,
+                ..Default::default()
+            };
+            let mut store = TileStore::new(300, &StorageBackend::Memory).unwrap();
+            ooc_boundary(&mut dev, &g, &mut store, &opts).unwrap();
+            let r = dev.report();
+            (r.transfers_d2h, dev.elapsed().seconds())
+        };
+        let (naive_transfers, naive_time) = run(false);
+        let (batched_transfers, batched_time) = run(true);
+        assert!(
+            batched_transfers < naive_transfers / 5,
+            "{batched_transfers} vs {naive_transfers}"
+        );
+        assert!(batched_time < naive_time, "{batched_time} vs {naive_time}");
+    }
+
+    #[test]
+    fn stats_expose_partition_shape() {
+        let g = grid_2d(10, 10, GridOptions::default(), WeightRange::default(), 17);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let opts = BoundaryOptions {
+            num_components: Some(6),
+            ..Default::default()
+        };
+        let (_, stats) = run_boundary(&g, &mut dev, &opts);
+        assert_eq!(stats.num_components, 6);
+        assert!(stats.max_component >= 100 / 6);
+        assert!(stats.n_row >= 1);
+        assert!(stats.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn tiny_device_shrinks_k_or_errors() {
+        let g = grid_2d(12, 12, GridOptions::default(), WeightRange::default(), 19);
+        // Device that can hold some blocks but is tight.
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(300 << 10));
+        let mut store = TileStore::new(144, &StorageBackend::Memory).unwrap();
+        let opts = BoundaryOptions {
+            num_components: Some(12),
+            ..Default::default()
+        };
+        match ooc_boundary(&mut dev, &g, &mut store, &opts) {
+            Ok(stats) => {
+                assert_eq!(
+                    store.to_dist_matrix().unwrap(),
+                    bgl_plus_apsp(&g),
+                    "shrunk k = {}",
+                    stats.num_components
+                );
+            }
+            // Either structured refusal is acceptable on a device this
+            // tight: the upfront feasibility check, or a mid-run
+            // allocation failure surfaced cleanly.
+            Err(ApspError::DeviceTooSmall { .. }) | Err(ApspError::OutOfDeviceMemory(_)) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn single_component_degenerates_to_fw() {
+        let g = gnp(50, 0.1, WeightRange::default(), 23);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let opts = BoundaryOptions {
+            num_components: Some(1),
+            ..Default::default()
+        };
+        let (result, stats) = run_boundary(&g, &mut dev, &opts);
+        assert_eq!(result, bgl_plus_apsp(&g));
+        assert_eq!(stats.num_components, 1);
+        assert_eq!(stats.total_boundary, 0);
+    }
+}

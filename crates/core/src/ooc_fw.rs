@@ -1,0 +1,310 @@
+//! Algorithm 1: out-of-core blocked Floyd-Warshall.
+//!
+//! The `n × n` matrix lives in the host [`TileStore`]; the device holds at
+//! most a handful of `b × b` tiles. Each of the `n_d` rounds runs the
+//! three blocked-FW stages, streaming every tile through the device and
+//! back — `O(n_d · n²)` total data movement against `O(n³)` compute,
+//! which is why the paper reserves this implementation for dense inputs.
+
+use crate::error::ApspError;
+use crate::options::FwOptions;
+use crate::tile_store::TileStore;
+use apsp_graph::{CsrGraph, Dist, VertexId, INF};
+use apsp_gpu_sim::{GpuDevice, Pinning, StreamId};
+use apsp_kernels::fw_block::fw_device;
+use apsp_kernels::minplus::{minplus_kernel, minplus_left_inplace, minplus_right_inplace};
+use apsp_kernels::DeviceMatrix;
+
+/// Outcome statistics of one out-of-core Floyd-Warshall run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FwRunStats {
+    /// Tile side used.
+    pub block: usize,
+    /// Number of tiles along each dimension.
+    pub n_d: usize,
+    /// Simulated seconds for the whole run.
+    pub sim_seconds: f64,
+}
+
+/// Seed `store` with the adjacency of `g` (zero diagonal, weights, `INF`).
+pub fn init_store_from_graph(g: &CsrGraph, store: &mut TileStore) -> Result<(), ApspError> {
+    let n = g.num_vertices();
+    assert_eq!(store.n(), n);
+    let mut row = vec![INF; n];
+    for v in 0..n as VertexId {
+        row.fill(INF);
+        row[v as usize] = 0;
+        for (u, w) in g.edges_from(v) {
+            if u != v && w < row[u as usize] {
+                row[u as usize] = w;
+            }
+        }
+        store.write_row(v as usize, &row)?;
+    }
+    Ok(())
+}
+
+/// Largest tile side such that `buffers` tiles of `b × b` distances fit in
+/// the device's free memory.
+pub fn max_block_side(dev: &GpuDevice, buffers: usize) -> usize {
+    let w = std::mem::size_of::<Dist>() as u64;
+    let per_buffer = dev.free_memory() / buffers as u64 / w;
+    (per_buffer as f64).sqrt().floor() as usize
+}
+
+/// Run out-of-core blocked Floyd-Warshall over `store` (which must hold
+/// the adjacency initialization; see [`init_store_from_graph`]).
+pub fn ooc_floyd_warshall(
+    dev: &mut GpuDevice,
+    store: &mut TileStore,
+    opts: &FwOptions,
+) -> Result<FwRunStats, ApspError> {
+    let n = store.n();
+    if n == 0 {
+        return Ok(FwRunStats {
+            block: 0,
+            n_d: 0,
+            sim_seconds: 0.0,
+        });
+    }
+    // Resident working set: pivot tile + A(i,k) + A(k,j) + one or two
+    // output tiles (two when overlap is on).
+    let buffers = if opts.overlap_transfers { 5 } else { 4 };
+    let block = match opts.block_size {
+        Some(b) => b.min(n).max(1),
+        None => max_block_side(dev, buffers).min(n).max(1),
+    };
+    if block == 0 || (block as u64) * (block as u64) * 4 * buffers as u64 > dev.free_memory() {
+        return Err(ApspError::DeviceTooSmall {
+            algorithm: "out-of-core Floyd-Warshall",
+            detail: format!(
+                "cannot hold {buffers} tiles of any size in {} bytes",
+                dev.profile().memory_bytes
+            ),
+        });
+    }
+    let n_d = n.div_ceil(block);
+    let extent = |t: usize| -> std::ops::Range<usize> {
+        t * block..((t + 1) * block).min(n)
+    };
+
+    let start = dev.elapsed().seconds();
+    let s0 = dev.default_stream();
+    let s1 = if opts.overlap_transfers {
+        dev.create_stream()
+    } else {
+        s0
+    };
+
+    for kb in 0..n_d {
+        let kr = extent(kb);
+        // ---- Stage 1: diagonal tile.
+        let mut diag = upload_tile(dev, s0, store, kr.clone(), kr.clone())?;
+        fw_device(dev, s0, &mut diag);
+        download_tile(dev, s0, store, &diag, kr.clone(), kr.clone())?;
+
+        // ---- Stage 2: pivot row and pivot column.
+        for ib in 0..n_d {
+            if ib == kb {
+                continue;
+            }
+            let ir = extent(ib);
+            // A(k, i) = min(A(k, i), A(k, k) ⊗ A(k, i)).
+            let mut row_tile = upload_tile(dev, s0, store, kr.clone(), ir.clone())?;
+            minplus_left_inplace(dev, s0, &mut row_tile, &diag);
+            download_tile(dev, s0, store, &row_tile, kr.clone(), ir.clone())?;
+            // A(i, k) = min(A(i, k), A(i, k) ⊗ A(k, k)).
+            let mut col_tile = upload_tile(dev, s0, store, ir.clone(), kr.clone())?;
+            minplus_right_inplace(dev, s0, &mut col_tile, &diag);
+            download_tile(dev, s0, store, &col_tile, ir.clone(), kr.clone())?;
+        }
+        drop(diag);
+
+        // ---- Stage 3: remainder tiles, double-buffered across streams.
+        // The overlap stream must not start before stage 2 finished.
+        if opts.overlap_transfers {
+            let stage2_done = dev.record_event(s0);
+            dev.wait_event(s1, stage2_done);
+        }
+        for ib in 0..n_d {
+            if ib == kb {
+                continue;
+            }
+            let ir = extent(ib);
+            let a_tile = upload_tile(dev, s0, store, ir.clone(), kr.clone())?;
+            // Tiles on the overlap stream read a_tile: order them after
+            // its upload.
+            if opts.overlap_transfers {
+                let a_ready = dev.record_event(s0);
+                dev.wait_event(s1, a_ready);
+            }
+            for jb in 0..n_d {
+                if jb == kb {
+                    continue;
+                }
+                let jr = extent(jb);
+                // Alternate streams so the previous tile's D2H overlaps
+                // this tile's upload + compute.
+                let stream = if opts.overlap_transfers && jb % 2 == 1 {
+                    s1
+                } else {
+                    s0
+                };
+                let b_tile = upload_tile(dev, stream, store, kr.clone(), jr.clone())?;
+                let mut c_tile = upload_tile(dev, stream, store, ir.clone(), jr.clone())?;
+                minplus_kernel(dev, stream, &mut c_tile, &a_tile, &b_tile);
+                download_tile(dev, stream, store, &c_tile, ir.clone(), jr.clone())?;
+            }
+        }
+        // Round barrier: the next round's pivot depends on everything.
+        dev.synchronize();
+    }
+    let sim_seconds = dev.synchronize().seconds() - start;
+    Ok(FwRunStats {
+        block,
+        n_d,
+        sim_seconds,
+    })
+}
+
+fn upload_tile(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    store: &TileStore,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> Result<DeviceMatrix, ApspError> {
+    let host = store.read_block(rows.clone(), cols.clone())?;
+    let mut tile = DeviceMatrix::alloc_inf(dev, rows.len(), cols.len())?;
+    tile.upload_rows(dev, stream, 0, &host, Pinning::Pinned);
+    Ok(tile)
+}
+
+fn download_tile(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    store: &mut TileStore,
+    tile: &DeviceMatrix,
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> Result<(), ApspError> {
+    let mut host = vec![0 as Dist; rows.len() * cols.len()];
+    tile.download_rows(dev, stream, 0..rows.len(), &mut host, Pinning::Pinned);
+    store.write_block(rows, cols, &host)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile_store::StorageBackend;
+    use apsp_cpu::bgl_plus_apsp;
+    use apsp_graph::generators::{gnp, WeightRange};
+    use apsp_gpu_sim::DeviceProfile;
+
+    fn small_device() -> GpuDevice {
+        // Forces real out-of-core behaviour on ~100-vertex graphs: 64 KiB
+        // fits five ~57² u32 tiles, so n ≈ 100 needs n_d ≥ 2.
+        GpuDevice::new(DeviceProfile::v100().with_memory_bytes(64 << 10))
+    }
+
+    fn run_fw(g: &CsrGraph, dev: &mut GpuDevice, opts: &FwOptions) -> apsp_cpu::DistMatrix {
+        let mut store = TileStore::new(g.num_vertices(), &StorageBackend::Memory).unwrap();
+        init_store_from_graph(g, &mut store).unwrap();
+        ooc_floyd_warshall(dev, &mut store, opts).unwrap();
+        store.to_dist_matrix().unwrap()
+    }
+
+    #[test]
+    fn matches_reference_with_forced_blocking() {
+        let g = gnp(97, 0.07, WeightRange::default(), 41);
+        let mut dev = small_device();
+        let result = run_fw(&g, &mut dev, &FwOptions::default());
+        assert_eq!(result, bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn explicit_block_sizes_agree() {
+        let g = gnp(64, 0.1, WeightRange::default(), 7);
+        let reference = bgl_plus_apsp(&g);
+        for block in [16, 23, 64] {
+            let mut dev = GpuDevice::new(DeviceProfile::v100());
+            let opts = FwOptions {
+                block_size: Some(block),
+                ..Default::default()
+            };
+            assert_eq!(run_fw(&g, &mut dev, &opts), reference, "block {block}");
+        }
+    }
+
+    #[test]
+    fn overlap_off_same_result_more_sim_time() {
+        let g = gnp(80, 0.08, WeightRange::default(), 3);
+        let mut d_on = small_device();
+        let mut d_off = small_device();
+        let on = run_fw(
+            &g,
+            &mut d_on,
+            &FwOptions {
+                overlap_transfers: true,
+                block_size: Some(40),
+            },
+        );
+        let off = run_fw(
+            &g,
+            &mut d_off,
+            &FwOptions {
+                overlap_transfers: false,
+                block_size: Some(40),
+            },
+        );
+        assert_eq!(on, off);
+        assert!(
+            d_on.elapsed().seconds() <= d_off.elapsed().seconds(),
+            "overlap should never be slower"
+        );
+    }
+
+    #[test]
+    fn stats_report_blocking() {
+        let g = gnp(100, 0.05, WeightRange::default(), 9);
+        let mut dev = small_device();
+        let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
+        init_store_from_graph(&g, &mut store).unwrap();
+        let stats = ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default()).unwrap();
+        assert!(stats.n_d >= 2, "device sized to force blocking, n_d = {}", stats.n_d);
+        assert_eq!(stats.n_d, 100usize.div_ceil(stats.block));
+        assert!(stats.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn device_too_small_errors_cleanly() {
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(1 << 16));
+        // Consume almost all memory so not even 1×1 tiles fit.
+        let _hog: apsp_gpu_sim::DeviceBuffer<u8> = dev.alloc((1 << 16) - 8).unwrap();
+        let mut store = TileStore::new(64, &StorageBackend::Memory).unwrap();
+        let g = gnp(64, 0.1, WeightRange::default(), 2);
+        init_store_from_graph(&g, &mut store).unwrap();
+        let err = ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn disk_backed_store_works() {
+        let g = gnp(60, 0.1, WeightRange::default(), 5);
+        let dir = std::env::temp_dir().join("apsp_ooc_fw_test");
+        let mut store = TileStore::new(60, &StorageBackend::Disk(dir)).unwrap();
+        init_store_from_graph(&g, &mut store).unwrap();
+        let mut dev = small_device();
+        ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default()).unwrap();
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let mut dev = small_device();
+        let mut store = TileStore::new(0, &StorageBackend::Memory).unwrap();
+        let stats = ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default()).unwrap();
+        assert_eq!(stats.n_d, 0);
+    }
+}

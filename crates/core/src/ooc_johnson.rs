@@ -1,0 +1,325 @@
+//! Algorithm 2: out-of-core batched Johnson's.
+//!
+//! `bat = (L − S) / (c·m + n)` Near-Far SSSP instances run per MSSP kernel
+//! launch (one instance per thread block); each batch's `bat × n` result
+//! panel streams back to the host, for `O(n²)` total data movement. When
+//! the batch is too small to saturate the device, the paper's dynamic
+//! parallelism offloads high-out-degree vertices to child kernels.
+
+use crate::error::ApspError;
+use crate::options::{DynamicParallelism, JohnsonOptions};
+use crate::tile_store::TileStore;
+use apsp_graph::{CsrGraph, Dist, VertexId};
+use apsp_gpu_sim::{GpuDevice, Pinning};
+use apsp_kernels::mssp::{mssp_kernel, MsspOptions};
+use apsp_kernels::nearfar::NearFarStats;
+use apsp_kernels::DeviceMatrix;
+
+/// Outcome statistics of one out-of-core Johnson run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JohnsonRunStats {
+    /// Batch size used (`bat`).
+    pub batch_size: usize,
+    /// Number of batches (`n_b`).
+    pub num_batches: usize,
+    /// Whether the dynamic-parallelism path was active.
+    pub dynamic_parallelism: bool,
+    /// Aggregated Near-Far counters.
+    pub work: NearFarStats,
+    /// Simulated seconds for the whole run.
+    pub sim_seconds: f64,
+}
+
+/// The paper's batch-size formula: `bat = (L − S) / (c·m)`, where `L` is
+/// device memory, `S` the graph's storage, and `c·m` the per-instance
+/// work-queue footprint — extended with the `n`-word output row each
+/// instance must also keep resident. Clamped to `[1, n]`.
+pub fn batch_size(dev: &GpuDevice, g: &CsrGraph, queue_words_per_edge: f64) -> Result<usize, ApspError> {
+    let w = std::mem::size_of::<Dist>() as f64;
+    let l = dev.free_memory() as f64;
+    let s = g.storage_bytes() as f64;
+    let n = g.num_vertices() as f64;
+    let m = g.num_edges() as f64;
+    let per_instance = (queue_words_per_edge * m + n) * w;
+    let available = l - s;
+    // Physical feasibility: the graph, one distance row and one set of
+    // work queues (one word per edge) must fit; the tunable `c` above
+    // that floor only shapes how many instances run concurrently.
+    let min_instance = (m + n) * w;
+    if available < min_instance {
+        return Err(ApspError::DeviceTooSmall {
+            algorithm: "out-of-core Johnson's",
+            detail: format!(
+                "graph ({s} B) plus one SSSP instance ({min_instance} B) exceeds free device memory ({l} B)"
+            ),
+        });
+    }
+    Ok(((available / per_instance) as usize).clamp(1, g.num_vertices().max(1)))
+}
+
+/// Run batched Johnson's APSP into `store`.
+pub fn ooc_johnson(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &JohnsonOptions,
+) -> Result<JohnsonRunStats, ApspError> {
+    ooc_johnson_impl(dev, g, store, None, opts)
+}
+
+/// [`ooc_johnson`] that additionally streams the full n×n *predecessor*
+/// matrix into `parent_store`: `parent_store[i][j]` is the predecessor of
+/// `j` on a shortest path from `i` (`VertexId::MAX` when `j` is `i` or
+/// unreachable). Doubles the output traffic — exactly as it would on the
+/// real device — and composes with [`crate::paths`] for reconstruction.
+pub fn ooc_johnson_with_parents(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    parent_store: &mut TileStore,
+    opts: &JohnsonOptions,
+) -> Result<JohnsonRunStats, ApspError> {
+    ooc_johnson_impl(dev, g, store, Some(parent_store), opts)
+}
+
+fn ooc_johnson_impl(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    mut parent_store: Option<&mut TileStore>,
+    opts: &JohnsonOptions,
+) -> Result<JohnsonRunStats, ApspError> {
+    let n = g.num_vertices();
+    assert_eq!(store.n(), n);
+    if let Some(ps) = parent_store.as_deref() {
+        assert_eq!(ps.n(), n, "parent store dimension mismatch");
+    }
+    if n == 0 {
+        return Ok(JohnsonRunStats {
+            batch_size: 0,
+            num_batches: 0,
+            dynamic_parallelism: false,
+            work: NearFarStats::default(),
+            sim_seconds: 0.0,
+        });
+    }
+    let mut bat = batch_size(dev, g, opts.queue_words_per_edge)?;
+    if parent_store.is_some() {
+        // Two result panels (distances + parents) share the device.
+        bat = (bat / 2).max(1);
+    }
+    let bat = bat;
+    let delta = opts.delta.unwrap_or_else(|| apsp_kernels::nearfar::default_delta(g));
+    let dynamic = match opts.dynamic_parallelism {
+        DynamicParallelism::On => true,
+        DynamicParallelism::Off => false,
+        // The paper's policy: engage child kernels only when the batch
+        // cannot saturate the device on its own.
+        DynamicParallelism::Auto => (bat as u32) < dev.profile().saturating_blocks,
+    };
+    let mssp_opts = MsspOptions {
+        delta,
+        dynamic_parallelism: dynamic,
+        heavy_degree_threshold: opts.heavy_degree_threshold,
+    };
+
+    // Graph occupies the device for the entire run (the `S` term).
+    let graph_hold: apsp_gpu_sim::DeviceBuffer<u8> = dev.alloc(g.storage_bytes())?;
+
+    let start = dev.elapsed().seconds();
+    let s0 = dev.default_stream();
+    let s1 = if opts.overlap_transfers {
+        dev.create_stream()
+    } else {
+        s0
+    };
+    let mut work = NearFarStats::default();
+    let mut num_batches = 0usize;
+    let mut host_panel = vec![0 as Dist; bat * n];
+    let sources: Vec<VertexId> = (0..n as VertexId).collect();
+    for (bi, chunk) in sources.chunks(bat).enumerate() {
+        num_batches += 1;
+        // Alternate streams so the previous panel's D2H overlaps this
+        // batch's kernel.
+        let stream = if opts.overlap_transfers && bi % 2 == 1 {
+            s1
+        } else {
+            s0
+        };
+        let mut panel = DeviceMatrix::alloc_inf(dev, chunk.len(), n)?;
+        if let Some(ps) = parent_store.as_deref_mut() {
+            let mut parents_panel = DeviceMatrix::alloc_inf(dev, chunk.len(), n)?;
+            let outcome = apsp_kernels::mssp::mssp_kernel_with_parents(
+                dev,
+                stream,
+                g,
+                chunk,
+                &mut panel,
+                &mut parents_panel,
+                mssp_opts,
+            );
+            work.merge(&outcome.stats);
+            let host = &mut host_panel[..chunk.len() * n];
+            parents_panel.download_rows(dev, stream, 0..chunk.len(), host, Pinning::Pinned);
+            ps.write_rows(chunk[0] as usize, host)?;
+        } else {
+            let outcome = mssp_kernel(dev, stream, g, chunk, &mut panel, mssp_opts);
+            work.merge(&outcome.stats);
+        }
+        let host = &mut host_panel[..chunk.len() * n];
+        panel.download_rows(dev, stream, 0..chunk.len(), host, Pinning::Pinned);
+        store.write_rows(chunk[0] as usize, host)?;
+    }
+    drop(graph_hold);
+    let sim_seconds = dev.synchronize().seconds() - start;
+    Ok(JohnsonRunStats {
+        batch_size: bat,
+        num_batches,
+        dynamic_parallelism: dynamic,
+        work,
+        sim_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile_store::StorageBackend;
+    use apsp_cpu::bgl_plus_apsp;
+    use apsp_graph::generators::{gnp, rmat, RmatParams, WeightRange};
+    use apsp_gpu_sim::DeviceProfile;
+
+    fn run_johnson(g: &CsrGraph, dev: &mut GpuDevice, opts: &JohnsonOptions) -> apsp_cpu::DistMatrix {
+        let mut store = TileStore::new(g.num_vertices(), &StorageBackend::Memory).unwrap();
+        let stats = ooc_johnson(dev, g, &mut store, opts).unwrap();
+        assert!(stats.num_batches >= 1);
+        store.to_dist_matrix().unwrap()
+    }
+
+    #[test]
+    fn matches_reference_multi_batch() {
+        let g = gnp(150, 0.04, WeightRange::default(), 19);
+        // Small device → several batches.
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let result = run_johnson(&g, &mut dev, &JohnsonOptions::default());
+        assert_eq!(result, bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn batch_size_formula_shrinks_with_edges() {
+        let dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(4 << 20));
+        let sparse = gnp(500, 0.01, WeightRange::default(), 1);
+        let dense = gnp(500, 0.10, WeightRange::default(), 1);
+        let b_sparse = batch_size(&dev, &sparse, 1.0).unwrap();
+        let b_dense = batch_size(&dev, &dense, 1.0).unwrap();
+        assert!(b_sparse > b_dense, "{b_sparse} vs {b_dense}");
+    }
+
+    #[test]
+    fn batch_size_errors_when_graph_does_not_fit() {
+        let dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(1 << 12));
+        let g = gnp(1000, 0.05, WeightRange::default(), 3);
+        assert!(batch_size(&dev, &g, 1.0).is_err());
+    }
+
+    #[test]
+    fn dynamic_parallelism_policies() {
+        let g = rmat(300, 3000, RmatParams::scale_free(), WeightRange::default(), 4);
+        let reference = bgl_plus_apsp(&g);
+        for policy in [
+            DynamicParallelism::Off,
+            DynamicParallelism::On,
+            DynamicParallelism::Auto,
+        ] {
+            let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(1 << 20));
+            let opts = JohnsonOptions {
+                dynamic_parallelism: policy,
+                heavy_degree_threshold: 16,
+                ..Default::default()
+            };
+            let result = run_johnson(&g, &mut dev, &opts);
+            assert_eq!(result, reference, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_reduces_sim_time() {
+        let g = gnp(200, 0.05, WeightRange::default(), 8);
+        let time_with = |overlap: bool| {
+            let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+            let opts = JohnsonOptions {
+                overlap_transfers: overlap,
+                ..Default::default()
+            };
+            let mut store = TileStore::new(200, &StorageBackend::Memory).unwrap();
+            ooc_johnson(&mut dev, &g, &mut store, &opts).unwrap().sim_seconds
+        };
+        assert!(time_with(true) <= time_with(false));
+    }
+
+    #[test]
+    fn stats_expose_batching() {
+        let g = gnp(120, 0.05, WeightRange::default(), 12);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        let mut store = TileStore::new(120, &StorageBackend::Memory).unwrap();
+        let stats = ooc_johnson(&mut dev, &g, &mut store, &JohnsonOptions::default()).unwrap();
+        assert_eq!(stats.num_batches, 120usize.div_ceil(stats.batch_size));
+        assert!(stats.work.total_relaxations() > 0);
+        assert!(stats.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn parents_variant_streams_a_valid_predecessor_matrix() {
+        use crate::paths::path_from_parent_store;
+        let g = gnp(130, 0.05, WeightRange::new(1, 40), 31);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let mut dist_store = TileStore::new(130, &StorageBackend::Memory).unwrap();
+        let mut parent_store = TileStore::new(130, &StorageBackend::Memory).unwrap();
+        let stats = crate::ooc_johnson::ooc_johnson_with_parents(
+            &mut dev,
+            &g,
+            &mut dist_store,
+            &mut parent_store,
+            &JohnsonOptions::default(),
+        )
+        .unwrap();
+        assert!(stats.num_batches >= 1);
+        // Distances unchanged by parent tracking.
+        assert_eq!(dist_store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+        // Every finite pair reconstructs to a path whose weights sum to
+        // the distance.
+        for src in [0u32, 64, 129] {
+            let row = dist_store.read_row(src as usize).unwrap();
+            for dst in 0..130u32 {
+                let d = row[dst as usize];
+                let path = path_from_parent_store(&parent_store, src, dst).unwrap();
+                if d >= apsp_graph::INF {
+                    assert!(path.is_none(), "({src}, {dst}) unreachable but has a path");
+                    continue;
+                }
+                let path = path.unwrap_or_else(|| panic!("({src}, {dst}) reachable, no path"));
+                assert_eq!(path.first(), Some(&src));
+                assert_eq!(path.last(), Some(&dst));
+                let mut total = 0;
+                for pair in path.windows(2) {
+                    total += g.edge_weight(pair[0], pair[1]).expect("path edge exists");
+                }
+                assert_eq!(total, d, "({src}, {dst})");
+            }
+        }
+        // The parents traffic doubles the D2H volume.
+        let r = dev.report();
+        assert!(r.bytes_d2h >= 2 * (130 * 130 * 4) as u64);
+    }
+
+    #[test]
+    fn single_batch_on_big_device() {
+        let g = gnp(100, 0.05, WeightRange::default(), 14);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
+        let stats = ooc_johnson(&mut dev, &g, &mut store, &JohnsonOptions::default()).unwrap();
+        assert_eq!(stats.num_batches, 1);
+        assert_eq!(stats.batch_size, 100);
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+}

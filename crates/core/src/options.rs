@@ -1,0 +1,164 @@
+//! Configuration for the out-of-core implementations and the front-end.
+
+use crate::selector::SelectorConfig;
+use crate::tile_store::StorageBackend;
+use apsp_graph::Dist;
+
+/// The three implementations of the paper (Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Out-of-core blocked Floyd-Warshall (Algorithm 1).
+    FloydWarshall,
+    /// Out-of-core batched Johnson's (Algorithm 2).
+    Johnson,
+    /// Out-of-core boundary algorithm (Algorithm 3).
+    Boundary,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Algorithm::FloydWarshall => "blocked Floyd-Warshall",
+            Algorithm::Johnson => "Johnson's",
+            Algorithm::Boundary => "boundary",
+        };
+        f.write_str(name)
+    }
+}
+
+/// When to use dynamic parallelism in the Johnson path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicParallelism {
+    /// Never launch child kernels.
+    Off,
+    /// Always use the child-kernel path.
+    On,
+    /// The paper's policy: enable only when the batch size is too small
+    /// to saturate the device.
+    Auto,
+}
+
+/// Options for the Johnson implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct JohnsonOptions {
+    /// Near-Far bucket width; `None` derives it from the mean edge weight.
+    pub delta: Option<Dist>,
+    /// Dynamic-parallelism policy.
+    pub dynamic_parallelism: DynamicParallelism,
+    /// The constant `c` of the paper's batch formula
+    /// `bat = (L − S)/(c·m)`: work-queue words per edge per SSSP instance.
+    pub queue_words_per_edge: f64,
+    /// Out-degree above which a vertex is "heavy" for child kernels.
+    pub heavy_degree_threshold: usize,
+    /// Double-buffer the result panels so D2H overlaps the next batch.
+    pub overlap_transfers: bool,
+}
+
+impl Default for JohnsonOptions {
+    fn default() -> Self {
+        JohnsonOptions {
+            delta: None,
+            dynamic_parallelism: DynamicParallelism::Auto,
+            queue_words_per_edge: 1.0,
+            heavy_degree_threshold: 256,
+            overlap_transfers: true,
+        }
+    }
+}
+
+/// Options for the boundary implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundaryOptions {
+    /// Number of components; `None` uses the paper's `√n / 4`.
+    pub num_components: Option<usize>,
+    /// Accumulate output row panels in a device buffer and transfer
+    /// `N_row` panels at once (the paper's batching optimization,
+    /// 1.99–5.71× in its Fig 8).
+    pub batch_transfers: bool,
+    /// Double-buffer the staging so transfers overlap dist₄ compute
+    /// (12.7–29.1% in Fig 8).
+    pub overlap_transfers: bool,
+    /// Partitioner seed (determinism).
+    pub partition_seed: u64,
+}
+
+impl Default for BoundaryOptions {
+    fn default() -> Self {
+        BoundaryOptions {
+            num_components: None,
+            batch_transfers: true,
+            overlap_transfers: true,
+            partition_seed: 0x9A17,
+        }
+    }
+}
+
+/// Options for the out-of-core Floyd-Warshall implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct FwOptions {
+    /// Tile side override; `None` sizes tiles to device memory.
+    pub block_size: Option<usize>,
+    /// Double-buffer stage-3 tiles so the D2H of one tile overlaps the
+    /// compute of the next.
+    pub overlap_transfers: bool,
+}
+
+impl Default for FwOptions {
+    fn default() -> Self {
+        FwOptions {
+            block_size: None,
+            overlap_transfers: true,
+        }
+    }
+}
+
+/// Front-end options for [`crate::api::apsp`].
+#[derive(Debug, Clone)]
+pub struct ApspOptions {
+    /// Force a specific implementation; `None` runs the selector.
+    pub algorithm: Option<Algorithm>,
+    /// Where the result matrix lives.
+    pub storage: StorageBackend,
+    /// Johnson-specific knobs.
+    pub johnson: JohnsonOptions,
+    /// Boundary-specific knobs.
+    pub boundary: BoundaryOptions,
+    /// Floyd-Warshall-specific knobs.
+    pub fw: FwOptions,
+    /// Selector configuration (density thresholds, sampling).
+    pub selector: SelectorConfig,
+}
+
+impl Default for ApspOptions {
+    fn default() -> Self {
+        ApspOptions {
+            algorithm: None,
+            storage: StorageBackend::Memory,
+            johnson: JohnsonOptions::default(),
+            boundary: BoundaryOptions::default(),
+            fw: FwOptions::default(),
+            selector: SelectorConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Algorithm::Johnson.to_string(), "Johnson's");
+        assert_eq!(Algorithm::Boundary.to_string(), "boundary");
+        assert!(Algorithm::FloydWarshall.to_string().contains("Floyd"));
+    }
+
+    #[test]
+    fn defaults_follow_paper() {
+        let o = ApspOptions::default();
+        assert!(o.algorithm.is_none());
+        assert!(o.boundary.batch_transfers);
+        assert!(o.boundary.overlap_transfers);
+        assert_eq!(o.johnson.dynamic_parallelism, DynamicParallelism::Auto);
+    }
+}

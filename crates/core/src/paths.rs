@@ -1,0 +1,186 @@
+//! Shortest-*path* reconstruction (not just distances).
+//!
+//! The paper's system reports distances only; real APSP consumers (route
+//! planning, betweenness, network diagnostics) usually need the paths.
+//! Storing a full n×n predecessor matrix doubles the (already dominant)
+//! output, so this module takes the practical route: per-source
+//! shortest-path *trees* on demand via the same Near-Far kernel the
+//! Johnson implementation runs, plus reconstruction helpers.
+
+use apsp_graph::{CsrGraph, Dist, VertexId, INF};
+use apsp_kernels::nearfar::near_far_sssp_with_parents;
+
+/// A shortest-path tree rooted at one source.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// The root.
+    pub source: VertexId,
+    /// Distance to every vertex ([`INF`] when unreachable).
+    pub dist: Vec<Dist>,
+    /// Predecessor of every vertex on a shortest path from the root
+    /// (`VertexId::MAX` for the root and for unreachable vertices).
+    pub parents: Vec<VertexId>,
+}
+
+impl ShortestPathTree {
+    /// Compute the tree with the suite's Near-Far kernel.
+    pub fn compute(g: &CsrGraph, source: VertexId) -> Self {
+        let delta = apsp_kernels::nearfar::default_delta(g);
+        let (dist, parents, _) = near_far_sssp_with_parents(g, source, delta, usize::MAX);
+        ShortestPathTree {
+            source,
+            dist,
+            parents,
+        }
+    }
+
+    /// Distance to `target`.
+    pub fn distance(&self, target: VertexId) -> Dist {
+        self.dist[target as usize]
+    }
+
+    /// The vertices of a shortest path `source → target`, inclusive, or
+    /// `None` when unreachable.
+    pub fn path_to(&self, target: VertexId) -> Option<Vec<VertexId>> {
+        if self.dist[target as usize] >= INF {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut v = target;
+        while v != self.source {
+            v = self.parents[v as usize];
+            debug_assert!(v != VertexId::MAX, "reachable vertex with broken chain");
+            path.push(v);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Verify the tree against the graph: every parent edge exists, is
+    /// tight (`dist[v] = dist[parent] + w`), and the root has distance 0.
+    /// Returns the first violating vertex.
+    pub fn validate(&self, g: &CsrGraph) -> Result<(), VertexId> {
+        if self.dist[self.source as usize] != 0 {
+            return Err(self.source);
+        }
+        for v in 0..g.num_vertices() as VertexId {
+            if v == self.source || self.dist[v as usize] >= INF {
+                continue;
+            }
+            let p = self.parents[v as usize];
+            if p == VertexId::MAX {
+                return Err(v);
+            }
+            match g.edge_weight(p, v) {
+                Some(w) if self.dist[p as usize].saturating_add(w) == self.dist[v as usize] => {}
+                _ => return Err(v),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One shortest path `source → target`, or `None` when unreachable —
+/// convenience over [`ShortestPathTree::compute`] for one-off queries.
+pub fn shortest_path(g: &CsrGraph, source: VertexId, target: VertexId) -> Option<Vec<VertexId>> {
+    ShortestPathTree::compute(g, source).path_to(target)
+}
+
+/// Reconstruct `source → target` from a full n×n predecessor matrix
+/// produced by [`crate::ooc_johnson::ooc_johnson_with_parents`]. Reads
+/// O(path length) individual cells from the (possibly disk-backed) store.
+pub fn path_from_parent_store(
+    parents: &crate::tile_store::TileStore,
+    source: VertexId,
+    target: VertexId,
+) -> std::io::Result<Option<Vec<VertexId>>> {
+    if source == target {
+        return Ok(Some(vec![source]));
+    }
+    let n = parents.n();
+    let mut path = vec![target];
+    let mut v = target;
+    let mut steps = 0usize;
+    loop {
+        let p = parents.get(source as usize, v as usize)?;
+        if p == VertexId::MAX {
+            return Ok(None); // unreachable
+        }
+        path.push(p);
+        v = p;
+        if v == source {
+            path.reverse();
+            return Ok(Some(path));
+        }
+        steps += 1;
+        if steps > n {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "parent chain does not terminate — corrupt predecessor matrix",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_cpu::dijkstra_sssp;
+    use apsp_graph::generators::{gnp, grid_2d, GridOptions, WeightRange};
+    use apsp_graph::GraphBuilder;
+
+    #[test]
+    fn path_distances_match_dijkstra() {
+        let g = gnp(150, 0.04, WeightRange::new(1, 20), 3);
+        let tree = ShortestPathTree::compute(&g, 7);
+        assert_eq!(tree.dist, dijkstra_sssp(&g, 7));
+        tree.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn reconstructed_path_weights_sum_to_distance() {
+        let g = grid_2d(8, 8, GridOptions::default(), WeightRange::new(1, 9), 5);
+        let tree = ShortestPathTree::compute(&g, 0);
+        for target in [63u32, 7, 56, 35] {
+            let path = tree.path_to(target).expect("grid is connected");
+            assert_eq!(path.first(), Some(&0));
+            assert_eq!(path.last(), Some(&target));
+            let mut total = 0;
+            for pair in path.windows(2) {
+                total += g.edge_weight(pair[0], pair[1]).expect("path edge");
+            }
+            assert_eq!(total, tree.distance(target));
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_yield_none() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let tree = ShortestPathTree::compute(&g, 0);
+        assert!(tree.path_to(3).is_none());
+        assert_eq!(tree.path_to(1), Some(vec![0, 1]));
+        assert_eq!(shortest_path(&g, 0, 1), Some(vec![0, 1]));
+        assert_eq!(shortest_path(&g, 1, 0), None);
+    }
+
+    #[test]
+    fn source_path_is_trivial() {
+        let g = gnp(20, 0.2, WeightRange::default(), 9);
+        let tree = ShortestPathTree::compute(&g, 4);
+        assert_eq!(tree.path_to(4), Some(vec![4]));
+        assert_eq!(tree.distance(4), 0);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let g = gnp(30, 0.2, WeightRange::default(), 11);
+        let mut tree = ShortestPathTree::compute(&g, 0);
+        tree.validate(&g).unwrap();
+        // Corrupt one reachable vertex's parent.
+        let victim = (1..30).find(|&v| tree.dist[v] < INF).unwrap();
+        tree.parents[victim] = victim as u32; // self-parent is never tight
+        assert!(tree.validate(&g).is_err());
+    }
+}

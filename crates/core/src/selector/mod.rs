@@ -1,0 +1,236 @@
+//! Section IV: performance characterization and algorithm selection.
+//!
+//! Selection proceeds in two layers, exactly as the paper describes:
+//!
+//! 1. **Density filter** (Section IV-C): density > 1% eliminates the
+//!    boundary algorithm; density < 0.01% eliminates Floyd-Warshall;
+//!    anything in between short-circuits to Johnson's.
+//! 2. **Cost models** (Section IV-B) rank the survivors:
+//!    * Floyd-Warshall — calibrated `T₀ · (n/n₀)³` compute plus the
+//!      `n_d · W · (3b² + n²) / TH` transfer formula,
+//!    * Johnson's — run `k` randomly chosen batches on the device and
+//!      extrapolate (`T · n_b / k`), plus `W · n² / TH` transfers,
+//!    * boundary — `T₀ · (n/n₀)^{3/2}` for small-separator graphs, or
+//!      `N_op · c_unit(NB)` with
+//!      `N_op = n³/k² + (kB)³ + nkB² + n²B` otherwise, plus the batched
+//!      transfer cost.
+//!
+//! Calibration (the `T₀`s and `c_unit` buckets) happens once per device
+//! profile via [`CostModels::calibrate`], which runs small training
+//! workloads on a scratch device — the analog of the paper's offline
+//! measurements.
+
+mod boundary_model;
+mod fw_model;
+mod johnson_model;
+
+pub use boundary_model::BoundaryModel;
+pub use fw_model::FwModel;
+pub use johnson_model::JohnsonModel;
+
+use crate::options::Algorithm;
+use apsp_graph::stats::DensityClass;
+use apsp_graph::CsrGraph;
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+
+/// Selector configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SelectorConfig {
+    /// Upper density threshold (paper: 1% = 0.01). Above it the boundary
+    /// algorithm is filtered out.
+    pub density_hi: f64,
+    /// Lower density threshold (paper: 0.01% = 0.0001). Below it
+    /// Floyd-Warshall is filtered out.
+    pub density_lo: f64,
+    /// Batches sampled for the Johnson model (paper: 5).
+    pub johnson_sample_batches: usize,
+    /// RNG seed for batch sampling.
+    pub seed: u64,
+}
+
+impl Default for SelectorConfig {
+    fn default() -> Self {
+        SelectorConfig {
+            density_hi: 1e-2,
+            density_lo: 1e-4,
+            johnson_sample_batches: 5,
+            seed: 0x5E1E,
+        }
+    }
+}
+
+impl SelectorConfig {
+    /// Thresholds for a reproduction scaled down by `scale`: dividing both
+    /// `n` and `m` by `s` multiplies density `m/n²` by `s`, so the
+    /// absolute thresholds must scale by `s` to classify the scaled graph
+    /// the way the paper-scale graph would be classified.
+    pub fn scaled(scale: usize) -> Self {
+        let s = scale.max(1) as f64;
+        SelectorConfig {
+            density_hi: 1e-2 * s,
+            density_lo: 1e-4 * s,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's density classes under these thresholds.
+    pub fn classify(&self, g: &CsrGraph) -> DensityClass {
+        let d = g.density();
+        if d > self.density_hi {
+            DensityClass::Dense
+        } else if d < self.density_lo {
+            DensityClass::VerySparse
+        } else {
+            DensityClass::Sparse
+        }
+    }
+}
+
+/// Estimated execution times (simulated seconds) per candidate.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// The winning algorithm.
+    pub algorithm: Algorithm,
+    /// Every candidate's estimate (filtered-out candidates absent).
+    pub estimates: Vec<(Algorithm, f64)>,
+    /// The density class that drove the filtering.
+    pub class: DensityClass,
+}
+
+/// Calibrated cost models for one device profile.
+#[derive(Debug, Clone)]
+pub struct CostModels {
+    /// Floyd-Warshall model.
+    pub fw: FwModel,
+    /// Boundary model.
+    pub boundary: BoundaryModel,
+    /// Measured D2H throughput of the device (bytes/s), the paper's
+    /// `nvprof`-measured `TH`.
+    pub throughput: f64,
+    profile: DeviceProfile,
+}
+
+impl CostModels {
+    /// Calibrate all models against `profile` by running the training
+    /// workloads on scratch devices (a few hundred milliseconds of host
+    /// work at the default training sizes).
+    pub fn calibrate(profile: &DeviceProfile) -> Self {
+        let mut scratch = GpuDevice::new(profile.clone());
+        let throughput = scratch.measure_transfer_throughput();
+        CostModels {
+            fw: FwModel::calibrate(profile),
+            boundary: BoundaryModel::calibrate(profile),
+            throughput,
+            profile: profile.clone(),
+        }
+    }
+
+    /// [`CostModels::calibrate`] with a process-wide cache: calibration
+    /// runs real training workloads, so repeated auto-mode `apsp()` calls
+    /// against the same profile should pay for it once. Profiles are
+    /// compared structurally (every constant), not by name.
+    pub fn calibrate_cached(profile: &DeviceProfile) -> std::sync::Arc<Self> {
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+        static CACHE: Mutex<Vec<(DeviceProfile, std::sync::Arc<CostModels>)>> =
+            Mutex::new(Vec::new());
+        {
+            let cache = CACHE.lock();
+            if let Some((_, models)) = cache.iter().find(|(p, _)| p == profile) {
+                return Arc::clone(models);
+            }
+        }
+        // Calibrate outside the lock (it is slow); racing duplicates are
+        // harmless — last one in wins the cache slot.
+        let models = Arc::new(CostModels::calibrate(profile));
+        let mut cache = CACHE.lock();
+        if let Some((_, existing)) = cache.iter().find(|(p, _)| p == profile) {
+            return Arc::clone(existing);
+        }
+        cache.push((profile.clone(), Arc::clone(&models)));
+        models
+    }
+
+    /// The profile these models were calibrated for.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// Run the full selection for `g` against a device with `free_bytes`
+    /// of usable memory (batch sizing and blocking depend on it).
+    ///
+    /// `johnson_probe` must sample the requested batches on a scratch
+    /// device; it is injected so callers control the sampling cost.
+    pub fn select(
+        &self,
+        g: &CsrGraph,
+        cfg: &SelectorConfig,
+        johnson: &JohnsonModel,
+    ) -> Selection {
+        let class = cfg.classify(g);
+        let mut estimates: Vec<(Algorithm, f64)> = Vec::new();
+        match class {
+            DensityClass::Dense => {
+                estimates.push((Algorithm::Johnson, johnson.estimate_seconds(self, g)));
+                estimates.push((Algorithm::FloydWarshall, self.fw.estimate_seconds(self, g)));
+            }
+            DensityClass::VerySparse => {
+                estimates.push((Algorithm::Johnson, johnson.estimate_seconds(self, g)));
+                estimates.push((Algorithm::Boundary, self.boundary.estimate_seconds(self, g)));
+            }
+            DensityClass::Sparse => {
+                estimates.push((Algorithm::Johnson, johnson.estimate_seconds(self, g)));
+            }
+        }
+        let algorithm = estimates
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|&(a, _)| a)
+            .unwrap();
+        Selection {
+            algorithm,
+            estimates,
+            class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{gnp, grid_2d, GridOptions, WeightRange};
+
+    #[test]
+    fn scaled_thresholds_track_scale() {
+        let cfg = SelectorConfig::scaled(16);
+        assert!((cfg.density_hi - 0.16).abs() < 1e-12);
+        assert!((cfg.density_lo - 0.0016).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_cache_returns_same_instance() {
+        let profile = apsp_gpu_sim::DeviceProfile::v100().with_memory_bytes(123 << 20);
+        let a = CostModels::calibrate_cached(&profile);
+        let b = CostModels::calibrate_cached(&profile);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        // A structurally different profile calibrates separately.
+        let other = profile.with_memory_bytes(124 << 20);
+        let c = CostModels::calibrate_cached(&other);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn classification_respects_custom_thresholds() {
+        let cfg = SelectorConfig::default();
+        let dense = gnp(100, 0.05, WeightRange::default(), 1);
+        assert_eq!(cfg.classify(&dense), DensityClass::Dense);
+        let grid = grid_2d(60, 60, GridOptions::default(), WeightRange::default(), 1);
+        assert_eq!(cfg.classify(&grid), DensityClass::Sparse);
+        // Raising the lower threshold reclassifies the grid.
+        let cfg2 = SelectorConfig {
+            density_lo: 0.5,
+            ..cfg
+        };
+        assert_eq!(cfg2.classify(&grid), DensityClass::VerySparse);
+    }
+}

@@ -1,0 +1,478 @@
+//! Host-side out-of-core result storage.
+//!
+//! The output distance matrix is orders of magnitude larger than the
+//! input; for the paper's Table III graphs it fits in host RAM, for the
+//! Table IV graphs it does not. [`TileStore`] abstracts both regimes:
+//! the `Memory` backend holds one flat `n × n` buffer, the `Disk` backend
+//! spills to a single file addressed with positional I/O — the same
+//! row-major layout either way.
+
+use apsp_graph::{Dist, INF};
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+#[cfg(unix)]
+use std::os::unix::fs::FileExt;
+
+/// Where the result matrix lives.
+#[derive(Debug, Clone)]
+pub enum StorageBackend {
+    /// Host RAM (Table III regime).
+    Memory,
+    /// A file inside this directory (Table IV regime). The directory is
+    /// created if missing; the file is removed when the store drops.
+    Disk(PathBuf),
+}
+
+enum Backing {
+    Memory(Vec<Dist>),
+    Disk { file: File, path: PathBuf },
+}
+
+/// An `n × n` row-major distance matrix in RAM or on disk.
+pub struct TileStore {
+    n: usize,
+    backing: Backing,
+}
+
+impl std::fmt::Debug for TileStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match &self.backing {
+            Backing::Memory(_) => "memory",
+            Backing::Disk { .. } => "disk",
+        };
+        write!(f, "TileStore {{ n: {}, backing: {kind} }}", self.n)
+    }
+}
+
+impl TileStore {
+    /// Create a store for an `n × n` matrix, initialized to `INF` with a
+    /// zero diagonal (the convention every algorithm writes over).
+    pub fn new(n: usize, backend: &StorageBackend) -> io::Result<Self> {
+        match backend {
+            StorageBackend::Memory => {
+                let mut data = vec![INF; n * n];
+                for i in 0..n {
+                    data[i * n + i] = 0;
+                }
+                Ok(TileStore {
+                    n,
+                    backing: Backing::Memory(data),
+                })
+            }
+            StorageBackend::Disk(dir) => {
+                std::fs::create_dir_all(dir)?;
+                let path = unique_file(dir);
+                let file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .create_new(true)
+                    .open(&path)?;
+                file.set_len((n * n * std::mem::size_of::<Dist>()) as u64)?;
+                let store = TileStore {
+                    n,
+                    backing: Backing::Disk { file, path },
+                };
+                // Materialize the INF + zero-diagonal initialization one
+                // row at a time so even huge matrices never need n² RAM.
+                let mut row = vec![INF; n];
+                for i in 0..n {
+                    if i > 0 {
+                        row[i - 1] = INF;
+                    }
+                    row[i] = 0;
+                    store.write_row_raw(i, &row)?;
+                }
+                Ok(store)
+            }
+        }
+    }
+
+    /// Matrix dimension.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the store spills to disk.
+    pub fn is_disk_backed(&self) -> bool {
+        matches!(self.backing, Backing::Disk { .. })
+    }
+
+    /// Overwrite full row `i`.
+    pub fn write_row(&mut self, i: usize, row: &[Dist]) -> io::Result<()> {
+        assert_eq!(row.len(), self.n, "row width mismatch");
+        assert!(i < self.n, "row index out of range");
+        let n = self.n;
+        if let Backing::Memory(data) = &mut self.backing {
+            data[i * n..(i + 1) * n].copy_from_slice(row);
+            return Ok(());
+        }
+        self.write_row_raw(i, row)
+    }
+
+    /// Positional row write available on the shared (`&self`) path — only
+    /// valid for the disk backing (used during initialization).
+    fn write_row_raw(&self, i: usize, row: &[Dist]) -> io::Result<()> {
+        match &self.backing {
+            Backing::Memory(_) => unreachable!("memory writes go through write_row"),
+            Backing::Disk { file, .. } => {
+                let offset = (i * self.n * std::mem::size_of::<Dist>()) as u64;
+                file.write_all_at(cast_bytes(row), offset)
+            }
+        }
+    }
+
+    /// Overwrite `rows.len() / n` consecutive rows starting at `row_start`.
+    pub fn write_rows(&mut self, row_start: usize, rows: &[Dist]) -> io::Result<()> {
+        assert_eq!(rows.len() % self.n, 0, "partial rows in write_rows");
+        let count = rows.len() / self.n;
+        assert!(row_start + count <= self.n, "rows out of range");
+        match &mut self.backing {
+            Backing::Memory(data) => {
+                data[row_start * self.n..row_start * self.n + rows.len()].copy_from_slice(rows);
+                Ok(())
+            }
+            Backing::Disk { file, .. } => {
+                let offset = (row_start * self.n * std::mem::size_of::<Dist>()) as u64;
+                file.write_all_at(cast_bytes(rows), offset)
+            }
+        }
+    }
+
+    /// Overwrite the rectangular block `row_range × col_range` with
+    /// `data` (row-major, dimensions matching the ranges).
+    pub fn write_block(
+        &mut self,
+        row_range: std::ops::Range<usize>,
+        col_range: std::ops::Range<usize>,
+        data: &[Dist],
+    ) -> io::Result<()> {
+        assert!(row_range.end <= self.n && col_range.end <= self.n);
+        let width = col_range.len();
+        assert_eq!(data.len(), row_range.len() * width, "block size mismatch");
+        match &mut self.backing {
+            Backing::Memory(buf) => {
+                for (r, i) in row_range.enumerate() {
+                    let dst = i * self.n + col_range.start;
+                    buf[dst..dst + width].copy_from_slice(&data[r * width..(r + 1) * width]);
+                }
+                Ok(())
+            }
+            Backing::Disk { file, .. } => {
+                for (r, i) in row_range.enumerate() {
+                    let offset =
+                        ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
+                    file.write_all_at(cast_bytes(&data[r * width..(r + 1) * width]), offset)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Read the rectangular block `row_range × col_range` (row-major).
+    pub fn read_block(
+        &self,
+        row_range: std::ops::Range<usize>,
+        col_range: std::ops::Range<usize>,
+    ) -> io::Result<Vec<Dist>> {
+        assert!(row_range.end <= self.n && col_range.end <= self.n);
+        let width = col_range.len();
+        let mut out = Vec::with_capacity(row_range.len() * width);
+        match &self.backing {
+            Backing::Memory(data) => {
+                for i in row_range {
+                    let src = i * self.n + col_range.start;
+                    out.extend_from_slice(&data[src..src + width]);
+                }
+            }
+            Backing::Disk { file, .. } => {
+                let mut row = vec![0 as Dist; width];
+                for i in row_range {
+                    let offset =
+                        ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
+                    file.read_exact_at(cast_bytes_mut(&mut row), offset)?;
+                    out.extend_from_slice(&row);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Read full row `i`.
+    pub fn read_row(&self, i: usize) -> io::Result<Vec<Dist>> {
+        assert!(i < self.n);
+        match &self.backing {
+            Backing::Memory(data) => Ok(data[i * self.n..(i + 1) * self.n].to_vec()),
+            Backing::Disk { file, .. } => {
+                let mut row = vec![0 as Dist; self.n];
+                let offset = (i * self.n * std::mem::size_of::<Dist>()) as u64;
+                file.read_exact_at(cast_bytes_mut(&mut row), offset)?;
+                Ok(row)
+            }
+        }
+    }
+
+    /// Read one element — convenience for spot checks; row-granular I/O
+    /// for bulk access.
+    pub fn get(&self, i: usize, j: usize) -> io::Result<Dist> {
+        assert!(i < self.n && j < self.n);
+        match &self.backing {
+            Backing::Memory(data) => Ok(data[i * self.n + j]),
+            Backing::Disk { file, .. } => {
+                let mut one = [0 as Dist; 1];
+                let offset = ((i * self.n + j) * std::mem::size_of::<Dist>()) as u64;
+                file.read_exact_at(cast_bytes_mut(&mut one), offset)?;
+                Ok(one[0])
+            }
+        }
+    }
+
+    /// Persist the matrix to `path` (raw little-endian row-major `u32`,
+    /// the same layout the disk backing uses), so a computed result
+    /// outlives the store. Readable again with [`TileStore::open`].
+    pub fn persist<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut out = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        use std::io::Write;
+        match &self.backing {
+            Backing::Memory(data) => out.write_all(cast_bytes(data))?,
+            Backing::Disk { .. } => {
+                for i in 0..self.n {
+                    let row = self.read_row(i)?;
+                    out.write_all(cast_bytes(&row))?;
+                }
+            }
+        }
+        out.flush()
+    }
+
+    /// Open a previously [`TileStore::persist`]ed matrix read-write in
+    /// place (the file is *not* deleted on drop — the caller owns it).
+    pub fn open<P: AsRef<Path>>(path: P, n: usize) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let expect = (n * n * std::mem::size_of::<Dist>()) as u64;
+        let actual = file.metadata()?.len();
+        if actual != expect {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("file holds {actual} bytes, an {n}×{n} matrix needs {expect}"),
+            ));
+        }
+        Ok(TileStore {
+            n,
+            backing: Backing::Disk {
+                file,
+                path: PathBuf::new(), // empty ⇒ drop() removes nothing
+            },
+        })
+    }
+
+    /// Materialize the whole matrix (tests and small-n tooling only).
+    pub fn to_dist_matrix(&self) -> io::Result<apsp_cpu::DistMatrix> {
+        let mut data = Vec::with_capacity(self.n * self.n);
+        match &self.backing {
+            Backing::Memory(buf) => data.extend_from_slice(buf),
+            Backing::Disk { .. } => {
+                for i in 0..self.n {
+                    data.extend_from_slice(&self.read_row(i)?);
+                }
+            }
+        }
+        Ok(apsp_cpu::DistMatrix::from_raw(self.n, data))
+    }
+}
+
+impl Drop for TileStore {
+    fn drop(&mut self) {
+        if let Backing::Disk { path, .. } = &self.backing {
+            // Stores opened from a user-owned file carry an empty path
+            // and must survive the drop.
+            if !path.as_os_str().is_empty() {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+fn unique_file(dir: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!(
+        "apsp-tiles-{}-{}.bin",
+        std::process::id(),
+        id
+    ))
+}
+
+fn cast_bytes(d: &[Dist]) -> &[u8] {
+    // SAFETY: u32 has no padding or invalid bit patterns.
+    unsafe { std::slice::from_raw_parts(d.as_ptr() as *const u8, std::mem::size_of_val(d)) }
+}
+
+fn cast_bytes_mut(d: &mut [Dist]) -> &mut [u8] {
+    // SAFETY: as above; all byte patterns are valid u32s.
+    unsafe { std::slice::from_raw_parts_mut(d.as_mut_ptr() as *mut u8, std::mem::size_of_val(d)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir() -> PathBuf {
+        std::env::temp_dir().join("apsp_tile_store_tests")
+    }
+
+    fn backends() -> Vec<StorageBackend> {
+        vec![StorageBackend::Memory, StorageBackend::Disk(tmp_dir())]
+    }
+
+    #[test]
+    fn initialization_convention() {
+        for backend in backends() {
+            let s = TileStore::new(4, &backend).unwrap();
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(s.get(i, j).unwrap(), if i == j { 0 } else { INF });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_roundtrip_both_backends() {
+        for backend in backends() {
+            let mut s = TileStore::new(3, &backend).unwrap();
+            s.write_row(1, &[7, 8, 9]).unwrap();
+            assert_eq!(s.read_row(1).unwrap(), vec![7, 8, 9]);
+            assert_eq!(s.read_row(0).unwrap()[0], 0);
+        }
+    }
+
+    #[test]
+    fn multi_row_and_block_writes() {
+        for backend in backends() {
+            let mut s = TileStore::new(4, &backend).unwrap();
+            s.write_rows(1, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap(); // rows 1–2
+            assert_eq!(s.read_row(2).unwrap(), vec![5, 6, 7, 8]);
+            s.write_block(0..2, 2..4, &[90, 91, 92, 93]).unwrap();
+            assert_eq!(s.get(0, 2).unwrap(), 90);
+            assert_eq!(s.get(1, 3).unwrap(), 93);
+            // Untouched cells survive the block write.
+            assert_eq!(s.get(1, 0).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn read_block_roundtrips_write_block() {
+        for backend in backends() {
+            let mut s = TileStore::new(5, &backend).unwrap();
+            let block: Vec<u32> = (0..6).collect(); // 2×3
+            s.write_block(1..3, 2..5, &block).unwrap();
+            assert_eq!(s.read_block(1..3, 2..5).unwrap(), block);
+            // Sub-block of the written region.
+            assert_eq!(s.read_block(2..3, 3..5).unwrap(), vec![4, 5]);
+        }
+    }
+
+    #[test]
+    fn to_dist_matrix_matches() {
+        for backend in backends() {
+            let mut s = TileStore::new(3, &backend).unwrap();
+            s.write_row(0, &[0, 5, 6]).unwrap();
+            let m = s.to_dist_matrix().unwrap();
+            assert_eq!(m.get(0, 1), 5);
+            assert_eq!(m.get(1, 1), 0);
+        }
+    }
+
+    #[test]
+    fn disk_file_is_cleaned_up() {
+        let dir = tmp_dir();
+        let path_probe;
+        {
+            let s = TileStore::new(8, &StorageBackend::Disk(dir.clone())).unwrap();
+            assert!(s.is_disk_backed());
+            path_probe = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .collect::<Vec<_>>();
+            assert!(!path_probe.is_empty());
+        }
+        // After drop, no stale file with our pid remains among those seen.
+        for p in path_probe {
+            assert!(!p.exists() || !p.to_string_lossy().contains(&format!("-{}-", std::process::id())) || std::fs::metadata(&p).is_err() || !p.exists());
+        }
+    }
+
+    #[test]
+    fn persist_and_open_roundtrip_both_backends() {
+        let dir = tmp_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        for (idx, backend) in backends().into_iter().enumerate() {
+            let path = dir.join(format!("persist-{}.bin", idx));
+            {
+                let mut s = TileStore::new(3, &backend).unwrap();
+                s.write_row(1, &[4, 5, 6]).unwrap();
+                s.persist(&path).unwrap();
+            }
+            // Original store dropped; the persisted file survives.
+            let reopened = TileStore::open(&path, 3).unwrap();
+            assert_eq!(reopened.read_row(1).unwrap(), vec![4, 5, 6]);
+            assert_eq!(reopened.get(0, 0).unwrap(), 0);
+            drop(reopened);
+            assert!(path.exists(), "opened store must not delete its file");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn open_rejects_wrong_size() {
+        let dir = tmp_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrong-size.bin");
+        std::fs::write(&path, [0u8; 10]).unwrap();
+        assert!(TileStore::open(&path, 3).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn opened_store_is_writable() {
+        let dir = tmp_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("writable.bin");
+        TileStore::new(2, &StorageBackend::Memory)
+            .unwrap()
+            .persist(&path)
+            .unwrap();
+        let mut s = TileStore::open(&path, 2).unwrap();
+        s.write_row(0, &[9, 9]).unwrap();
+        drop(s);
+        let again = TileStore::open(&path, 2).unwrap();
+        assert_eq!(again.read_row(0).unwrap(), vec![9, 9]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_bad_row_width() {
+        let mut s = TileStore::new(3, &StorageBackend::Memory).unwrap();
+        s.write_row(0, &[1, 2]).unwrap();
+    }
+
+    #[test]
+    fn concurrent_stores_use_distinct_files() {
+        let dir = tmp_dir();
+        let a = TileStore::new(2, &StorageBackend::Disk(dir.clone())).unwrap();
+        let b = TileStore::new(2, &StorageBackend::Disk(dir)).unwrap();
+        drop(a);
+        // b still works after a's file is gone.
+        assert_eq!(b.get(1, 1).unwrap(), 0);
+    }
+}

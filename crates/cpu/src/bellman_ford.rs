@@ -1,0 +1,81 @@
+//! Bellman-Ford SSSP — the high-parallelism/low-efficiency end of the
+//! design space the paper discusses (Section II-B), used as an extra
+//! correctness oracle and as the basis of convergence tests.
+
+use apsp_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
+
+/// Bellman-Ford from `source`. Returns the distance vector and the number
+/// of relaxation rounds until convergence (≤ n).
+///
+/// All weights in this suite are non-negative, so negative-cycle handling
+/// reduces to the `n`-round cap.
+pub fn bellman_ford_sssp(g: &CsrGraph, source: VertexId) -> (Vec<Dist>, usize) {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![INF; n];
+    dist[source as usize] = 0;
+    let mut rounds = 0usize;
+    for _ in 0..n {
+        rounds += 1;
+        let mut changed = false;
+        for v in 0..n as VertexId {
+            let dv = dist[v as usize];
+            if dv >= INF {
+                continue;
+            }
+            for (u, w) in g.edges_from(v) {
+                let nd = dist_add(dv, w);
+                if nd < dist[u as usize] {
+                    dist[u as usize] = nd;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (dist, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_sssp;
+    use apsp_graph::generators::{gnp, WeightRange};
+    use apsp_graph::GraphBuilder;
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        for seed in 0..4 {
+            let g = gnp(80, 0.06, WeightRange::default(), seed);
+            for s in [0u32, 40, 79] {
+                let (bf, _) = bellman_ford_sssp(&g, s);
+                assert_eq!(bf, dijkstra_sssp(&g, s), "seed {seed} source {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_converges_in_path_length_rounds() {
+        let n = 10;
+        let mut b = GraphBuilder::new(n);
+        for v in 0..(n - 1) as u32 {
+            b.add_edge(v, v + 1, 1);
+        }
+        let g = b.build();
+        let (dist, rounds) = bellman_ford_sssp(&g, 0);
+        assert_eq!(dist[9], 9);
+        // Forward edge order lets one sweep settle the whole path, plus
+        // one no-change round to detect convergence.
+        assert!(rounds <= 3, "rounds = {rounds}");
+    }
+
+    #[test]
+    fn isolated_source() {
+        let g = GraphBuilder::new(3).build();
+        let (dist, rounds) = bellman_ford_sssp(&g, 1);
+        assert_eq!(dist, vec![INF, 0, INF]);
+        assert_eq!(rounds, 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Binary-heap Dijkstra — the suite's ground-truth SSSP.
+
+use apsp_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Single-source shortest paths from `source` with a lazy-deletion binary
+/// heap (the Boost Graph Library strategy BGL-Plus builds on).
+///
+/// Complexity `O((n + m) log n)`; distances of unreachable vertices are
+/// [`INF`].
+pub fn dijkstra_sssp(g: &CsrGraph, source: VertexId) -> Vec<Dist> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![INF; n];
+    dist[source as usize] = 0;
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue; // stale entry
+        }
+        for (u, w) in g.edges_from(v) {
+            let nd = dist_add(d, w);
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Dijkstra into a caller-provided row (avoids per-source allocation when
+/// filling a whole matrix).
+pub fn dijkstra_sssp_into(g: &CsrGraph, source: VertexId, dist: &mut [Dist]) {
+    let n = g.num_vertices();
+    assert_eq!(dist.len(), n);
+    dist.fill(INF);
+    dist[source as usize] = 0;
+    let mut heap: BinaryHeap<Reverse<(Dist, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, w) in g.edges_from(v) {
+            let nd = dist_add(d, w);
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{gnp, WeightRange};
+    use apsp_graph::GraphBuilder;
+
+    #[test]
+    fn shortest_paths_on_diamond() {
+        // 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (2), 1 -> 3 (5), 2 -> 3 (1)
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 4);
+        b.add_edge(1, 2, 2);
+        b.add_edge(1, 3, 5);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        assert_eq!(dijkstra_sssp(&g, 0), vec![0, 1, 3, 4]);
+        assert_eq!(dijkstra_sssp(&g, 3), vec![INF, INF, INF, 0]);
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 0);
+        let g = b.build();
+        assert_eq!(dijkstra_sssp(&g, 0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 10);
+        b.add_edge(0, 1, 3);
+        let g = b.build();
+        assert_eq!(dijkstra_sssp(&g, 0), vec![0, 3]);
+    }
+
+    #[test]
+    fn into_matches_owned() {
+        let g = gnp(200, 0.05, WeightRange::default(), 13);
+        let mut row = vec![0; 200];
+        for s in [0u32, 17, 199] {
+            dijkstra_sssp_into(&g, s, &mut row);
+            assert_eq!(row, dijkstra_sssp(&g, s));
+        }
+    }
+
+    #[test]
+    fn disconnected_stays_inf() {
+        let g = GraphBuilder::new(4).build();
+        let d = dijkstra_sssp(&g, 2);
+        assert_eq!(d, vec![INF, INF, 0, INF]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn rejects_bad_source() {
+        let g = GraphBuilder::new(2).build();
+        dijkstra_sssp(&g, 2);
+    }
+}

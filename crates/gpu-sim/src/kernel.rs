@@ -1,0 +1,169 @@
+//! Kernel launch descriptions and the duration model.
+
+use crate::profile::DeviceProfile;
+
+/// Grid shape of a kernel launch. Only the block count matters for the
+/// occupancy model; threads-per-block is carried for reporting fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// Convenience constructor.
+    pub fn new(blocks: u32, threads_per_block: u32) -> Self {
+        assert!(blocks >= 1 && threads_per_block >= 1);
+        LaunchConfig {
+            blocks,
+            threads_per_block,
+        }
+    }
+
+    /// A grid large enough to saturate any stock profile — for kernels
+    /// whose parallelism is not the bottleneck being studied.
+    pub fn saturating() -> Self {
+        LaunchConfig::new(4096, 256)
+    }
+}
+
+/// Work content of one kernel, from which the model derives duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Scalar operations performed (one min-plus update = one op).
+    pub flops: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+    /// Efficiency divisor ≥ 1 for irregular control flow / uncoalesced
+    /// access (1 = dense regular kernel, larger = frontier-style kernels).
+    pub irregularity: f64,
+    /// Latency floor in seconds: the kernel cannot finish faster than
+    /// this regardless of throughput (e.g. frontier loops whose
+    /// iterations serialize on memory latency — the effect that makes
+    /// high-diameter graphs slow for GPU SSSP no matter how small their
+    /// frontiers are).
+    pub min_seconds: f64,
+}
+
+impl KernelCost {
+    /// A regular (dense) kernel.
+    pub fn regular(flops: f64, bytes: f64) -> Self {
+        KernelCost {
+            flops,
+            bytes,
+            irregularity: 1.0,
+            min_seconds: 0.0,
+        }
+    }
+
+    /// An irregular kernel with the given efficiency divisor.
+    pub fn irregular(flops: f64, bytes: f64, irregularity: f64) -> Self {
+        assert!(irregularity >= 1.0);
+        KernelCost {
+            flops,
+            bytes,
+            irregularity,
+            min_seconds: 0.0,
+        }
+    }
+
+    /// Attach a latency floor (seconds).
+    pub fn with_min_seconds(mut self, floor: f64) -> Self {
+        assert!(floor >= 0.0);
+        self.min_seconds = floor;
+        self
+    }
+
+    /// Duration of this kernel on `profile` under `launch`:
+    ///
+    /// ```text
+    /// overhead + max(flops / compute, bytes / bandwidth) · irregularity / occupancy
+    /// ```
+    ///
+    /// The roofline `max` picks the binding resource; occupancy < 1
+    /// penalizes grids too small to fill the device (the situation the
+    /// paper's dynamic-parallelism optimization repairs).
+    pub fn duration(&self, profile: &DeviceProfile, launch: LaunchConfig) -> f64 {
+        assert!(self.flops >= 0.0 && self.bytes >= 0.0);
+        let occ = profile.occupancy(launch.blocks).max(1e-6);
+        let compute = self.flops / profile.compute_ops_per_sec;
+        let memory = self.bytes / profile.mem_bandwidth;
+        let throughput_time = compute.max(memory) * self.irregularity / occ;
+        profile.kernel_launch_overhead + throughput_time.max(self.min_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> DeviceProfile {
+        DeviceProfile::v100()
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let cost = KernelCost::regular(1.4e12, 1.0); // exactly one second of flops
+        let d = cost.duration(&p(), LaunchConfig::saturating());
+        assert!((d - 1.0).abs() < 1e-3, "d = {d}");
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let cost = KernelCost::regular(1.0, 900e9); // one second of bandwidth
+        let d = cost.duration(&p(), LaunchConfig::saturating());
+        assert!((d - 1.0).abs() < 1e-3, "d = {d}");
+    }
+
+    #[test]
+    fn roofline_takes_max_not_sum() {
+        let cost = KernelCost::regular(1.4e12, 900e9);
+        let d = cost.duration(&p(), LaunchConfig::saturating());
+        assert!((d - 1.0).abs() < 1e-2, "d = {d}");
+    }
+
+    #[test]
+    fn irregularity_multiplies() {
+        let reg = KernelCost::regular(1.4e12, 0.0);
+        let irr = KernelCost::irregular(1.4e12, 0.0, 4.0);
+        let lc = LaunchConfig::saturating();
+        let ratio = irr.duration(&p(), lc) / reg.duration(&p(), lc);
+        assert!((ratio - 4.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn small_grids_run_slower() {
+        let cost = KernelCost::regular(1.4e12, 0.0);
+        let full = cost.duration(&p(), LaunchConfig::saturating());
+        let quarter_blocks = p().saturating_blocks / 4;
+        let small = cost.duration(&p(), LaunchConfig::new(quarter_blocks, 256));
+        let ratio = small / full;
+        assert!((ratio - 4.0).abs() < 0.05, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn overhead_dominates_empty_kernels() {
+        let cost = KernelCost::regular(0.0, 0.0);
+        let d = cost.duration(&p(), LaunchConfig::new(1, 32));
+        assert_eq!(d, p().kernel_launch_overhead);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_subunit_irregularity() {
+        KernelCost::irregular(1.0, 1.0, 0.5);
+    }
+
+    #[test]
+    fn latency_floor_binds_small_kernels() {
+        let cost = KernelCost::regular(1.0, 0.0).with_min_seconds(0.5);
+        let d = cost.duration(&p(), LaunchConfig::saturating());
+        assert!((d - (0.5 + p().kernel_launch_overhead)).abs() < 1e-12);
+        // A floor below the throughput time changes nothing.
+        let big = KernelCost::regular(1.4e12, 0.0).with_min_seconds(0.5);
+        let d2 = big.duration(&p(), LaunchConfig::saturating());
+        assert!((d2 - 1.0).abs() < 1e-3, "d2 = {d2}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Capacity-limited device memory.
+//!
+//! Allocation bookkeeping is real even though the backing storage is host
+//! RAM: a [`DeviceBuffer`] draws its byte footprint from the device's pool
+//! and returns it on drop. Exceeding the profile's capacity yields
+//! [`OutOfDeviceMemory`] — the failure mode that forces the out-of-core
+//! algorithms to size their blocks and batches.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Error returned when an allocation exceeds remaining device memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes free at the time of the request.
+    pub available: u64,
+    /// Total device capacity.
+    pub capacity: u64,
+}
+
+impl std::fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes, {} free of {} total",
+            self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// Whether a host-side staging area counts as pinned (page-locked).
+///
+/// Pinned transfers run at full PCIe rate; pageable ones pay the profile's
+/// `pageable_penalty`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pinning {
+    /// Page-locked host memory (`cudaMallocHost` in the original).
+    Pinned,
+    /// Ordinary host memory.
+    Pageable,
+}
+
+#[derive(Debug)]
+pub(crate) struct PoolInner {
+    pub capacity: u64,
+    pub in_use: u64,
+    pub peak: u64,
+    pub alloc_count: u64,
+}
+
+/// Shared allocation state of one device.
+#[derive(Debug, Clone)]
+pub(crate) struct MemoryPool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl MemoryPool {
+    pub(crate) fn new(capacity: u64) -> Self {
+        MemoryPool {
+            inner: Arc::new(Mutex::new(PoolInner {
+                capacity,
+                in_use: 0,
+                peak: 0,
+                alloc_count: 0,
+            })),
+        }
+    }
+
+    pub(crate) fn reserve(&self, bytes: u64) -> Result<(), OutOfDeviceMemory> {
+        let mut p = self.inner.lock();
+        let available = p.capacity - p.in_use;
+        if bytes > available {
+            return Err(OutOfDeviceMemory {
+                requested: bytes,
+                available,
+                capacity: p.capacity,
+            });
+        }
+        p.in_use += bytes;
+        p.peak = p.peak.max(p.in_use);
+        p.alloc_count += 1;
+        Ok(())
+    }
+
+    pub(crate) fn release(&self, bytes: u64) {
+        let mut p = self.inner.lock();
+        debug_assert!(p.in_use >= bytes);
+        p.in_use = p.in_use.saturating_sub(bytes);
+    }
+
+    pub(crate) fn in_use(&self) -> u64 {
+        self.inner.lock().in_use
+    }
+
+    pub(crate) fn capacity(&self) -> u64 {
+        self.inner.lock().capacity
+    }
+
+    pub(crate) fn peak(&self) -> u64 {
+        self.inner.lock().peak
+    }
+
+    pub(crate) fn alloc_count(&self) -> u64 {
+        self.inner.lock().alloc_count
+    }
+}
+
+/// A typed allocation in simulated device memory.
+///
+/// Holds real host storage (so kernels can compute on it) plus a lease on
+/// the device pool. Dropping the buffer frees the device bytes.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    bytes: u64,
+    pool: MemoryPool,
+}
+
+impl<T: Copy + Default> DeviceBuffer<T> {
+    pub(crate) fn new(len: usize, pool: MemoryPool) -> Result<Self, OutOfDeviceMemory> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        pool.reserve(bytes)?;
+        Ok(DeviceBuffer {
+            data: vec![T::default(); len],
+            bytes,
+            pool,
+        })
+    }
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Byte footprint charged to the device.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Read access to the device data (host emulation).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Write access to the device data (host emulation).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.pool.release(self.bytes);
+    }
+}
+
+impl<T> std::ops::Index<usize> for DeviceBuffer<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T> std::ops::IndexMut<usize> for DeviceBuffer<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_tracks_usage() {
+        let pool = MemoryPool::new(1024);
+        let buf: DeviceBuffer<u32> = DeviceBuffer::new(100, pool.clone()).unwrap();
+        assert_eq!(pool.in_use(), 400);
+        assert_eq!(buf.len(), 100);
+        drop(buf);
+        assert_eq!(pool.in_use(), 0);
+        assert_eq!(pool.peak(), 400);
+        assert_eq!(pool.alloc_count(), 1);
+    }
+
+    #[test]
+    fn over_allocation_fails_cleanly() {
+        let pool = MemoryPool::new(100);
+        let ok: DeviceBuffer<u8> = DeviceBuffer::new(60, pool.clone()).unwrap();
+        let err = DeviceBuffer::<u8>::new(50, pool.clone()).unwrap_err();
+        assert_eq!(err.requested, 50);
+        assert_eq!(err.available, 40);
+        assert_eq!(err.capacity, 100);
+        drop(ok);
+        // Space comes back.
+        assert!(DeviceBuffer::<u8>::new(100, pool).is_ok());
+    }
+
+    #[test]
+    fn zero_length_buffers_are_free() {
+        let pool = MemoryPool::new(0);
+        let buf: DeviceBuffer<u64> = DeviceBuffer::new(0, pool.clone()).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(pool.in_use(), 0);
+    }
+
+    #[test]
+    fn indexing_and_mutation() {
+        let pool = MemoryPool::new(1 << 20);
+        let mut buf: DeviceBuffer<u32> = DeviceBuffer::new(4, pool).unwrap();
+        buf[2] = 7;
+        buf.as_mut_slice()[3] = 9;
+        assert_eq!(buf.as_slice(), &[0, 0, 7, 9]);
+        assert_eq!(buf[3], 9);
+    }
+
+    #[test]
+    fn error_displays_usefully() {
+        let e = OutOfDeviceMemory {
+            requested: 10,
+            available: 5,
+            capacity: 20,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("5") && s.contains("20"));
+    }
+}

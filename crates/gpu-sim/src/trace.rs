@@ -1,0 +1,132 @@
+//! Execution tracing: a per-operation timeline of the simulated device.
+//!
+//! When enabled on a [`crate::GpuDevice`], every kernel and transfer
+//! records its `(name, engine, stream, start, end)`. [`render_gantt`]
+//! draws the three engines as an ASCII chart — the quickest way to see
+//! whether a double-buffering scheme actually overlapped.
+
+use crate::timeline::Engine;
+
+/// One operation on the device timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Kernel name, `"h2d"` or `"d2h"`.
+    pub name: String,
+    /// Engine the operation occupied.
+    pub engine: Engine,
+    /// Stream index it was issued on.
+    pub stream: usize,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+}
+
+impl TraceEvent {
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Render events as an ASCII Gantt chart, one row per engine, `width`
+/// character cells across the full makespan. Concurrent operations on one
+/// engine cannot exist (engines serialize), so each row is unambiguous.
+pub fn render_gantt(events: &[TraceEvent], width: usize) -> String {
+    assert!(width >= 10, "chart needs at least 10 columns");
+    let makespan = events.iter().map(|e| e.end).fold(0.0f64, f64::max);
+    if makespan <= 0.0 || events.is_empty() {
+        return "(empty trace)\n".to_string();
+    }
+    let mut out = String::new();
+    out.push_str(&format!("makespan: {makespan:.6} s, {} ops\n", events.len()));
+    for (engine, label) in [
+        (Engine::Compute, "compute"),
+        (Engine::CopyH2D, "h2d    "),
+        (Engine::CopyD2H, "d2h    "),
+    ] {
+        let mut row = vec![b'.'; width];
+        for e in events.iter().filter(|e| e.engine == engine) {
+            let lo = ((e.start / makespan) * width as f64) as usize;
+            let hi = (((e.end / makespan) * width as f64).ceil() as usize).min(width);
+            let glyph = e.name.bytes().next().unwrap_or(b'#');
+            for cell in &mut row[lo.min(width - 1)..hi.max(lo + 1).min(width)] {
+                *cell = glyph;
+            }
+        }
+        out.push_str(label);
+        out.push_str(" |");
+        out.push_str(std::str::from_utf8(&row).expect("ascii row"));
+        out.push_str("|\n");
+    }
+    out
+}
+
+/// Utilization summary per engine from a trace: busy seconds / makespan.
+pub fn utilization(events: &[TraceEvent]) -> [(Engine, f64); 3] {
+    let makespan = events.iter().map(|e| e.end).fold(0.0f64, f64::max);
+    let mut out = [
+        (Engine::Compute, 0.0),
+        (Engine::CopyH2D, 0.0),
+        (Engine::CopyD2H, 0.0),
+    ];
+    if makespan <= 0.0 {
+        return out;
+    }
+    for (engine, frac) in &mut out {
+        let busy: f64 = events
+            .iter()
+            .filter(|e| e.engine == *engine)
+            .map(|e| e.duration())
+            .sum();
+        *frac = busy / makespan;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, engine: Engine, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            engine,
+            stream: 0,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn gantt_renders_rows_for_all_engines() {
+        let events = vec![
+            ev("minplus", Engine::Compute, 0.0, 1.0),
+            ev("d2h", Engine::CopyD2H, 1.0, 2.0),
+        ];
+        let chart = render_gantt(&events, 20);
+        assert!(chart.contains("compute |"));
+        assert!(chart.contains('m'), "kernel glyph missing:\n{chart}");
+        assert!(chart.contains('d'), "transfer glyph missing:\n{chart}");
+        // Compute occupies the left half, d2h the right half.
+        let compute_row = chart.lines().find(|l| l.starts_with("compute")).unwrap();
+        assert!(compute_row[..compute_row.len() / 2].contains('m'));
+    }
+
+    #[test]
+    fn empty_trace_is_graceful() {
+        assert_eq!(render_gantt(&[], 20), "(empty trace)\n");
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let events = vec![
+            ev("k", Engine::Compute, 0.0, 1.0),
+            ev("d2h", Engine::CopyD2H, 0.0, 2.0),
+        ];
+        let u = utilization(&events);
+        assert!((u[0].1 - 0.5).abs() < 1e-12);
+        assert!((u[2].1 - 1.0).abs() < 1e-12);
+        assert_eq!(u[1].1, 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Edge-list accumulation and CSR construction.
+
+use crate::{CsrGraph, Dist, Edge, VertexId};
+
+/// Accumulates edges and produces a canonical [`CsrGraph`].
+///
+/// Canonicalization folds parallel edges to their minimum weight (the only
+/// one that can ever matter for shortest paths) and drops nothing else;
+/// self-loops are kept unless [`GraphBuilder::drop_self_loops`] is set —
+/// they are harmless for APSP (a non-negative self-loop never shortens a
+/// path) but some generators want them removed to match published edge
+/// counts.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    symmetric: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            symmetric: false,
+            drop_self_loops: false,
+        }
+    }
+
+    /// Pre-allocate space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = GraphBuilder::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Also add the reverse of every edge at build time (undirected input,
+    /// as with SuiteSparse symmetric matrices and road networks).
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Silently discard `v → v` edges.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Number of vertices this builder was created for.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges accumulated so far (before folding/symmetrizing).
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a directed edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, weight: Dist) {
+        assert!(
+            (src as usize) < self.n && (dst as usize) < self.n,
+            "edge ({src}, {dst}) out of range for n = {}",
+            self.n
+        );
+        self.edges.push(Edge::new(src, dst, weight));
+    }
+
+    /// Add every edge from an iterator.
+    pub fn extend<I: IntoIterator<Item = Edge>>(&mut self, iter: I) {
+        for e in iter {
+            self.add_edge(e.src, e.dst, e.weight);
+        }
+    }
+
+    /// Produce the canonical CSR graph: rows sorted by destination,
+    /// parallel edges folded to minimum weight.
+    pub fn build(self) -> CsrGraph {
+        let GraphBuilder {
+            n,
+            mut edges,
+            symmetric,
+            drop_self_loops,
+        } = self;
+        if drop_self_loops {
+            edges.retain(|e| e.src != e.dst);
+        }
+        if symmetric {
+            let rev: Vec<Edge> = edges
+                .iter()
+                .filter(|e| e.src != e.dst)
+                .map(|e| Edge::new(e.dst, e.src, e.weight))
+                .collect();
+            edges.extend(rev);
+        }
+        // Counting sort by source, then per-row sort by destination keeps
+        // construction O(m log d_max) instead of a global O(m log m) sort.
+        let mut row_ptr = vec![0usize; n + 1];
+        for e in &edges {
+            row_ptr[e.src as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let m = edges.len();
+        let mut col_idx = vec![0 as VertexId; m];
+        let mut weights = vec![0 as Dist; m];
+        let mut cursor = row_ptr.clone();
+        for e in &edges {
+            let slot = cursor[e.src as usize];
+            cursor[e.src as usize] += 1;
+            col_idx[slot] = e.dst;
+            weights[slot] = e.weight;
+        }
+        // Per-row: sort by destination and fold duplicates to min weight.
+        let mut out_row_ptr = vec![0usize; n + 1];
+        let mut out_col = Vec::with_capacity(m);
+        let mut out_w = Vec::with_capacity(m);
+        let mut scratch: Vec<(VertexId, Dist)> = Vec::new();
+        for v in 0..n {
+            let lo = row_ptr[v];
+            let hi = row_ptr[v + 1];
+            scratch.clear();
+            scratch.extend(col_idx[lo..hi].iter().copied().zip(weights[lo..hi].iter().copied()));
+            scratch.sort_unstable();
+            let mut last: Option<VertexId> = None;
+            for &(dst, w) in scratch.iter() {
+                if last == Some(dst) {
+                    let slot = out_w.len() - 1;
+                    if w < out_w[slot] {
+                        out_w[slot] = w;
+                    }
+                } else {
+                    out_col.push(dst);
+                    out_w.push(w);
+                    last = Some(dst);
+                }
+            }
+            out_row_ptr[v + 1] = out_col.len();
+        }
+        CsrGraph::from_raw(out_row_ptr, out_col, out_w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_parallel_edges_to_min() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 7);
+        b.add_edge(0, 1, 3);
+        b.add_edge(0, 1, 9);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn symmetric_adds_reverse_edges() {
+        let mut b = GraphBuilder::new(3).symmetric(true);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 4);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.edge_weight(1, 0), Some(2));
+        assert_eq!(g.edge_weight(2, 1), Some(4));
+    }
+
+    #[test]
+    fn symmetric_does_not_duplicate_self_loops() {
+        let mut b = GraphBuilder::new(2).symmetric(true);
+        b.add_edge(0, 0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn drop_self_loops_works() {
+        let mut b = GraphBuilder::new(2).drop_self_loops(true);
+        b.add_edge(0, 0, 1);
+        b.add_edge(0, 1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 0), None);
+    }
+
+    #[test]
+    fn rows_end_up_sorted() {
+        let mut b = GraphBuilder::new(5);
+        for dst in [4, 1, 3, 0, 2] {
+            b.add_edge(0, dst, dst + 1);
+        }
+        let g = b.build();
+        g.check_invariants().unwrap();
+        let (cols, _) = g.neighbors(0);
+        assert_eq!(cols, &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2, 1);
+    }
+
+    #[test]
+    fn extend_and_counters() {
+        let mut b = GraphBuilder::with_capacity(3, 2);
+        b.extend([Edge::new(0, 1, 1), Edge::new(1, 2, 1)]);
+        assert_eq!(b.num_vertices(), 3);
+        assert_eq!(b.num_raw_edges(), 2);
+        assert_eq!(b.build().num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_build() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Compressed-sparse-row graph storage.
+
+use crate::{Dist, Edge, VertexId};
+
+/// A weighted directed graph in compressed-sparse-row form.
+///
+/// The out-neighbourhood of vertex `v` occupies the half-open index range
+/// `row_ptr[v] .. row_ptr[v + 1]` of `col_idx` / `weights`. Within a row,
+/// neighbours are sorted by destination id and contain no duplicates
+/// (multi-edges are folded to their minimum weight by [`crate::GraphBuilder`]).
+///
+/// ```
+/// use apsp_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 5);
+/// b.add_edge(0, 1, 3); // multi-edge folds to the minimum
+/// b.add_edge(1, 2, 7);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.edge_weight(0, 1), Some(3));
+/// assert_eq!(g.out_degree(2), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    row_ptr: Vec<usize>,
+    col_idx: Vec<VertexId>,
+    weights: Vec<Dist>,
+}
+
+impl CsrGraph {
+    /// Build directly from raw CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent: `row_ptr` must be non-empty
+    /// and non-decreasing, start at 0, end at `col_idx.len()`, and
+    /// `col_idx.len() == weights.len()` with all column ids `< n`.
+    pub fn from_raw(row_ptr: Vec<usize>, col_idx: Vec<VertexId>, weights: Vec<Dist>) -> Self {
+        assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr must end at the number of edges"
+        );
+        assert_eq!(col_idx.len(), weights.len());
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be non-decreasing"
+        );
+        let n = (row_ptr.len() - 1) as VertexId;
+        assert!(
+            col_idx.iter().all(|&c| c < n),
+            "column index out of range"
+        );
+        CsrGraph {
+            row_ptr,
+            col_idx,
+            weights,
+        }
+    }
+
+    /// An empty graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            row_ptr: vec![0; n + 1],
+            col_idx: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Edge density `m / n²` (as used by the paper's selector filter),
+    /// returned as a fraction in `[0, 1]`. Zero-vertex graphs report 0.
+    pub fn density(&self) -> f64 {
+        let n = self.num_vertices() as f64;
+        if n == 0.0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / (n * n)
+        }
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.row_ptr[v as usize + 1] - self.row_ptr[v as usize]
+    }
+
+    /// Out-neighbours of `v` as parallel `(destination, weight)` slices.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> (&[VertexId], &[Dist]) {
+        let lo = self.row_ptr[v as usize];
+        let hi = self.row_ptr[v as usize + 1];
+        (&self.col_idx[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Iterate over the out-edges of `v`.
+    #[inline]
+    pub fn edges_from(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Dist)> + '_ {
+        let (cols, ws) = self.neighbors(v);
+        cols.iter().copied().zip(ws.iter().copied())
+    }
+
+    /// Iterate over every edge of the graph.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices() as VertexId)
+            .flat_map(move |v| self.edges_from(v).map(move |(dst, w)| Edge::new(v, dst, w)))
+    }
+
+    /// Weight of the edge `(u, v)` if present (binary search within the row).
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Dist> {
+        let (cols, ws) = self.neighbors(u);
+        cols.binary_search(&v).ok().map(|i| ws[i])
+    }
+
+    /// Raw row-pointer array (length `n + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Raw column-index array (length `m`).
+    #[inline]
+    pub fn col_idx(&self) -> &[VertexId] {
+        &self.col_idx
+    }
+
+    /// Raw weight array (length `m`).
+    #[inline]
+    pub fn weights(&self) -> &[Dist] {
+        &self.weights
+    }
+
+    /// Bytes needed to hold the CSR arrays — the `S` term of the paper's
+    /// batch-size formula `bat = (L − S) / (c·m)`.
+    pub fn storage_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<VertexId>()
+            + self.weights.len() * std::mem::size_of::<Dist>()
+    }
+
+    /// The transpose (reverse) graph: edge `(u, v, w)` becomes `(v, u, w)`.
+    pub fn transpose(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut counts = vec![0usize; n + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0 as VertexId; self.num_edges()];
+        let mut weights = vec![0 as Dist; self.num_edges()];
+        let mut cursor = counts;
+        for v in 0..n as VertexId {
+            for (dst, w) in self.edges_from(v) {
+                let slot = cursor[dst as usize];
+                cursor[dst as usize] += 1;
+                col_idx[slot] = v;
+                weights[slot] = w;
+            }
+        }
+        // Rows of the transpose are filled in increasing source order, so
+        // they are already sorted by destination; no per-row sort needed.
+        CsrGraph::from_raw(row_ptr, col_idx, weights)
+    }
+
+    /// Extract the subgraph induced by `vertices` (which must be sorted and
+    /// duplicate-free). Vertex `vertices[i]` becomes vertex `i` in the
+    /// result; only edges with both endpoints in the set are kept.
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> CsrGraph {
+        debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]));
+        let n_all = self.num_vertices();
+        let mut remap = vec![VertexId::MAX; n_all];
+        for (new_id, &old_id) in vertices.iter().enumerate() {
+            remap[old_id as usize] = new_id as VertexId;
+        }
+        let mut row_ptr = Vec::with_capacity(vertices.len() + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut weights = Vec::new();
+        for &old_id in vertices {
+            for (dst, w) in self.edges_from(old_id) {
+                let nd = remap[dst as usize];
+                if nd != VertexId::MAX {
+                    col_idx.push(nd);
+                    weights.push(w);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        // Remapping preserves relative order (the map is monotone), so the
+        // rows remain sorted.
+        CsrGraph::from_raw(row_ptr, col_idx, weights)
+    }
+
+    /// Check the structural invariants the rest of the suite relies on:
+    /// sorted, duplicate-free rows. Used by tests and `debug_assert!`s.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_vertices() as VertexId;
+        for v in 0..n {
+            let (cols, _) = self.neighbors(v);
+            if !cols.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("row {v} is not strictly sorted"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> CsrGraph {
+        // 0 -> 1 (1), 0 -> 2 (4), 1 -> 2 (2), 1 -> 3 (5), 2 -> 3 (1)
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 4);
+        b.add_edge(1, 2, 2);
+        b.add_edge(1, 3, 5);
+        b.add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.edge_weight(0, 2), Some(4));
+        assert_eq!(g.edge_weight(2, 0), None);
+        let (cols, ws) = g.neighbors(1);
+        assert_eq!(cols, &[2, 3]);
+        assert_eq!(ws, &[2, 5]);
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let g = diamond();
+        assert!((g.density() - 5.0 / 16.0).abs() < 1e-12);
+        assert_eq!(CsrGraph::empty(0).density(), 0.0);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let g = diamond();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&Edge::new(2, 3, 1)));
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = diamond();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        assert_eq!(t.edge_weight(1, 0), Some(1));
+        assert_eq!(t.edge_weight(3, 2), Some(1));
+        assert_eq!(t.edge_weight(0, 1), None);
+        t.check_invariants().unwrap();
+        // Transposing twice is the identity.
+        assert_eq!(t.transpose(), g);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let g = diamond();
+        let sub = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Kept: 0->1 (1), 1->3 (5) which becomes 1->2.
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.edge_weight(0, 1), Some(1));
+        assert_eq!(sub.edge_weight(1, 2), Some(5));
+        sub.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_degree(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of range")]
+    fn from_raw_rejects_bad_columns() {
+        CsrGraph::from_raw(vec![0, 1], vec![5], vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn from_raw_rejects_decreasing_row_ptr() {
+        CsrGraph::from_raw(vec![0, 2, 1, 2], vec![0, 1], vec![1, 1]);
+    }
+
+    #[test]
+    fn storage_bytes_counts_arrays() {
+        let g = diamond();
+        let expect = 5 * 8 + 5 * 4 + 5 * 4; // row_ptr(5×usize) + col(5×u32) + w(5×u32)
+        assert_eq!(g.storage_bytes(), expect);
+    }
+}

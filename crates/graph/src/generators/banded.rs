@@ -1,0 +1,106 @@
+//! Banded-matrix generator with random long-range fill — the analog for
+//! the paper's FEM / structural-engineering matrices (pkustk14, gearbox,
+//! SiO2, …): moderately dense rows clustered near the diagonal, plus
+//! enough irregular fill that k-way partitions have *large* boundary sets.
+
+use super::WeightRange;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a symmetric banded graph: vertex `i` connects to `deg_band`
+/// random distinct neighbours within `±bandwidth`, plus each vertex gains a
+/// long-range edge with probability `fill_prob` (uniform random endpoint),
+/// mimicking the off-band fill of assembled stiffness matrices.
+pub fn banded(
+    n: usize,
+    bandwidth: usize,
+    deg_band: usize,
+    fill_prob: f64,
+    weights: WeightRange,
+    seed: u64,
+) -> CsrGraph {
+    assert!(bandwidth >= 1, "bandwidth must be at least 1");
+    assert!((0.0..=1.0).contains(&fill_prob));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n).symmetric(true).drop_self_loops(true);
+    for i in 0..n {
+        // In-band edges: sample with replacement; the builder folds dups.
+        for _ in 0..deg_band {
+            let lo = i.saturating_sub(bandwidth);
+            let hi = (i + bandwidth).min(n.saturating_sub(1));
+            if lo == hi {
+                continue;
+            }
+            let j = rng.gen_range(lo..=hi);
+            if j != i {
+                builder.add_edge(i as VertexId, j as VertexId, weights.sample(&mut rng));
+            }
+        }
+        // Long-range fill.
+        if n > 1 && rng.gen::<f64>() < fill_prob {
+            let mut j = rng.gen_range(0..n);
+            if j == i {
+                j = (j + 1) % n;
+            }
+            builder.add_edge(i as VertexId, j as VertexId, weights.sample(&mut rng));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_band_without_fill() {
+        let bw = 8;
+        let g = banded(500, bw, 6, 0.0, WeightRange::default(), 1);
+        for e in g.edges() {
+            let gap = (e.src as i64 - e.dst as i64).unsigned_abs() as usize;
+            assert!(gap <= bw, "edge ({}, {}) outside band", e.src, e.dst);
+        }
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fill_creates_long_range_edges() {
+        let bw = 4;
+        let g = banded(1000, bw, 4, 0.5, WeightRange::default(), 2);
+        let long = g
+            .edges()
+            .filter(|e| (e.src as i64 - e.dst as i64).unsigned_abs() as usize > bw)
+            .count();
+        assert!(long > 100, "expected substantial long-range fill, got {long}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = banded(200, 5, 4, 0.2, WeightRange::default(), 3);
+        for e in g.edges() {
+            assert_eq!(g.edge_weight(e.dst, e.src), Some(e.weight));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = banded(100, 3, 3, 0.1, WeightRange::default(), 4);
+        let b = banded(100, 3, 3, 0.1, WeightRange::default(), 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = banded(100, 2, 5, 0.3, WeightRange::default(), 5);
+        assert!(g.edges().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let g = banded(1, 1, 2, 0.5, WeightRange::default(), 6);
+        assert_eq!(g.num_edges(), 0);
+        let g2 = banded(2, 1, 2, 0.0, WeightRange::default(), 6);
+        assert!(g2.num_edges() <= 2);
+    }
+}

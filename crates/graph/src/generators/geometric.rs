@@ -1,0 +1,121 @@
+//! Random geometric graphs — road-network analogs.
+//!
+//! Vertices are dropped uniformly in the unit square and connected when
+//! within radius `r`; weights are proportional to Euclidean distance (as
+//! road segments are). Geometric graphs have `O(√n)`-ish separators, so
+//! they stand in for the paper's `usroads` / `*_osm` / census graphs.
+
+use super::WeightRange;
+use crate::{CsrGraph, Dist, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random geometric graph: `n` points in `[0,1]²`, undirected edges between
+/// pairs closer than `radius`, weight scaled from the Euclidean distance
+/// into the given [`WeightRange`].
+///
+/// A uniform grid of cell size `radius` keeps neighbour search `O(n)`
+/// expected instead of `O(n²)`.
+pub fn random_geometric(n: usize, radius: f64, weights: WeightRange, seed: u64) -> CsrGraph {
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let cells = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        bins[cell_of(y) * cells + cell_of(x)].push(i as u32);
+    }
+    let span = (weights.hi - weights.lo) as f64;
+    let mut builder = GraphBuilder::new(n).symmetric(true);
+    let r2 = radius * radius;
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let (nx, ny) = (cx as i64 + dx, cy as i64 + dy);
+                if nx < 0 || ny < 0 || nx as usize >= cells || ny as usize >= cells {
+                    continue;
+                }
+                for &j in &bins[ny as usize * cells + nx as usize] {
+                    // Emit each undirected pair once; symmetric(true)
+                    // creates the reverse direction.
+                    if (j as usize) <= i {
+                        continue;
+                    }
+                    let (px, py) = pts[j as usize];
+                    let d2 = (px - x) * (px - x) + (py - y) * (py - y);
+                    if d2 <= r2 {
+                        let frac = d2.sqrt() / radius; // in [0, 1]
+                        let w = weights.lo + (frac * span).round() as Dist;
+                        builder.add_edge(i as VertexId, j, w.clamp(weights.lo, weights.hi));
+                    }
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Choose the radius that gives an expected average degree `deg` for `n`
+/// points in the unit square: `E[deg] ≈ n · π · r²`.
+pub fn radius_for_avg_degree(n: usize, deg: f64) -> f64 {
+    assert!(n > 0 && deg > 0.0);
+    (deg / (n as f64 * std::f64::consts::PI)).sqrt().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn average_degree_near_target() {
+        let n = 2000;
+        let r = radius_for_avg_degree(n, 6.0);
+        let g = random_geometric(n, r, WeightRange::default(), 17);
+        let avg = g.num_edges() as f64 / n as f64;
+        assert!((4.0..8.0).contains(&avg), "avg out-degree = {avg}");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn weights_scale_with_distance() {
+        let g = random_geometric(500, 0.08, WeightRange::new(1, 1000), 3);
+        // All weights must respect the range.
+        assert!(g.edges().all(|e| (1..=1000).contains(&e.weight)));
+        // And they should not all be equal (they encode distance).
+        let first = g.edges().next().unwrap().weight;
+        assert!(g.edges().any(|e| e.weight != first));
+    }
+
+    #[test]
+    fn symmetric_structure() {
+        let g = random_geometric(300, 0.1, WeightRange::default(), 5);
+        for e in g.edges() {
+            assert_eq!(g.edge_weight(e.dst, e.src), Some(e.weight));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = random_geometric(200, 0.1, WeightRange::default(), 8);
+        let b = random_geometric(200, 0.1, WeightRange::default(), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_radius_connects_everything() {
+        let g = random_geometric(100, 1.0, WeightRange::default(), 1);
+        assert_eq!(stats::connected_components(&g), 1);
+        // Radius 1 covers most of the unit square (diameter √2), so the
+        // graph is close to complete.
+        assert!(g.num_edges() > (100 * 99) / 2, "m = {}", g.num_edges());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = random_geometric(200, 0.2, WeightRange::default(), 9);
+        assert!(g.edges().all(|e| e.src != e.dst));
+    }
+}

@@ -1,0 +1,106 @@
+//! 3-D random geometric graphs — volumetric-mesh analogs.
+//!
+//! FEM meshes over 3-D domains (the paper's `fe_tooth`, `stomach`) have
+//! `O(n^{2/3})` separators — bigger than planar `O(√n)`, smaller than
+//! expander Ω(n). A 3-D disk graph reproduces that intermediate regime,
+//! exercising the selector between its small-separator formula and the
+//! `N_op · c_unit` model.
+
+use super::WeightRange;
+use crate::{CsrGraph, Dist, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random geometric graph in the unit cube: undirected edges between
+/// point pairs within `radius`, weights scaled from Euclidean length.
+pub fn random_geometric_3d(n: usize, radius: f64, weights: WeightRange, seed: u64) -> CsrGraph {
+    assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let pts: Vec<[f64; 3]> = (0..n)
+        .map(|_| [rng.gen(), rng.gen(), rng.gen()])
+        .collect();
+    let cells = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); cells * cells * cells];
+    let bin_idx = |p: &[f64; 3]| (cell_of(p[2]) * cells + cell_of(p[1])) * cells + cell_of(p[0]);
+    for (i, p) in pts.iter().enumerate() {
+        bins[bin_idx(p)].push(i as u32);
+    }
+    let span = (weights.hi - weights.lo) as f64;
+    let mut b = GraphBuilder::new(n).symmetric(true);
+    let r2 = radius * radius;
+    for (i, p) in pts.iter().enumerate() {
+        let (cx, cy, cz) = (cell_of(p[0]), cell_of(p[1]), cell_of(p[2]));
+        for dz in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let (nx, ny, nz) = (cx as i64 + dx, cy as i64 + dy, cz as i64 + dz);
+                    if nx < 0
+                        || ny < 0
+                        || nz < 0
+                        || nx as usize >= cells
+                        || ny as usize >= cells
+                        || nz as usize >= cells
+                    {
+                        continue;
+                    }
+                    for &j in &bins[(nz as usize * cells + ny as usize) * cells + nx as usize] {
+                        if (j as usize) <= i {
+                            continue;
+                        }
+                        let q = &pts[j as usize];
+                        let d2 = (q[0] - p[0]).powi(2)
+                            + (q[1] - p[1]).powi(2)
+                            + (q[2] - p[2]).powi(2);
+                        if d2 <= r2 {
+                            let frac = d2.sqrt() / radius;
+                            let w = weights.lo + (frac * span).round() as Dist;
+                            b.add_edge(i as VertexId, j, w.clamp(weights.lo, weights.hi));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Radius giving expected average degree `deg` in the unit cube:
+/// `E[deg] ≈ n · (4/3)π r³`.
+pub fn radius_for_avg_degree_3d(n: usize, deg: f64) -> f64 {
+    assert!(n > 0 && deg > 0.0);
+    (deg / (n as f64 * 4.0 / 3.0 * std::f64::consts::PI))
+        .cbrt()
+        .min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_degree_near_target() {
+        let n = 3000;
+        let r = radius_for_avg_degree_3d(n, 12.0);
+        let g = random_geometric_3d(n, r, WeightRange::default(), 5);
+        let avg = g.num_edges() as f64 / n as f64;
+        assert!((8.0..16.0).contains(&avg), "avg degree = {avg}");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn symmetric_and_loop_free() {
+        let g = random_geometric_3d(400, 0.15, WeightRange::default(), 7);
+        assert!(g.edges().all(|e| e.src != e.dst));
+        for e in g.edges() {
+            assert_eq!(g.edge_weight(e.dst, e.src), Some(e.weight));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = random_geometric_3d(200, 0.2, WeightRange::default(), 3);
+        let b = random_geometric_3d(200, 0.2, WeightRange::default(), 3);
+        assert_eq!(a, b);
+    }
+}

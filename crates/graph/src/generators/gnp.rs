@@ -1,0 +1,112 @@
+//! Erdős–Rényi G(n, p) generator (directed), used for controlled-density
+//! sweeps and as calibration input for the selector's cost models (the
+//! paper calibrates the Floyd-Warshall model on "a randomly generated
+//! graph").
+
+use super::WeightRange;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Directed G(n, p): every ordered pair `(u, v)`, `u != v`, is an edge
+/// independently with probability `p`.
+///
+/// Uses geometric skipping (Batagelj–Brandes) so generation is O(m), not
+/// O(n²) — essential for the sparse end of the density sweeps.
+pub fn gnp(n: usize, p: f64, weights: WeightRange, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    if p <= 0.0 || n < 2 {
+        return builder.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in 0..n as VertexId {
+                if u != v {
+                    builder.add_edge(u, v, weights.sample(&mut rng));
+                }
+            }
+        }
+        return builder.build();
+    }
+    // Walk the flattened n×n adjacency matrix with geometric jumps.
+    let log_1p = (1.0 - p).ln();
+    let total = (n * n) as u64;
+    let mut idx: i64 = -1;
+    loop {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log_1p).floor() as i64 + 1;
+        idx += skip.max(1);
+        if idx as u64 >= total {
+            break;
+        }
+        let row = (idx as u64 / n as u64) as VertexId;
+        let col = (idx as u64 % n as u64) as VertexId;
+        if row != col {
+            builder.add_edge(row, col, weights.sample(&mut rng));
+        }
+    }
+    builder.build()
+}
+
+/// Directed G(n, p) targeting an expected edge count `m`:
+/// `p = m / (n·(n−1))`.
+pub fn gnm_expected(n: usize, m: usize, weights: WeightRange, seed: u64) -> CsrGraph {
+    let pairs = (n as f64) * (n as f64 - 1.0);
+    let p = if pairs > 0.0 { (m as f64 / pairs).min(1.0) } else { 0.0 };
+    gnp(n, p, weights, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 500;
+        let p = 0.02;
+        let g = gnp(n, p, WeightRange::default(), 11);
+        let expect = (n * (n - 1)) as f64 * p;
+        let m = g.num_edges() as f64;
+        assert!(
+            (m - expect).abs() < 0.15 * expect,
+            "m = {m}, expected ≈ {expect}"
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn p_zero_and_p_one() {
+        let g0 = gnp(10, 0.0, WeightRange::default(), 1);
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = gnp(10, 1.0, WeightRange::default(), 1);
+        assert_eq!(g1.num_edges(), 90);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = gnp(100, 0.1, WeightRange::default(), 9);
+        let b = gnp(100, 0.1, WeightRange::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = gnp(50, 0.5, WeightRange::default(), 2);
+        assert!(g.edges().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn gnm_hits_target_roughly() {
+        let g = gnm_expected(400, 8000, WeightRange::default(), 4);
+        let m = g.num_edges() as f64;
+        assert!((m - 8000.0).abs() < 0.15 * 8000.0, "m = {m}");
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(gnp(0, 0.5, WeightRange::default(), 0).num_vertices(), 0);
+        assert_eq!(gnp(1, 0.5, WeightRange::default(), 0).num_edges(), 0);
+    }
+}

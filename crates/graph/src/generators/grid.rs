@@ -1,0 +1,128 @@
+//! 2-D lattice generator — the canonical planar, small-separator family.
+//!
+//! An `r × c` grid has an `O(√n)` separator, which is exactly the property
+//! the boundary algorithm exploits; grids (optionally with diagonal edges
+//! and random edge deletions) stand in for the paper's road networks and
+//! census-tract graphs.
+
+use super::WeightRange;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Options for [`grid_2d`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridOptions {
+    /// Also connect diagonal neighbours (8-connectivity).
+    pub diagonals: bool,
+    /// Independently delete each undirected edge with this probability,
+    /// roughening the lattice the way real road networks are irregular.
+    pub deletion_prob: f64,
+}
+
+impl Default for GridOptions {
+    fn default() -> Self {
+        GridOptions {
+            diagonals: false,
+            deletion_prob: 0.0,
+        }
+    }
+}
+
+/// An `rows × cols` undirected grid (each undirected edge is stored as two
+/// directed edges with equal weight).
+pub fn grid_2d(rows: usize, cols: usize, opts: GridOptions, weights: WeightRange, seed: u64) -> CsrGraph {
+    assert!((0.0..1.0).contains(&opts.deletion_prob) || opts.deletion_prob == 0.0);
+    let n = rows * cols;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n).symmetric(true);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let add = |builder: &mut GraphBuilder, rng: &mut SmallRng, a: VertexId, b: VertexId| {
+        if opts.deletion_prob == 0.0 || rng.gen::<f64>() >= opts.deletion_prob {
+            builder.add_edge(a, b, weights.sample(rng));
+        }
+    };
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                add(&mut builder, &mut rng, id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                add(&mut builder, &mut rng, id(r, c), id(r + 1, c));
+            }
+            if opts.diagonals {
+                if r + 1 < rows && c + 1 < cols {
+                    add(&mut builder, &mut rng, id(r, c), id(r + 1, c + 1));
+                }
+                if r + 1 < rows && c > 0 {
+                    add(&mut builder, &mut rng, id(r, c), id(r + 1, c - 1));
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn four_connectivity_edge_count() {
+        // r×c grid: r(c-1) + c(r-1) undirected edges, ×2 directed.
+        let g = grid_2d(5, 7, GridOptions::default(), WeightRange::default(), 1);
+        assert_eq!(g.num_vertices(), 35);
+        assert_eq!(g.num_edges(), 2 * (5 * 6 + 7 * 4));
+    }
+
+    #[test]
+    fn grid_is_connected() {
+        let g = grid_2d(10, 10, GridOptions::default(), WeightRange::default(), 2);
+        assert_eq!(stats::connected_components(&g), 1);
+    }
+
+    #[test]
+    fn diagonals_add_edges() {
+        let base = grid_2d(6, 6, GridOptions::default(), WeightRange::default(), 3);
+        let diag = grid_2d(
+            6,
+            6,
+            GridOptions {
+                diagonals: true,
+                ..Default::default()
+            },
+            WeightRange::default(),
+            3,
+        );
+        assert!(diag.num_edges() > base.num_edges());
+    }
+
+    #[test]
+    fn deletion_thins_the_grid() {
+        let opts = GridOptions {
+            diagonals: false,
+            deletion_prob: 0.3,
+        };
+        let full = grid_2d(20, 20, GridOptions::default(), WeightRange::default(), 4);
+        let thin = grid_2d(20, 20, opts, WeightRange::default(), 4);
+        let ratio = thin.num_edges() as f64 / full.num_edges() as f64;
+        assert!((0.55..0.85).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn symmetric_weights() {
+        let g = grid_2d(4, 4, GridOptions::default(), WeightRange::default(), 5);
+        for e in g.edges() {
+            assert_eq!(g.edge_weight(e.dst, e.src), Some(e.weight));
+        }
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        let line = grid_2d(1, 8, GridOptions::default(), WeightRange::default(), 6);
+        assert_eq!(line.num_edges(), 14);
+        let dot = grid_2d(1, 1, GridOptions::default(), WeightRange::default(), 6);
+        assert_eq!(dot.num_edges(), 0);
+    }
+}

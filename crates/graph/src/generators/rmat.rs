@@ -1,0 +1,185 @@
+//! R-MAT (recursive matrix) scale-free graph generator.
+//!
+//! Follows Chakrabarti, Zhan & Faloutsos (SDM 2004): each edge picks its
+//! (row, column) cell by recursively descending a 2×2 partition of the
+//! adjacency matrix with probabilities `(a, b, c, d)`. Skewed parameters
+//! produce the heavy-tailed degree distributions the paper's Table V and
+//! Table VI sweeps rely on.
+
+use super::WeightRange;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT quadrant probabilities. Must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+    /// Per-level probability noise, as in the Graph500 reference
+    /// implementation, to avoid exactly self-similar structure.
+    pub noise: f64,
+}
+
+impl RmatParams {
+    /// The classic skewed parameters (a=0.45, b=0.22, c=0.22, d=0.11)
+    /// producing scale-free graphs.
+    pub fn scale_free() -> Self {
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+            d: 0.11,
+            noise: 0.1,
+        }
+    }
+
+    /// Uniform parameters (all 0.25): degenerates to Erdős–Rényi-like
+    /// structure; useful as an ablation.
+    pub fn uniform() -> Self {
+        RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            d: 0.25,
+            noise: 0.0,
+        }
+    }
+
+    fn validate(&self) {
+        let s = self.a + self.b + self.c + self.d;
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "R-MAT probabilities must sum to 1 (got {s})"
+        );
+        assert!((0.0..=1.0).contains(&self.noise));
+    }
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams::scale_free()
+    }
+}
+
+/// Generate an R-MAT graph with `n` vertices (rounded up internally to a
+/// power of two for the recursion, then mapped back down) and `m` directed
+/// edges before multi-edge folding. Self-loops are dropped to match the
+/// edge-count conventions of the paper's tables.
+pub fn rmat(n: usize, m: usize, params: RmatParams, weights: WeightRange, seed: u64) -> CsrGraph {
+    params.validate();
+    assert!(n >= 2, "R-MAT needs at least two vertices");
+    let levels = (usize::BITS - (n - 1).leading_zeros()) as usize; // ceil(log2 n)
+    let side = 1usize << levels;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m).drop_self_loops(true);
+    let mut emitted = 0usize;
+    // Rejection-sample cells that land outside [0, n) when n is not a
+    // power of two; the acceptance rate is >= (n/side)^2 >= 1/4.
+    while emitted < m {
+        let (mut row, mut col) = (0usize, 0usize);
+        let mut half = side >> 1;
+        for _ in 0..levels {
+            // Jitter quadrant probabilities per level.
+            let jitter = |p: f64, rng: &mut SmallRng| {
+                if params.noise > 0.0 {
+                    let u: f64 = rng.gen_range(-params.noise..=params.noise);
+                    (p * (1.0 + u)).max(0.0)
+                } else {
+                    p
+                }
+            };
+            let a = jitter(params.a, &mut rng);
+            let b = jitter(params.b, &mut rng);
+            let c = jitter(params.c, &mut rng);
+            let d = jitter(params.d, &mut rng);
+            let total = a + b + c + d;
+            let r: f64 = rng.gen_range(0.0..total);
+            if r < a {
+                // top-left: nothing to add
+            } else if r < a + b {
+                col += half;
+            } else if r < a + b + c {
+                row += half;
+            } else {
+                row += half;
+                col += half;
+            }
+            half >>= 1;
+        }
+        if row < n && col < n && row != col {
+            builder.add_edge(row as VertexId, col as VertexId, weights.sample(&mut rng));
+            emitted += 1;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn produces_requested_size() {
+        let g = rmat(1000, 5000, RmatParams::default(), WeightRange::default(), 7);
+        assert_eq!(g.num_vertices(), 1000);
+        // Multi-edge folding can only shrink the edge count.
+        assert!(g.num_edges() <= 5000);
+        assert!(g.num_edges() > 3000, "folding should not dominate at this density");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = rmat(256, 1024, RmatParams::default(), WeightRange::default(), 42);
+        let b = rmat(256, 1024, RmatParams::default(), WeightRange::default(), 42);
+        assert_eq!(a, b);
+        let c = rmat(256, 1024, RmatParams::default(), WeightRange::default(), 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scale_free_is_more_skewed_than_uniform() {
+        let sf = rmat(2048, 16384, RmatParams::scale_free(), WeightRange::default(), 1);
+        let un = rmat(2048, 16384, RmatParams::uniform(), WeightRange::default(), 1);
+        let max_sf = stats::degree_stats(&sf).max_out;
+        let max_un = stats::degree_stats(&un).max_out;
+        assert!(
+            max_sf > 2 * max_un,
+            "scale-free max degree {max_sf} should dwarf uniform {max_un}"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_vertices() {
+        let g = rmat(777, 3000, RmatParams::default(), WeightRange::default(), 5);
+        assert_eq!(g.num_vertices(), 777);
+        assert!(g.edges().all(|e| (e.dst as usize) < 777 && (e.src as usize) < 777));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = rmat(128, 2000, RmatParams::default(), WeightRange::default(), 3);
+        assert!(g.edges().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_params() {
+        let p = RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5,
+            noise: 0.0,
+        };
+        rmat(16, 32, p, WeightRange::default(), 0);
+    }
+}

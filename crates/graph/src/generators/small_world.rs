@@ -1,0 +1,101 @@
+//! Watts–Strogatz small-world generator.
+//!
+//! Starts from a ring lattice (each vertex joined to its `k` nearest
+//! neighbours) and rewires each edge with probability `beta`. At
+//! `beta = 0` the graph is a high-diameter lattice (boundary-algorithm
+//! territory); a few percent of rewiring collapses the diameter while
+//! keeping local structure — a family that stress-tests the selector's
+//! separator classification between its two sparse regimes.
+
+use super::WeightRange;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz graph: ring lattice of `n` vertices with `k` nearest
+/// neighbours each (`k` even, `k < n`), each lattice edge rewired with
+/// probability `beta` to a uniform random endpoint.
+pub fn watts_strogatz(
+    n: usize,
+    k: usize,
+    beta: f64,
+    weights: WeightRange,
+    seed: u64,
+) -> CsrGraph {
+    assert!(n >= 3, "ring needs at least 3 vertices");
+    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(k < n, "k must be smaller than n");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k).symmetric(true).drop_self_loops(true);
+    for v in 0..n {
+        for hop in 1..=(k / 2) {
+            let mut u = (v + hop) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire: new endpoint, avoiding a self-loop (multi-edges
+                // fold in the builder as usual).
+                u = rng.gen_range(0..n);
+                if u == v {
+                    u = (u + 1) % n;
+                }
+            }
+            b.add_edge(v as VertexId, u as VertexId, weights.sample(&mut rng));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn lattice_when_beta_zero() {
+        let g = watts_strogatz(20, 4, 0.0, WeightRange::default(), 1);
+        // Ring lattice: every vertex has exactly k undirected neighbours.
+        for v in 0..20u32 {
+            assert_eq!(g.out_degree(v), 4, "vertex {v}");
+        }
+        assert_eq!(stats::connected_components(&g), 1);
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let n = 400;
+        let hops = |g: &CsrGraph| {
+            // BFS hop count from 0 to the antipode.
+            let mut dist = vec![usize::MAX; n];
+            let mut q = std::collections::VecDeque::from([0u32]);
+            dist[0] = 0;
+            while let Some(v) = q.pop_front() {
+                for (u, _) in g.edges_from(v) {
+                    if dist[u as usize] == usize::MAX {
+                        dist[u as usize] = dist[v as usize] + 1;
+                        q.push_back(u);
+                    }
+                }
+            }
+            dist[n / 2]
+        };
+        let lattice = watts_strogatz(n, 4, 0.0, WeightRange::default(), 2);
+        let small_world = watts_strogatz(n, 4, 0.1, WeightRange::default(), 2);
+        let (d_lat, d_sw) = (hops(&lattice), hops(&small_world));
+        assert!(d_sw * 3 < d_lat, "lattice {d_lat} vs small-world {d_sw}");
+    }
+
+    #[test]
+    fn deterministic_and_canonical() {
+        let a = watts_strogatz(100, 6, 0.2, WeightRange::default(), 9);
+        let b = watts_strogatz(100, 6, 0.2, WeightRange::default(), 9);
+        assert_eq!(a, b);
+        a.check_invariants().unwrap();
+        assert!(a.edges().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_k() {
+        watts_strogatz(10, 3, 0.1, WeightRange::default(), 0);
+    }
+}

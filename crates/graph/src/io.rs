@@ -1,0 +1,255 @@
+//! Matrix Market (`.mtx`) reading and writing.
+//!
+//! The paper's real inputs come from the SuiteSparse Matrix Collection,
+//! which distributes Matrix Market coordinate files. This loader accepts
+//! the common variants (`pattern` / `integer` / `real`, `general` /
+//! `symmetric`) so real matrices can be dropped into the benchmark harness
+//! in place of the synthetic analogs.
+
+use crate::{CsrGraph, Dist, GraphBuilder, VertexId};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structural problem with the file, with a human-readable reason.
+    Parse(String),
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "I/O error: {e}"),
+            MtxError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MtxError {
+    MtxError::Parse(msg.into())
+}
+
+/// How to turn a matrix value into an edge weight.
+#[derive(Debug, Clone, Copy)]
+pub enum WeightMode {
+    /// Ignore stored values; every edge gets this weight (common for
+    /// pattern matrices and for APSP hop-count studies).
+    Unit(Dist),
+    /// Use `ceil(|value| * scale)` clamped to `[1, INF)`; SuiteSparse
+    /// stiffness values are floats of wildly varying magnitude, so a scale
+    /// plus clamp keeps them usable as integer distances.
+    ScaledAbs {
+        /// Multiplier applied before rounding.
+        scale: f64,
+    },
+}
+
+/// Read a Matrix Market coordinate file into a graph.
+///
+/// * `symmetric` headers mirror every off-diagonal entry,
+/// * entries on the diagonal become self-loops (harmless for APSP),
+/// * duplicate entries fold to minimum weight via [`GraphBuilder`].
+pub fn read_matrix_market<P: AsRef<Path>>(path: P, mode: WeightMode) -> Result<CsrGraph, MtxError> {
+    let file = File::open(path)?;
+    read_matrix_market_from(BufReader::new(file), mode)
+}
+
+/// [`read_matrix_market`] over any reader (used by tests and in-memory
+/// fixtures).
+pub fn read_matrix_market_from<R: Read>(reader: R, mode: WeightMode) -> Result<CsrGraph, MtxError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let header_lc = header.to_ascii_lowercase();
+    if !header_lc.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(parse_err(format!(
+            "unsupported header (need 'matrix coordinate'): {header}"
+        )));
+    }
+    let is_pattern = header_lc.contains("pattern");
+    let is_symmetric = header_lc.contains("symmetric") || header_lc.contains("skew-symmetric");
+
+    // Skip comments, find the size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break line;
+    };
+    let mut it = size_line.split_whitespace();
+    let rows: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err("bad size line"))?;
+    let cols: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err("bad size line"))?;
+    let nnz: usize = it
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| parse_err("bad size line"))?;
+    if rows != cols {
+        return Err(parse_err(format!(
+            "adjacency matrix must be square, got {rows}×{cols}"
+        )));
+    }
+
+    let mut builder = GraphBuilder::with_capacity(rows, if is_symmetric { 2 * nnz } else { nnz })
+        .symmetric(is_symmetric);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut f = t.split_whitespace();
+        let r: usize = f
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry line: {t}")))?;
+        let c: usize = f
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| parse_err(format!("bad entry line: {t}")))?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(parse_err(format!("entry ({r}, {c}) out of bounds")));
+        }
+        let w = match mode {
+            WeightMode::Unit(w) => w,
+            WeightMode::ScaledAbs { scale } => {
+                if is_pattern {
+                    1
+                } else {
+                    let v: f64 = f
+                        .next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| parse_err(format!("missing value: {t}")))?;
+                    let scaled = (v.abs() * scale).ceil();
+                    (scaled as Dist).clamp(1, crate::INF - 1)
+                }
+            }
+        };
+        builder.add_edge((r - 1) as VertexId, (c - 1) as VertexId, w);
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(builder.build())
+}
+
+/// Write a graph as a `general integer` Matrix Market coordinate file.
+pub fn write_matrix_market<P: AsRef<Path>>(path: P, g: &CsrGraph) -> Result<(), MtxError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "%%MatrixMarket matrix coordinate integer general")?;
+    writeln!(w, "% written by apsp-graph")?;
+    writeln!(w, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(w, "{} {} {}", e.src + 1, e.dst + 1, e.weight)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GENERAL: &str = "%%MatrixMarket matrix coordinate integer general\n\
+% a comment\n\
+3 3 3\n\
+1 2 5\n\
+2 3 7\n\
+3 1 2\n";
+
+    const SYMMETRIC: &str = "%%MatrixMarket matrix coordinate real symmetric\n\
+2 2 1\n\
+2 1 3.5\n";
+
+    const PATTERN: &str = "%%MatrixMarket matrix coordinate pattern general\n\
+2 2 2\n\
+1 2\n\
+2 1\n";
+
+    #[test]
+    fn reads_general_integer() {
+        let g =
+            read_matrix_market_from(GENERAL.as_bytes(), WeightMode::ScaledAbs { scale: 1.0 })
+                .unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(2, 0), Some(2));
+    }
+
+    #[test]
+    fn symmetric_mirrors_entries() {
+        let g =
+            read_matrix_market_from(SYMMETRIC.as_bytes(), WeightMode::ScaledAbs { scale: 2.0 })
+                .unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(7)); // ceil(3.5 * 2)
+        assert_eq!(g.edge_weight(1, 0), Some(7));
+    }
+
+    #[test]
+    fn pattern_gets_unit_weights() {
+        let g = read_matrix_market_from(PATTERN.as_bytes(), WeightMode::Unit(9)).unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(9));
+        assert_eq!(g.edge_weight(1, 0), Some(9));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n2 3 1\n1 2 1\n";
+        let err = read_matrix_market_from(text.as_bytes(), WeightMode::Unit(1)).unwrap_err();
+        assert!(err.to_string().contains("square"));
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 2 1\n";
+        let err = read_matrix_market_from(text.as_bytes(), WeightMode::Unit(1)).unwrap_err();
+        assert!(err.to_string().contains("expected 2 entries"));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n3 1 1\n";
+        assert!(read_matrix_market_from(text.as_bytes(), WeightMode::Unit(1)).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g =
+            read_matrix_market_from(GENERAL.as_bytes(), WeightMode::ScaledAbs { scale: 1.0 })
+                .unwrap();
+        let dir = std::env::temp_dir().join("apsp_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.mtx");
+        write_matrix_market(&path, &g).unwrap();
+        let g2 = read_matrix_market(&path, WeightMode::ScaledAbs { scale: 1.0 }).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,196 @@
+//! DIMACS shortest-path (`.gr`) format.
+//!
+//! The 9th DIMACS Implementation Challenge distributed the USA road
+//! networks (the real `usroads`-class inputs) in this format:
+//!
+//! ```text
+//! c comment
+//! p sp <n> <m>
+//! a <src> <dst> <weight>     (1-indexed)
+//! ```
+//!
+//! Reading one of those files gives the genuine article for every
+//! road-network experiment in the suite.
+
+use crate::{CsrGraph, Dist, GraphBuilder, VertexId, INF};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from DIMACS parsing.
+#[derive(Debug)]
+pub enum DimacsError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// Structural problem, with a human-readable reason.
+    Parse(String),
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::Io(e) => write!(f, "I/O error: {e}"),
+            DimacsError::Parse(msg) => write!(f, "DIMACS parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+impl From<std::io::Error> for DimacsError {
+    fn from(e: std::io::Error) -> Self {
+        DimacsError::Io(e)
+    }
+}
+
+fn perr(msg: impl Into<String>) -> DimacsError {
+    DimacsError::Parse(msg.into())
+}
+
+/// Read a DIMACS `.gr` file.
+pub fn read_dimacs<P: AsRef<Path>>(path: P) -> Result<CsrGraph, DimacsError> {
+    read_dimacs_from(File::open(path)?)
+}
+
+/// [`read_dimacs`] over any reader.
+pub fn read_dimacs_from<R: Read>(reader: R) -> Result<CsrGraph, DimacsError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_m = 0usize;
+    let mut seen_m = 0usize;
+    for line in BufReader::new(reader).lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let mut fields = t.split_whitespace();
+        match fields.next() {
+            Some("c") => {}
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(perr("duplicate problem line"));
+                }
+                let kind = fields.next().ok_or_else(|| perr("missing problem kind"))?;
+                if kind != "sp" {
+                    return Err(perr(format!("unsupported problem kind '{kind}'")));
+                }
+                let n: usize = fields
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| perr("bad vertex count"))?;
+                declared_m = fields
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| perr("bad edge count"))?;
+                builder = Some(GraphBuilder::with_capacity(n, declared_m));
+            }
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| perr("arc before problem line"))?;
+                let src: usize = fields
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| perr(format!("bad arc line: {t}")))?;
+                let dst: usize = fields
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| perr(format!("bad arc line: {t}")))?;
+                let w: u64 = fields
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| perr(format!("bad arc line: {t}")))?;
+                if src == 0 || dst == 0 || src > b.num_vertices() || dst > b.num_vertices() {
+                    return Err(perr(format!("arc ({src}, {dst}) out of bounds")));
+                }
+                b.add_edge(
+                    (src - 1) as VertexId,
+                    (dst - 1) as VertexId,
+                    (w.min((INF - 1) as u64)) as Dist,
+                );
+                seen_m += 1;
+            }
+            Some(other) => return Err(perr(format!("unknown line kind '{other}'"))),
+            None => {}
+        }
+    }
+    let builder = builder.ok_or_else(|| perr("missing problem line"))?;
+    if seen_m != declared_m {
+        return Err(perr(format!("expected {declared_m} arcs, found {seen_m}")));
+    }
+    Ok(builder.build())
+}
+
+/// Write a graph as a DIMACS `.gr` file.
+pub fn write_dimacs<P: AsRef<Path>>(path: P, g: &CsrGraph) -> Result<(), DimacsError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "c written by apsp-graph")?;
+    writeln!(w, "p sp {} {}", g.num_vertices(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(w, "a {} {} {}", e.src + 1, e.dst + 1, e.weight)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "c tiny road fragment\n\
+p sp 4 5\n\
+a 1 2 7\n\
+a 2 1 7\n\
+a 2 3 2\n\
+a 3 4 11\n\
+a 4 1 3\n";
+
+    #[test]
+    fn reads_sample() {
+        let g = read_dimacs_from(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.edge_weight(0, 1), Some(7));
+        assert_eq!(g.edge_weight(3, 0), Some(3));
+        assert_eq!(g.edge_weight(0, 3), None);
+    }
+
+    #[test]
+    fn rejects_arc_count_mismatch() {
+        let text = "p sp 2 2\na 1 2 5\n";
+        let err = read_dimacs_from(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 2 arcs"));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_zero_ids() {
+        for bad in ["p sp 2 1\na 0 1 5\n", "p sp 2 1\na 1 3 5\n"] {
+            assert!(read_dimacs_from(bad.as_bytes()).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_arc_before_header_and_non_sp() {
+        assert!(read_dimacs_from("a 1 2 3\n".as_bytes()).is_err());
+        assert!(read_dimacs_from("p max 2 1\na 1 2 3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g = read_dimacs_from(SAMPLE.as_bytes()).unwrap();
+        let dir = std::env::temp_dir().join("apsp_dimacs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.gr");
+        write_dimacs(&path, &g).unwrap();
+        let g2 = read_dimacs(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "c a\n\nc b\np sp 2 1\nc mid\na 1 2 4\n";
+        let g = read_dimacs_from(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+}

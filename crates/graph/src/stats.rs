@@ -1,0 +1,286 @@
+//! Graph statistics: degree distributions, density classification and
+//! connected components — the inputs to the paper's density filter and the
+//! table columns of the experimental section.
+
+use crate::{CsrGraph, VertexId};
+
+/// Degree-distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum out-degree.
+    pub min_out: usize,
+    /// Maximum out-degree.
+    pub max_out: usize,
+    /// Mean out-degree.
+    pub mean_out: f64,
+    /// Population standard deviation of out-degree.
+    pub std_out: f64,
+}
+
+/// Compute out-degree statistics. Zero-vertex graphs return all-zero stats.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats {
+            min_out: 0,
+            max_out: 0,
+            mean_out: 0.0,
+            std_out: 0.0,
+        };
+    }
+    let mut min_out = usize::MAX;
+    let mut max_out = 0usize;
+    let mut sum = 0usize;
+    let mut sum_sq = 0f64;
+    for v in 0..n as VertexId {
+        let d = g.out_degree(v);
+        min_out = min_out.min(d);
+        max_out = max_out.max(d);
+        sum += d;
+        sum_sq += (d * d) as f64;
+    }
+    let mean = sum as f64 / n as f64;
+    let var = (sum_sq / n as f64 - mean * mean).max(0.0);
+    DegreeStats {
+        min_out,
+        max_out,
+        mean_out: mean,
+        std_out: var.sqrt(),
+    }
+}
+
+/// Number of weakly connected components (directions ignored).
+pub fn connected_components(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let rev = g.transpose();
+    let mut stack = Vec::new();
+    let mut count = 0u32;
+    for start in 0..n as VertexId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = count;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for (u, _) in g.edges_from(v).chain(rev.edges_from(v)) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = count;
+                    stack.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    count as usize
+}
+
+/// Unweighted BFS distances from `source` (hop counts;
+/// `usize::MAX` = unreachable).
+pub fn bfs_hops(g: &CsrGraph, source: VertexId) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    if n == 0 {
+        return dist;
+    }
+    let mut q = std::collections::VecDeque::from([source]);
+    dist[source as usize] = 0;
+    while let Some(v) = q.pop_front() {
+        for (u, _) in g.edges_from(v) {
+            if dist[u as usize] == usize::MAX {
+                dist[u as usize] = dist[v as usize] + 1;
+                q.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Lower bound on the hop diameter by the classic double-sweep heuristic:
+/// BFS from `seed`, then BFS from the farthest vertex found; exact on
+/// trees and typically within a few percent on road-like graphs. Drives
+/// the iteration-count expectations of the Johnson cost discussion.
+pub fn approx_diameter_hops(g: &CsrGraph, seed: VertexId) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let first = bfs_hops(g, seed);
+    let far = first
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != usize::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(seed);
+    bfs_hops(g, far)
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Out-degree histogram in power-of-two buckets: `histogram[b]` counts
+/// vertices with out-degree in `[2^b, 2^{b+1})` (bucket 0 additionally
+/// holds degree-0 vertices). Used to judge how scale-free an input is —
+/// the property behind the dynamic-parallelism optimization.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist: Vec<usize> = Vec::new();
+    for v in 0..g.num_vertices() as VertexId {
+        let d = g.out_degree(v);
+        let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        if bucket >= hist.len() {
+            hist.resize(bucket + 1, 0);
+        }
+        hist[bucket] += 1;
+    }
+    hist
+}
+
+/// The density classes of the paper's selector filter (Section IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DensityClass {
+    /// density < 0.01% — Johnson vs boundary territory.
+    VerySparse,
+    /// 0.01% ≤ density ≤ 1% — Johnson's algorithm is always chosen.
+    Sparse,
+    /// density > 1% — Johnson vs blocked Floyd-Warshall territory.
+    Dense,
+}
+
+/// Classify a graph by the paper's density thresholds (density is `m/n²`;
+/// the thresholds 1% and 0.01% are fractions 1e-2 and 1e-4).
+pub fn density_class(g: &CsrGraph) -> DensityClass {
+    let d = g.density();
+    if d > 1e-2 {
+        DensityClass::Dense
+    } else if d < 1e-4 {
+        DensityClass::VerySparse
+    } else {
+        DensityClass::Sparse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{gnp, grid_2d, GridOptions, WeightRange};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn degree_stats_of_path() {
+        // 0 -> 1 -> 2
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let s = degree_stats(&b.build());
+        assert_eq!(s.min_out, 0);
+        assert_eq!(s.max_out, 1);
+        assert!((s.mean_out - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = degree_stats(&CsrGraph::empty(0));
+        assert_eq!(s.max_out, 0);
+        assert_eq!(s.mean_out, 0.0);
+    }
+
+    #[test]
+    fn components_counts_isolated_vertices() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1);
+        b.add_edge(3, 4, 1);
+        let g = b.build();
+        assert_eq!(connected_components(&g), 3); // {0,1}, {2}, {3,4}
+    }
+
+    #[test]
+    fn components_ignore_direction() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 0, 1);
+        b.add_edge(1, 2, 1);
+        assert_eq!(connected_components(&b.build()), 1);
+    }
+
+    #[test]
+    fn grid_is_one_component() {
+        let g = grid_2d(8, 8, GridOptions::default(), WeightRange::default(), 1);
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn density_classes_match_thresholds() {
+        // Dense: G(100, 0.05) → density ≈ 5% > 1%.
+        let dense = gnp(100, 0.05, WeightRange::default(), 1);
+        assert_eq!(density_class(&dense), DensityClass::Dense);
+        // Sparse: grid 50×50 → m ≈ 2*2*50*49 ≈ 9800, n² = 6.25e6 → ~0.16%.
+        let sparse = grid_2d(50, 50, GridOptions::default(), WeightRange::default(), 1);
+        assert_eq!(density_class(&sparse), DensityClass::Sparse);
+        // Very sparse: grid 200×200 → m ≈ 159k, n² = 1.6e9 → ~0.01% — use
+        // 300×300 to be safely below.
+        let vs = grid_2d(300, 300, GridOptions::default(), WeightRange::default(), 1);
+        assert_eq!(density_class(&vs), DensityClass::VerySparse);
+    }
+
+    #[test]
+    fn bfs_hops_on_path_graph() {
+        let mut b = GraphBuilder::new(5);
+        for v in 0..4u32 {
+            b.add_edge(v, v + 1, 9);
+        }
+        let g = b.build();
+        assert_eq!(bfs_hops(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_hops(&g, 4), vec![usize::MAX, usize::MAX, usize::MAX, usize::MAX, 0]);
+    }
+
+    #[test]
+    fn double_sweep_finds_grid_diameter() {
+        // 10×10 4-connected grid: hop diameter = 18 between opposite
+        // corners; double sweep from any seed finds it exactly here.
+        let g = grid_2d(10, 10, GridOptions::default(), WeightRange::default(), 3);
+        assert_eq!(approx_diameter_hops(&g, 47), 18);
+    }
+
+    #[test]
+    fn approx_diameter_handles_disconnected_inputs() {
+        let mut b = GraphBuilder::new(4).symmetric(true);
+        b.add_edge(0, 1, 1); // component {0,1}, isolated {2}, {3}
+        let g = b.build();
+        assert_eq!(approx_diameter_hops(&g, 0), 1);
+        assert_eq!(approx_diameter_hops(&g, 2), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut b = GraphBuilder::new(4);
+        // degrees 0, 1, 2, 3 → buckets 0, 0, 1, 1.
+        b.add_edge(1, 0, 1);
+        b.add_edge(2, 0, 1);
+        b.add_edge(2, 1, 1);
+        b.add_edge(3, 0, 1);
+        b.add_edge(3, 1, 1);
+        b.add_edge(3, 2, 1);
+        let hist = degree_histogram(&b.build());
+        assert_eq!(hist, vec![2, 2]);
+        // Scale-free graphs reach high buckets.
+        let sf = crate::generators::rmat(
+            512,
+            8192,
+            crate::generators::RmatParams::scale_free(),
+            WeightRange::default(),
+            3,
+        );
+        assert!(degree_histogram(&sf).len() >= 6, "{:?}", degree_histogram(&sf));
+    }
+
+    #[test]
+    fn cross_check_paper_densities() {
+        // Table III lists usroads with n=129K, m=331K, density 0.0020%;
+        // sanity-check our definition against the paper's reported value.
+        let n = 129_000f64;
+        let m = 331_000f64;
+        let density_pct = m / (n * n) * 100.0;
+        assert!((density_pct - 0.0020).abs() < 0.0005, "{density_pct}");
+    }
+}

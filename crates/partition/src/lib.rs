@@ -1,0 +1,32 @@
+//! Multilevel k-way graph partitioning — the METIS substitute.
+//!
+//! The paper's boundary algorithm (its Algorithm 3) partitions the input
+//! with METIS k-way and needs: components of roughly equal size, as few
+//! *boundary nodes* (endpoints of cut edges) as possible, and a vertex
+//! layout where every component is contiguous with its boundary nodes
+//! first (the paper's Figure 1a).
+//!
+//! This crate implements the classic multilevel scheme METIS popularized:
+//!
+//! 1. **Coarsening** ([`coarse`]): heavy-edge matching collapses the graph
+//!    level by level until it is small,
+//! 2. **Initial partitioning** ([`bisect`]): greedy BFS region growing on
+//!    the coarsest graph (best of several seeds),
+//! 3. **Refinement** ([`refine`]): boundary Fiduccia–Mattheyses passes at
+//!    every uncoarsening level,
+//! 4. **k-way** ([`kway`]): recursive bisection with proportional target
+//!    weights.
+//!
+//! [`layout`] then derives the boundary-first permutation the out-of-core
+//! boundary algorithm consumes.
+
+pub mod bisect;
+pub mod coarse;
+pub mod kway;
+pub mod layout;
+pub mod partition;
+pub mod refine;
+
+pub use kway::{kway_partition, PartitionConfig};
+pub use layout::PartitionLayout;
+pub use partition::Partition;

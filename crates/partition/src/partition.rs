@@ -1,0 +1,179 @@
+//! Partition representation and quality metrics.
+
+use apsp_graph::{CsrGraph, VertexId};
+
+/// An assignment of every vertex to one of `k` parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    assignment: Vec<u32>,
+    k: usize,
+}
+
+impl Partition {
+    /// Wrap an assignment vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment is `>= k`.
+    pub fn new(assignment: Vec<u32>, k: usize) -> Self {
+        assert!(k >= 1);
+        assert!(
+            assignment.iter().all(|&p| (p as usize) < k),
+            "part id out of range"
+        );
+        Partition { assignment, k }
+    }
+
+    /// The trivial single-part partition.
+    pub fn trivial(n: usize) -> Self {
+        Partition {
+            assignment: vec![0; n],
+            k: 1,
+        }
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Part of vertex `v`.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// The raw assignment array.
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Vertices of each part, each list sorted ascending.
+    pub fn parts(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.k];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            out[p as usize].push(v as VertexId);
+        }
+        out
+    }
+
+    /// Sizes of each part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Number of directed edges crossing between parts.
+    pub fn edge_cut(&self, g: &CsrGraph) -> usize {
+        assert_eq!(g.num_vertices(), self.num_vertices());
+        let mut cut = 0usize;
+        for v in 0..g.num_vertices() as VertexId {
+            let pv = self.part_of(v);
+            for (u, _) in g.edges_from(v) {
+                if self.part_of(u) != pv {
+                    cut += 1;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Marks `true` for every boundary node: a vertex incident (in either
+    /// direction) to an edge whose endpoints lie in different parts —
+    /// exactly the paper's definition ("if vertex u and v belong to
+    /// different components, then u and v are both boundary nodes").
+    pub fn boundary_flags(&self, g: &CsrGraph) -> Vec<bool> {
+        assert_eq!(g.num_vertices(), self.num_vertices());
+        let mut boundary = vec![false; g.num_vertices()];
+        for v in 0..g.num_vertices() as VertexId {
+            let pv = self.part_of(v);
+            for (u, _) in g.edges_from(v) {
+                if self.part_of(u) != pv {
+                    boundary[v as usize] = true;
+                    boundary[u as usize] = true;
+                }
+            }
+        }
+        boundary
+    }
+
+    /// Total number of boundary nodes (the paper's `NB`).
+    pub fn num_boundary_nodes(&self, g: &CsrGraph) -> usize {
+        self.boundary_flags(g).iter().filter(|&&b| b).count()
+    }
+
+    /// Load imbalance: `max_part_size · k / n`. 1.0 is perfectly balanced.
+    pub fn imbalance(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            return 1.0;
+        }
+        let max = self.part_sizes().into_iter().max().unwrap_or(0);
+        max as f64 * self.k as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::GraphBuilder;
+
+    fn two_triangles_bridge() -> CsrGraph {
+        // Triangle {0,1,2}, triangle {3,4,5}, bridge 2—3.
+        let mut b = GraphBuilder::new(6).symmetric(true);
+        for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(u, v, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn metrics_on_ideal_bisection() {
+        let g = two_triangles_bridge();
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        assert_eq!(p.edge_cut(&g), 2); // the bridge, both directions
+        assert_eq!(p.num_boundary_nodes(&g), 2); // vertices 2 and 3
+        assert!((p.imbalance() - 1.0).abs() < 1e-12);
+        let flags = p.boundary_flags(&g);
+        assert_eq!(flags, vec![false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn parts_and_sizes() {
+        let p = Partition::new(vec![1, 0, 1, 2], 3);
+        assert_eq!(p.part_sizes(), vec![1, 2, 1]);
+        assert_eq!(p.parts(), vec![vec![1], vec![0, 2], vec![3]]);
+    }
+
+    #[test]
+    fn trivial_partition_has_no_boundary() {
+        let g = two_triangles_bridge();
+        let p = Partition::trivial(6);
+        assert_eq!(p.edge_cut(&g), 0);
+        assert_eq!(p.num_boundary_nodes(&g), 0);
+        assert_eq!(p.k(), 1);
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        let p = Partition::new(vec![0, 0, 0, 1], 2);
+        assert!((p.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "part id out of range")]
+    fn rejects_out_of_range_parts() {
+        Partition::new(vec![0, 2], 2);
+    }
+}

@@ -1,0 +1,266 @@
+//! Boundary Fiduccia–Mattheyses refinement of a bisection.
+
+use crate::coarse::CoarseGraph;
+use apsp_graph::VertexId;
+
+/// A two-way split of a [`CoarseGraph`]: `side[v]` is 0 or 1.
+#[derive(Debug, Clone)]
+pub struct Bisection {
+    /// Side of each vertex.
+    pub side: Vec<u8>,
+    /// Total vertex weight on side 0.
+    pub weight0: u64,
+    /// Total vertex weight on side 1.
+    pub weight1: u64,
+}
+
+impl Bisection {
+    /// Build from a side array.
+    pub fn new(side: Vec<u8>, g: &CoarseGraph) -> Self {
+        assert_eq!(side.len(), g.num_vertices());
+        let mut weight0 = 0;
+        let mut weight1 = 0;
+        for (v, &s) in side.iter().enumerate() {
+            if s == 0 {
+                weight0 += g.vertex_weight[v];
+            } else {
+                weight1 += g.vertex_weight[v];
+            }
+        }
+        Bisection {
+            side,
+            weight0,
+            weight1,
+        }
+    }
+
+    /// Cut weight of the bisection (each undirected edge counted once).
+    pub fn cut(&self, g: &CoarseGraph) -> u64 {
+        let mut cut = 0u64;
+        for v in 0..g.num_vertices() as VertexId {
+            for (u, w) in g.neighbors(v) {
+                if u > v && self.side[u as usize] != self.side[v as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+}
+
+/// FM gain of moving `v` to the other side: external − internal edge weight.
+fn gain(g: &CoarseGraph, side: &[u8], v: VertexId) -> i64 {
+    let sv = side[v as usize];
+    let mut gain = 0i64;
+    for (u, w) in g.neighbors(v) {
+        if side[u as usize] == sv {
+            gain -= w as i64;
+        } else {
+            gain += w as i64;
+        }
+    }
+    gain
+}
+
+/// One FM pass with hill climbing: tentatively move the best-gain boundary
+/// vertex (subject to the balance bound), lock it, repeat; then roll back
+/// to the best prefix. Returns the cut improvement (0 if none).
+///
+/// `max_side_weight` is the balance constraint: neither side may exceed it.
+pub fn fm_pass(g: &CoarseGraph, bis: &mut Bisection, max_side_weight: u64) -> u64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut side = bis.side.clone();
+    let (mut w0, mut w1) = (bis.weight0, bis.weight1);
+    let mut locked = vec![false; n];
+    let mut moves: Vec<VertexId> = Vec::new();
+    let mut cum_gain: i64 = 0;
+    let mut best_gain: i64 = 0;
+    let mut best_prefix = 0usize;
+
+    // Candidate worklist: only boundary vertices can improve the cut, so
+    // each selection scans O(|boundary|) instead of O(n). Moves add the
+    // moved vertex's neighbourhood back into the list.
+    let mut candidates: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| g.neighbors(v).any(|(u, _)| side[u as usize] != side[v as usize]))
+        .collect();
+    let mut queued = vec![false; n];
+    for &v in &candidates {
+        queued[v as usize] = true;
+    }
+
+    // Cap work per pass: FM converges in few moves; bounding the number of
+    // tentative moves keeps a pass near-linear in the boundary size.
+    let move_cap = n.min(candidates.len().max(64) * 4);
+    for _ in 0..move_cap {
+        // Select the best unlocked candidate whose move keeps balance.
+        let mut best: Option<(VertexId, i64)> = None;
+        candidates.retain(|&v| !locked[v as usize]);
+        for &v in &candidates {
+            let vw = g.vertex_weight[v as usize];
+            let feasible = if side[v as usize] == 0 {
+                w1 + vw <= max_side_weight
+            } else {
+                w0 + vw <= max_side_weight
+            };
+            if !feasible {
+                continue;
+            }
+            // Stale entries (no longer on the boundary) can only move for
+            // positive gain.
+            let gv = gain(g, &side, v);
+            let on_boundary = g.neighbors(v).any(|(u, _)| side[u as usize] != side[v as usize]);
+            if !on_boundary && gv <= 0 {
+                continue;
+            }
+            if best.map_or(true, |(_, bg)| gv > bg) {
+                best = Some((v, gv));
+            }
+        }
+        let Some((v, gv)) = best else { break };
+        // Apply the tentative move.
+        let vw = g.vertex_weight[v as usize];
+        if side[v as usize] == 0 {
+            side[v as usize] = 1;
+            w0 -= vw;
+            w1 += vw;
+        } else {
+            side[v as usize] = 0;
+            w1 -= vw;
+            w0 += vw;
+        }
+        locked[v as usize] = true;
+        moves.push(v);
+        for (u, _) in g.neighbors(v) {
+            if !locked[u as usize] && !queued[u as usize] {
+                queued[u as usize] = true;
+                candidates.push(u);
+            }
+        }
+        cum_gain += gv;
+        if cum_gain > best_gain {
+            best_gain = cum_gain;
+            best_prefix = moves.len();
+        }
+        // Early stop: long negative streaks rarely recover.
+        if cum_gain < best_gain - 64 {
+            break;
+        }
+    }
+    if best_gain <= 0 {
+        return 0;
+    }
+    // Commit the best prefix.
+    for &v in &moves[..best_prefix] {
+        let vw = g.vertex_weight[v as usize];
+        if bis.side[v as usize] == 0 {
+            bis.side[v as usize] = 1;
+            bis.weight0 -= vw;
+            bis.weight1 += vw;
+        } else {
+            bis.side[v as usize] = 0;
+            bis.weight1 -= vw;
+            bis.weight0 += vw;
+        }
+    }
+    best_gain as u64
+}
+
+/// Run FM passes until no pass improves the cut (bounded by `max_passes`).
+pub fn refine(g: &CoarseGraph, bis: &mut Bisection, max_side_weight: u64, max_passes: usize) {
+    for _ in 0..max_passes {
+        if fm_pass(g, bis, max_side_weight) == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{grid_2d, GridOptions, WeightRange};
+    use apsp_graph::GraphBuilder;
+
+    fn coarse_of(g: &apsp_graph::CsrGraph) -> CoarseGraph {
+        CoarseGraph::from_graph(g)
+    }
+
+    #[test]
+    fn fm_fixes_an_obviously_bad_split() {
+        // Two cliques of 4 joined by one edge; start with a split that
+        // cuts a clique in half.
+        let mut b = GraphBuilder::new(8).symmetric(true);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                b.add_edge(i, j, 1);
+                b.add_edge(i + 4, j + 4, 1);
+            }
+        }
+        b.add_edge(3, 4, 1);
+        let g = coarse_of(&b.build());
+        // Bad: {0,1,4,5} vs {2,3,6,7}.
+        let side = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let mut bis = Bisection::new(side, &g);
+        let before = bis.cut(&g);
+        refine(&g, &mut bis, 5, 10);
+        let after = bis.cut(&g);
+        assert!(after < before, "cut {before} -> {after}");
+        // Ideal cut is the single bridge (weight 2 with both directions).
+        assert!(after <= 2, "cut = {after}");
+    }
+
+    #[test]
+    fn fm_respects_balance_bound() {
+        let g = coarse_of(&grid_2d(
+            8,
+            8,
+            GridOptions::default(),
+            WeightRange::default(),
+            1,
+        ));
+        let side: Vec<u8> = (0..64).map(|v| if v % 2 == 0 { 0 } else { 1 }).collect();
+        let mut bis = Bisection::new(side, &g);
+        let bound = 40;
+        refine(&g, &mut bis, bound, 20);
+        assert!(bis.weight0 <= bound && bis.weight1 <= bound);
+        assert_eq!(bis.weight0 + bis.weight1, 64);
+    }
+
+    #[test]
+    fn fm_never_worsens_cut() {
+        let g = coarse_of(&grid_2d(
+            10,
+            10,
+            GridOptions::default(),
+            WeightRange::default(),
+            3,
+        ));
+        // Left-half / right-half split is already good.
+        let side: Vec<u8> = (0..100).map(|v| if v % 10 < 5 { 0 } else { 1 }).collect();
+        let mut bis = Bisection::new(side, &g);
+        let before = bis.cut(&g);
+        refine(&g, &mut bis, 55, 10);
+        assert!(bis.cut(&g) <= before);
+    }
+
+    #[test]
+    fn bisection_weights_track_moves() {
+        let mut b = GraphBuilder::new(3).symmetric(true);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = coarse_of(&b.build());
+        let bis = Bisection::new(vec![0, 1, 1], &g);
+        assert_eq!(bis.weight0, 1);
+        assert_eq!(bis.weight1, 2);
+        assert_eq!(bis.cut(&g), 2); // edge 0-1 has multiplicity 2
+    }
+
+    #[test]
+    fn empty_graph_is_a_noop() {
+        let g = coarse_of(&apsp_graph::CsrGraph::empty(0));
+        let mut bis = Bisection::new(vec![], &g);
+        assert_eq!(fm_pass(&g, &mut bis, 10), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: compute all-pairs shortest paths on a simulated GPU.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a small random graph, lets the selector pick the best
+//! out-of-core implementation, and verifies a few distances against the
+//! CPU reference.
+
+use apsp::core::{apsp, ApspOptions};
+use apsp::cpu::bgl_plus_apsp;
+use apsp::graph::generators::{gnp, WeightRange};
+use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+
+fn main() {
+    // A random directed graph: 500 vertices, ~2% density, weights 1–100.
+    let graph = gnp(500, 0.02, WeightRange::new(1, 100), 42);
+    println!(
+        "graph: {} vertices, {} edges, density {:.3}%",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.density() * 100.0
+    );
+
+    // A simulated V100 with little memory, so the out-of-core machinery
+    // actually engages (the full 16 GB profile would hold this output
+    // in-core).
+    let profile = DeviceProfile::v100().with_memory_bytes(512 << 10);
+    let mut device = GpuDevice::new(profile);
+
+    // Let the selector choose between blocked Floyd-Warshall, batched
+    // Johnson's and the boundary algorithm.
+    let result = apsp(&graph, &mut device, &ApspOptions::default()).expect("apsp failed");
+    println!("selected algorithm : {}", result.algorithm);
+    if let Some(sel) = &result.selection {
+        for (alg, est) in &sel.estimates {
+            println!("  estimated {alg}: {est:.6} simulated seconds");
+        }
+    }
+    println!("simulated time     : {:.6} s", result.sim_seconds);
+    println!(
+        "device transfers   : {:.1} MiB down, {:.1} MiB up",
+        result.report.bytes_d2h as f64 / (1 << 20) as f64,
+        result.report.bytes_h2d as f64 / (1 << 20) as f64
+    );
+
+    // Spot-check against the multicore CPU reference.
+    let reference = bgl_plus_apsp(&graph);
+    for &(i, j) in &[(0usize, 499usize), (7, 123), (250, 250)] {
+        let got = result.store.get(i, j).expect("store read");
+        assert_eq!(got, reference.get(i, j), "distance ({i}, {j})");
+        println!("dist({i:3}, {j:3}) = {got}");
+    }
+    println!("verified against the CPU reference ✓");
+}

@@ -1,0 +1,35 @@
+//! Facade crate for the out-of-core GPU APSP suite.
+//!
+//! Re-exports the individual crates so examples, integration tests and
+//! downstream users get the whole system with a single dependency:
+//!
+//! ```
+//! use apsp::graph::generators::{gnp, WeightRange};
+//! use apsp::prelude::*;
+//!
+//! let g = gnp(64, 0.1, WeightRange::default(), 7);
+//! assert_eq!(g.num_vertices(), 64);
+//! ```
+
+/// Graph substrate: CSR storage, generators, Matrix Market IO, statistics.
+pub use apsp_graph as graph;
+
+/// Multilevel k-way graph partitioner (METIS substitute).
+pub use apsp_partition as partition;
+
+/// Discrete-event GPU device simulator.
+pub use apsp_gpu_sim as gpu_sim;
+
+/// Device kernels (min-plus multiply, blocked FW, Near-Far SSSP, MSSP).
+pub use apsp_kernels as kernels;
+
+/// Multicore CPU baselines (BGL-Plus, blocked FW, delta-stepping, …).
+pub use apsp_cpu as cpu;
+
+/// The paper's contribution: out-of-core implementations and the selector.
+pub use apsp_core as core;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use apsp_graph::{CsrGraph, Dist, GraphBuilder, VertexId, INF};
+}

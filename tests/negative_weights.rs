@@ -1,0 +1,75 @@
+//! Negative-weight APSP end to end: Johnson reweighting in front of the
+//! out-of-core GPU machinery.
+
+use apsp::core::options::{Algorithm, ApspOptions};
+use apsp::core::apsp;
+use apsp::cpu::johnson_reweight::{Reweighted, SignedEdge};
+use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random signed graph guaranteed free of negative cycles: weights are
+/// `w(u,v) = base(u,v) + p(u) − p(v)` for random non-negative `base` and
+/// random potentials `p`, which telescopes to ≥ 0 around every cycle.
+fn random_signed_graph(n: usize, m: usize, seed: u64) -> Vec<SignedEdge> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+    (0..m)
+        .map(|_| {
+            let src = rng.gen_range(0..n as u32);
+            let mut dst = rng.gen_range(0..n as u32);
+            if dst == src {
+                dst = (dst + 1) % n as u32;
+            }
+            let base = rng.gen_range(0..30i64);
+            SignedEdge {
+                src,
+                dst,
+                weight: base + p[src as usize] - p[dst as usize],
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn reweighted_ooc_apsp_matches_signed_reference() {
+    let n = 80;
+    let edges = random_signed_graph(n, 600, 99);
+    assert!(
+        edges.iter().any(|e| e.weight < 0),
+        "test needs actual negative edges"
+    );
+    let rw = Reweighted::new(n, &edges).expect("no negative cycles by construction");
+    let reference = rw.apsp();
+
+    // Run the reweighted (non-negative) graph through every out-of-core
+    // implementation and translate distances back.
+    for alg in [
+        Algorithm::FloydWarshall,
+        Algorithm::Johnson,
+        Algorithm::Boundary,
+    ] {
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        let opts = ApspOptions {
+            algorithm: Some(alg),
+            ..Default::default()
+        };
+        let result = apsp(&rw.graph, &mut dev, &opts).unwrap();
+        for i in 0..n {
+            let row = result.store.read_row(i).unwrap();
+            for j in 0..n {
+                let got = rw.true_distance(i as u32, j as u32, row[j]);
+                assert_eq!(got, reference[i][j], "{alg}: pair ({i}, {j})");
+            }
+        }
+    }
+}
+
+#[test]
+fn negative_distances_actually_occur() {
+    let edges = random_signed_graph(40, 200, 7);
+    let rw = Reweighted::new(40, &edges).unwrap();
+    let d = rw.apsp();
+    let any_negative = (0..40).any(|i| (0..40).any(|j| matches!(d[i][j], Some(x) if x < 0)));
+    assert!(any_negative, "the signed construction should produce negative shortest distances");
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the GPU simulator and the tile store —
+//! invariants the out-of-core algorithms silently rely on.
+
+use apsp::core::{StorageBackend, TileStore};
+use apsp::cpu::blocked_fw::minplus_tile;
+use apsp::graph::{dist_add, INF};
+use apsp::gpu_sim::{DeviceProfile, Engine, GpuDevice, KernelCost, LaunchConfig, Timeline};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Timeline scheduling is monotone and conservative: the makespan is
+    /// at least the longest single op, at most the sum of all ops, and
+    /// engine busy totals never exceed the makespan.
+    #[test]
+    fn timeline_makespan_bounds(
+        ops in proptest::collection::vec((0u8..3, 0u8..2, 1u32..10_000u32), 1..60)
+    ) {
+        let mut tl = Timeline::new();
+        let s1 = tl.create_stream();
+        let mut total = 0.0f64;
+        let mut longest = 0.0f64;
+        for (engine_pick, stream_pick, micros) in ops {
+            let engine = match engine_pick {
+                0 => Engine::Compute,
+                1 => Engine::CopyH2D,
+                _ => Engine::CopyD2H,
+            };
+            let stream = if stream_pick == 0 { tl.default_stream() } else { s1 };
+            let dur = micros as f64 * 1e-6;
+            let (start, end) = tl.schedule(stream, engine, dur);
+            prop_assert!(end >= start);
+            total += dur;
+            longest = longest.max(dur);
+        }
+        let makespan = tl.synchronize().seconds();
+        prop_assert!(makespan >= longest - 1e-15);
+        prop_assert!(makespan <= total + 1e-12);
+        for engine in [Engine::Compute, Engine::CopyH2D, Engine::CopyD2H] {
+            prop_assert!(tl.engine_busy(engine) <= makespan + 1e-12);
+        }
+    }
+
+    /// Kernel durations are monotone in every cost component.
+    #[test]
+    fn kernel_cost_monotone(
+        flops in 0.0f64..1e13,
+        bytes in 0.0f64..1e12,
+        extra in 1.0f64..1e12,
+        blocks in 1u32..4096,
+    ) {
+        let p = DeviceProfile::v100();
+        let lc = LaunchConfig::new(blocks, 256);
+        let base = KernelCost::regular(flops, bytes).duration(&p, lc);
+        prop_assert!(KernelCost::regular(flops + extra, bytes).duration(&p, lc) >= base);
+        prop_assert!(KernelCost::regular(flops, bytes + extra).duration(&p, lc) >= base);
+        prop_assert!(KernelCost::irregular(flops, bytes, 2.0).duration(&p, lc) >= base);
+        // More blocks never slows a kernel down.
+        let more_blocks = LaunchConfig::new(blocks.saturating_mul(2).max(blocks + 1), 256);
+        prop_assert!(KernelCost::regular(flops, bytes).duration(&p, more_blocks) <= base + 1e-15);
+    }
+
+    /// Device memory accounting: allocations and frees always balance,
+    /// and capacity is a hard ceiling.
+    #[test]
+    fn memory_pool_balances(sizes in proptest::collection::vec(1usize..5000, 1..40)) {
+        let capacity = 64 << 10;
+        let dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(capacity));
+        let mut held = Vec::new();
+        for len in sizes {
+            match dev.alloc::<u32>(len) {
+                Ok(buf) => held.push(buf),
+                Err(e) => {
+                    prop_assert!(e.requested > e.available);
+                    prop_assert_eq!(e.capacity, capacity);
+                }
+            }
+            prop_assert!(dev.used_memory() <= capacity);
+        }
+        let used: u64 = held.iter().map(|b| b.bytes()).sum();
+        prop_assert_eq!(dev.used_memory(), used);
+        held.clear();
+        prop_assert_eq!(dev.used_memory(), 0);
+    }
+
+    /// Min-plus tile update is the min-plus semiring product: idempotent
+    /// under repetition with a converged C, monotone (never increases a
+    /// cell), and INF-absorbing.
+    #[test]
+    fn minplus_semiring_laws(
+        a in proptest::collection::vec(0u32..1000, 9),
+        b in proptest::collection::vec(0u32..1000, 9),
+    ) {
+        let mut c = vec![INF; 9];
+        minplus_tile(&mut c, 3, &a, 3, &b, 3, 3, 3, 3);
+        // Each cell equals the explicit min-plus product.
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = (0..3).map(|k| dist_add(a[i * 3 + k], b[k * 3 + j])).min().unwrap();
+                prop_assert_eq!(c[i * 3 + j], expect);
+            }
+        }
+        // Monotonicity: re-applying can only keep or lower values…
+        let before = c.clone();
+        minplus_tile(&mut c, 3, &a, 3, &b, 3, 3, 3, 3);
+        for (x, y) in c.iter().zip(before.iter()) {
+            prop_assert!(x <= y);
+        }
+        // …and with the same operands it is exactly idempotent.
+        prop_assert_eq!(&c, &before);
+    }
+
+    /// Tile store: arbitrary interleavings of row/block writes read back
+    /// exactly, identically on both backends.
+    #[test]
+    fn tile_store_backends_agree(
+        n in 2usize..12,
+        writes in proptest::collection::vec((0usize..12, 0usize..12, 0u32..100), 0..20),
+    ) {
+        let dir = std::env::temp_dir().join("apsp_prop_store");
+        let mut mem = TileStore::new(n, &StorageBackend::Memory).unwrap();
+        let mut disk = TileStore::new(n, &StorageBackend::Disk(dir)).unwrap();
+        for (i_raw, j_raw, v) in writes {
+            let (i, j) = (i_raw % n, j_raw % n);
+            mem.write_block(i..i + 1, j..j + 1, &[v]).unwrap();
+            disk.write_block(i..i + 1, j..j + 1, &[v]).unwrap();
+        }
+        for i in 0..n {
+            prop_assert_eq!(mem.read_row(i).unwrap(), disk.read_row(i).unwrap());
+        }
+    }
+}

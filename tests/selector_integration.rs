@@ -1,0 +1,101 @@
+//! Selector behaviour end to end: density filtering, cost-model sanity
+//! and scaled-threshold handling.
+
+use apsp::core::options::{Algorithm, ApspOptions, JohnsonOptions};
+use apsp::core::selector::{CostModels, JohnsonModel};
+use apsp::core::{apsp, SelectorConfig};
+use apsp::graph::generators::{gnp, grid_2d, GridOptions, WeightRange};
+use apsp::graph::stats::DensityClass;
+use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+
+#[test]
+fn density_filter_controls_candidates() {
+    let profile = DeviceProfile::v100().with_memory_bytes(2 << 20);
+    let run = |g: &apsp::graph::CsrGraph, cfg: SelectorConfig| {
+        let mut dev = GpuDevice::new(profile.clone());
+        let opts = ApspOptions {
+            selector: cfg,
+            ..Default::default()
+        };
+        apsp(g, &mut dev, &opts).unwrap().selection.unwrap()
+    };
+
+    // Dense: candidates are Johnson + FW; boundary excluded.
+    let dense = gnp(90, 0.2, WeightRange::default(), 1);
+    let sel = run(&dense, SelectorConfig::default());
+    assert_eq!(sel.class, DensityClass::Dense);
+    let algos: Vec<_> = sel.estimates.iter().map(|&(a, _)| a).collect();
+    assert!(algos.contains(&Algorithm::FloydWarshall));
+    assert!(!algos.contains(&Algorithm::Boundary));
+
+    // Middle band: Johnson only (the paper's rule 3).
+    let grid = grid_2d(12, 12, GridOptions::default(), WeightRange::default(), 2);
+    let mid_cfg = SelectorConfig {
+        density_lo: 1e-4,
+        density_hi: 0.9,
+        ..Default::default()
+    };
+    let sel = run(&grid, mid_cfg);
+    assert_eq!(sel.class, DensityClass::Sparse);
+    assert_eq!(sel.algorithm, Algorithm::Johnson);
+    assert_eq!(sel.estimates.len(), 1);
+
+    // Very sparse: Johnson vs boundary; FW excluded.
+    let vs_cfg = SelectorConfig {
+        density_lo: 0.5,
+        density_hi: 0.9,
+        ..Default::default()
+    };
+    let sel = run(&grid, vs_cfg);
+    assert_eq!(sel.class, DensityClass::VerySparse);
+    let algos: Vec<_> = sel.estimates.iter().map(|&(a, _)| a).collect();
+    assert!(algos.contains(&Algorithm::Boundary));
+    assert!(!algos.contains(&Algorithm::FloydWarshall));
+}
+
+#[test]
+fn scaled_config_reclassifies_consistently() {
+    // A graph that is Sparse at paper thresholds must stay in the same
+    // class when both the graph and the thresholds are "scaled" — here we
+    // only check the threshold arithmetic.
+    let base = SelectorConfig::default();
+    let scaled = SelectorConfig::scaled(16);
+    assert!((scaled.density_hi / base.density_hi - 16.0).abs() < 1e-9);
+    assert!((scaled.density_lo / base.density_lo - 16.0).abs() < 1e-9);
+}
+
+#[test]
+fn johnson_probe_extrapolates_within_factor_two() {
+    // The core claim behind the paper's sampling model: 5 batches predict
+    // the full run.
+    let g = gnp(300, 0.03, WeightRange::default(), 17);
+    let profile = DeviceProfile::v100().with_memory_bytes(700 << 10);
+    let cfg = SelectorConfig::default();
+    let jopts = JohnsonOptions::default();
+    let probe = JohnsonModel::probe(&profile, &g, &cfg, &jopts).unwrap();
+    assert!(probe.total_batches > probe.sampled, "need extrapolation to test");
+    let models = CostModels::calibrate(&profile);
+    let mut dev = GpuDevice::new(profile);
+    let opts = ApspOptions {
+        algorithm: Some(Algorithm::Johnson),
+        johnson: jopts,
+        ..Default::default()
+    };
+    let actual = apsp(&g, &mut dev, &opts).unwrap().sim_seconds;
+    let predicted = probe.estimate_seconds(&models, &g);
+    let ratio = predicted / actual;
+    assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn forced_algorithm_bypasses_probing() {
+    let g = gnp(80, 0.05, WeightRange::default(), 23);
+    let mut dev = GpuDevice::new(DeviceProfile::v100());
+    let opts = ApspOptions {
+        algorithm: Some(Algorithm::Boundary),
+        ..Default::default()
+    };
+    let result = apsp(&g, &mut dev, &opts).unwrap();
+    assert!(result.selection.is_none());
+    assert_eq!(result.algorithm, Algorithm::Boundary);
+}

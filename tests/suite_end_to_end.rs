@@ -1,0 +1,93 @@
+//! End-to-end runs over tiny-scale analogs of the paper's input suite.
+
+use apsp::core::{apsp, ApspOptions, SelectorConfig, StorageBackend};
+use apsp::cpu::dijkstra_sssp;
+use apsp::graph::suite::{SuiteConfig, TABLE3, TABLE4};
+use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+
+/// Deep scale so every analog stays test-sized.
+fn cfg() -> SuiteConfig {
+    SuiteConfig {
+        scale: 256,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn table3_analogs_run_and_spot_check() {
+    for entry in TABLE3 {
+        let g = entry.generate(&cfg());
+        let n = g.num_vertices();
+        // Device scaled so the output cannot fit (out-of-core regime),
+        // floored at a few × the CSR input (which always fits the
+        // paper's real 16 GB device).
+        let mem = ((n * n) as u64)
+            .max(1 << 14)
+            .max(4 * g.storage_bytes() as u64);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(mem));
+        let opts = ApspOptions {
+            selector: SelectorConfig::scaled(256),
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &opts)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", entry.name));
+        // Spot-check three rows against Dijkstra.
+        for src in [0usize, n / 2, n - 1] {
+            let expect = dijkstra_sssp(&g, src as u32);
+            let got = result.store.read_row(src).unwrap();
+            assert_eq!(got, expect, "{} row {src} via {}", entry.name, result.algorithm);
+        }
+    }
+}
+
+#[test]
+fn table4_analogs_run_with_disk_spill() {
+    let dir = std::env::temp_dir().join("apsp_suite_e2e");
+    for entry in TABLE4.iter().take(4) {
+        let g = entry.generate(&cfg());
+        let n = g.num_vertices();
+        let mut dev =
+            GpuDevice::new(DeviceProfile::v100().with_memory_bytes(((n * n) as u64).max(1 << 14)));
+        let opts = ApspOptions {
+            storage: StorageBackend::Disk(dir.clone()),
+            selector: SelectorConfig::scaled(256),
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &opts)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", entry.name));
+        assert!(result.store.is_disk_backed());
+        let expect = dijkstra_sssp(&g, 0);
+        assert_eq!(result.store.read_row(0).unwrap(), expect, "{}", entry.name);
+    }
+}
+
+#[test]
+fn small_separator_entries_partition_small() {
+    // The classification column of Table III must be reproducible from
+    // the analogs: small-separator entries stay within a few × of the
+    // planar ideal, FEM entries blow past it.
+    let cfg = SuiteConfig {
+        scale: 64,
+        ..Default::default()
+    };
+    let mut worst_small = 0.0f64;
+    let mut best_large = f64::INFINITY;
+    for entry in TABLE3 {
+        let g = entry.generate(&cfg);
+        let n = g.num_vertices();
+        let k = apsp::core::ooc_boundary::default_num_components(n);
+        let p = apsp::partition::kway_partition(&g, k, &Default::default());
+        let nb = p.num_boundary_nodes(&g) as f64;
+        let ideal = ((k * n) as f64).sqrt();
+        let ratio = nb / ideal;
+        if entry.small_separator {
+            worst_small = worst_small.max(ratio);
+        } else {
+            best_large = best_large.min(ratio);
+        }
+    }
+    assert!(
+        worst_small < best_large,
+        "separator classes overlap: worst small {worst_small:.2} vs best large {best_large:.2}"
+    );
+}
