@@ -1,0 +1,150 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//! The build environment cannot reach crates.io, so the benches link a
+//! minimal harness instead: each benchmark runs a short warm-up plus a
+//! fixed measured loop and prints mean wall-clock time per iteration.
+//! No statistics, no HTML reports — enough to keep `cargo bench`
+//! compiling and producing comparable numbers between commits.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Measured iterations per benchmark (after one warm-up call).
+const MEASURED_ITERS: u32 = 10;
+
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        let per_iter = start.elapsed() / self.iters;
+        println!("    {per_iter:?}/iter over {} iters", self.iters);
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: MEASURED_ITERS,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        println!("bench {id}");
+        f(&mut Bencher {
+            iters: MEASURED_ITERS,
+        });
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u32,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u32).max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        println!("bench {}/{id}", self.name);
+        f(&mut Bencher {
+            iters: self.sample_size,
+        });
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Display, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("bench {}/{id}", self.name);
+        f(
+            &mut Bencher {
+                iters: self.sample_size,
+            },
+            input,
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_round_trips() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("f", 1), &41u32, |b, &x| {
+                b.iter(|| x + 1);
+            });
+            g.finish();
+        }
+        assert!(ran >= 3);
+    }
+}

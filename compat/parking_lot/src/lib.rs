@@ -1,0 +1,72 @@
+//! Offline stand-in for the subset of `parking_lot` this workspace uses:
+//! a `Mutex` with an infallible, poison-free `lock()` and a `const fn
+//! new` (required by `static` cost-model caches). Backed by
+//! `std::sync::Mutex`; a poisoned lock is recovered rather than
+//! propagated, matching parking_lot's no-poisoning semantics.
+
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    static GLOBAL: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+
+    #[test]
+    fn const_new_supports_statics() {
+        GLOBAL.lock().push(1);
+        assert_eq!(GLOBAL.lock().len(), 1);
+    }
+
+    #[test]
+    fn lock_recovers_from_panicking_holder() {
+        let m = std::sync::Arc::new(Mutex::new(5u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison the std mutex underneath");
+        })
+        .join();
+        assert_eq!(*m.lock(), 5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses. The
+//! build environment cannot reach crates.io, so `par_iter`,
+//! `par_chunks_mut` and `into_par_iter` fall back to their sequential
+//! `std` equivalents. Call sites keep rayon's API; swapping the real
+//! crate back in is a one-line manifest change.
+//!
+//! The CPU baselines lose parallel speedup under this shim, but every
+//! algorithm stays correct: the parallel loops they express are
+//! embarrassingly parallel and order-independent.
+
+/// `slice.par_chunks_mut(size)` -> sequential `chunks_mut(size)`.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// `slice.par_iter()` -> sequential `iter()`.
+pub trait IntoParallelRefIterator<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+impl<T> IntoParallelRefIterator<T> for Vec<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+/// `x.into_par_iter()` -> sequential `into_iter()`; covers ranges,
+/// vectors — anything `IntoIterator`.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_and_iters_match_std() {
+        let mut v: Vec<u32> = (0..10).collect();
+        for (i, chunk) in v.par_chunks_mut(3).enumerate() {
+            for x in chunk.iter_mut() {
+                *x += i as u32 * 100;
+            }
+        }
+        assert_eq!(v[3], 103);
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), 10);
+        let sum: usize = (0..5usize).into_par_iter().filter(|&i| i != 2).sum();
+        assert_eq!(sum, 8);
+    }
+}

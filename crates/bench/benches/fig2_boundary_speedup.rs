@@ -19,8 +19,9 @@ fn bench(c: &mut Criterion) {
     for run in &runs {
         group.bench_function(run.entry.name, |b| {
             b.iter(|| {
-                let out = run_boundary(&profile, black_box(&run.graph), &BoundaryOptions::default())
-                    .unwrap();
+                let out =
+                    run_boundary(&profile, black_box(&run.graph), &BoundaryOptions::default())
+                        .unwrap();
                 black_box(out.0)
             })
         });

@@ -3,8 +3,8 @@
 
 use apsp_cpu::blocked_fw::blocked_floyd_warshall;
 use apsp_cpu::DistMatrix;
-use apsp_graph::generators::{gnp, random_geometric, WeightRange};
 use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+use apsp_graph::generators::{gnp, random_geometric, WeightRange};
 use apsp_kernels::fw_block::fw_device;
 use apsp_kernels::minplus::minplus_product;
 use apsp_kernels::near_far_sssp;
@@ -76,7 +76,12 @@ fn bench_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("kway_partition");
     group.sample_size(10);
     for n in [1_000usize, 4_000] {
-        let g = random_geometric(n, (8.0 / (n as f64 * 3.14)).sqrt(), WeightRange::default(), 9);
+        let g = random_geometric(
+            n,
+            (8.0 / (n as f64 * std::f64::consts::PI)).sqrt(),
+            WeightRange::default(),
+            9,
+        );
         group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
             b.iter(|| {
                 let p = kway_partition(g, 16, &PartitionConfig::default());
@@ -87,5 +92,11 @@ fn bench_partition(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_minplus, bench_fw, bench_sssp, bench_partition);
+criterion_group!(
+    benches,
+    bench_minplus,
+    bench_fw,
+    bench_sssp,
+    bench_partition
+);
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 
 use apsp_bench::experiments::run_johnson;
 use apsp_bench::{scaled_johnson_for, scaled_k80, scaled_v100};
-use apsp_graph::generators::{rmat, RmatParams, WeightRange};
 use apsp_gpu_sim::DeviceProfile;
+use apsp_graph::generators::{rmat, RmatParams, WeightRange};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -13,7 +13,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table5_rmat");
     group.sample_size(10);
     for n in [256usize, 512, 1024] {
-        let g = rmat(n, 16 * n, RmatParams::scale_free(), WeightRange::default(), n as u64);
+        let g = rmat(
+            n,
+            16 * n,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            n as u64,
+        );
         for (tag, base, profile) in [
             ("v100", DeviceProfile::v100(), scaled_v100(scale)),
             ("k80", DeviceProfile::k80(), scaled_k80(scale)),

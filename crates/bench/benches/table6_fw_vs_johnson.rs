@@ -16,7 +16,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table6");
     group.sample_size(10);
     // FW once (its time is density-independent).
-    let sparse = rmat(n, 2 * n, RmatParams::scale_free(), WeightRange::default(), 1);
+    let sparse = rmat(
+        n,
+        2 * n,
+        RmatParams::scale_free(),
+        WeightRange::default(),
+        1,
+    );
     group.bench_function("blocked_fw", |b| {
         b.iter(|| {
             let out = run_fw(&profile, black_box(&sparse), &FwOptions::default()).unwrap();
@@ -24,7 +30,13 @@ fn bench(c: &mut Criterion) {
         })
     });
     for deg in [2usize, 8, 32] {
-        let g = rmat(n, deg * n, RmatParams::scale_free(), WeightRange::default(), deg as u64);
+        let g = rmat(
+            n,
+            deg * n,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            deg as u64,
+        );
         group.bench_with_input(BenchmarkId::new("johnson_deg", deg), &g, |b, g| {
             b.iter(|| {
                 let out = run_johnson(&profile, black_box(g), &jopts).unwrap();

@@ -19,10 +19,10 @@
 
 use apsp_core::options::Algorithm;
 use apsp_core::{apsp, ApspOptions, StorageBackend};
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_graph::io::{read_matrix_market, WeightMode};
 use apsp_graph::io_dimacs::read_dimacs;
 use apsp_graph::CsrGraph;
-use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use std::path::PathBuf;
 
 struct Args {
@@ -55,27 +55,47 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--device" => args.device = it.next().ok_or("--device needs a value")?,
             "--memory-mib" => {
-                args.memory_mib =
-                    Some(it.next().ok_or("--memory-mib needs a value")?.parse().map_err(|_| "bad --memory-mib")?)
+                args.memory_mib = Some(
+                    it.next()
+                        .ok_or("--memory-mib needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --memory-mib")?,
+                )
             }
             "--algorithm" => {
-                args.algorithm = Some(match it.next().ok_or("--algorithm needs a value")?.as_str() {
-                    "fw" => Algorithm::FloydWarshall,
-                    "johnson" => Algorithm::Johnson,
-                    "boundary" => Algorithm::Boundary,
-                    other => return Err(format!("unknown algorithm '{other}'")),
-                })
+                args.algorithm = Some(
+                    match it.next().ok_or("--algorithm needs a value")?.as_str() {
+                        "fw" => Algorithm::FloydWarshall,
+                        "johnson" => Algorithm::Johnson,
+                        "boundary" => Algorithm::Boundary,
+                        other => return Err(format!("unknown algorithm '{other}'")),
+                    },
+                )
             }
-            "--spill" => args.spill = Some(PathBuf::from(it.next().ok_or("--spill needs a value")?)),
+            "--spill" => {
+                args.spill = Some(PathBuf::from(it.next().ok_or("--spill needs a value")?))
+            }
             "--scale" => {
-                args.scale =
-                    Some(it.next().ok_or("--scale needs a value")?.parse().map_err(|_| "bad --scale")?)
+                args.scale = Some(
+                    it.next()
+                        .ok_or("--scale needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --scale")?,
+                )
             }
             "--sample" => {
-                args.sample = it.next().ok_or("--sample needs a value")?.parse().map_err(|_| "bad --sample")?
+                args.sample = it
+                    .next()
+                    .ok_or("--sample needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --sample")?
             }
             "--verify" => {
-                args.verify = it.next().ok_or("--verify needs a value")?.parse().map_err(|_| "bad --verify")?
+                args.verify = it
+                    .next()
+                    .ok_or("--verify needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --verify")?
             }
             "--trace" => args.trace = true,
             other if !got_path && !other.starts_with("--") => {

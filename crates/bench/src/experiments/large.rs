@@ -2,12 +2,15 @@
 //! and R-MAT scaling.
 
 use crate::experiments::label;
-use crate::{build_analogs, fmt_secs, scale_or, scaled_johnson, scaled_k80, scaled_selector, scaled_v100, Table};
+use crate::{
+    build_analogs, fmt_secs, scale_or, scaled_johnson, scaled_k80, scaled_selector, scaled_v100,
+    Table,
+};
 use apsp_core::ooc_johnson::ooc_johnson;
 use apsp_core::{apsp, ApspOptions, StorageBackend, TileStore};
+use apsp_gpu_sim::GpuDevice;
 use apsp_graph::generators::{rmat, RmatParams, WeightRange};
 use apsp_graph::suite::TABLE4;
-use apsp_gpu_sim::GpuDevice;
 
 /// Fig 5: execution times on the Table IV analogs with a disk-backed
 /// result store (the "output does not fit in CPU memory" regime). The
@@ -76,15 +79,30 @@ pub fn table5() {
     for paper_n in paper_sizes {
         let n = (paper_n / scale).max(64);
         let m = n * avg_deg;
-        let g = rmat(n, m, RmatParams::scale_free(), WeightRange::default(), 0x7AB1E5 ^ n as u64);
-        let mut row = vec![paper_n.to_string(), n.to_string(), g.num_edges().to_string()];
+        let g = rmat(
+            n,
+            m,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            0x7AB1E5 ^ n as u64,
+        );
+        let mut row = vec![
+            paper_n.to_string(),
+            n.to_string(),
+            g.num_edges().to_string(),
+        ];
         for (base, profile) in [
             (apsp_gpu_sim::DeviceProfile::v100(), scaled_v100(scale)),
             (apsp_gpu_sim::DeviceProfile::k80(), scaled_k80(scale)),
         ] {
             let mut dev = GpuDevice::new(profile);
             let mut store = TileStore::new(n, &StorageBackend::Memory).unwrap();
-            match ooc_johnson(&mut dev, &g, &mut store, &crate::scaled_johnson_for(&base, scale)) {
+            match ooc_johnson(
+                &mut dev,
+                &g,
+                &mut store,
+                &crate::scaled_johnson_for(&base, scale),
+            ) {
                 Ok(stats) => {
                     let nm_per_s = (n as f64) * (g.num_edges() as f64) / stats.sim_seconds;
                     row.push(fmt_secs(stats.sim_seconds));

@@ -16,8 +16,8 @@ use apsp_core::ooc_fw::{init_store_from_graph, ooc_floyd_warshall, FwRunStats};
 use apsp_core::ooc_johnson::{ooc_johnson, JohnsonRunStats};
 use apsp_core::options::{BoundaryOptions, FwOptions, JohnsonOptions};
 use apsp_core::{ApspError, StorageBackend, TileStore};
-use apsp_graph::CsrGraph;
 use apsp_gpu_sim::{DeviceProfile, GpuDevice, SimReport};
+use apsp_graph::CsrGraph;
 
 /// Run the boundary algorithm; returns (sim seconds, stats, profile
 /// report).

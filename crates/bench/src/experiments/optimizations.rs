@@ -46,7 +46,15 @@ pub fn fig8() {
             run_boundary(&profile, &run.graph, &batched),
             run_boundary(&profile, &run.graph, &both),
         ) else {
-            t.row(vec![label(&run), "-".into(), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            t.row(vec![
+                label(&run),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         let speedup = t_naive / t_batch;
@@ -79,7 +87,13 @@ pub fn ablation_dynpar() {
     let mut t = Table::new(vec!["m", "bat", "DP off", "DP on", "speedup"]);
     for deg in [32usize, 64, 128] {
         let m = n * deg;
-        let g = rmat(n, m, RmatParams::scale_free(), WeightRange::default(), 0xD1 + deg as u64);
+        let g = rmat(
+            n,
+            m,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            0xD1 + deg as u64,
+        );
         let mut off = scaled_johnson(scale);
         off.dynamic_parallelism = DynamicParallelism::Off;
         // Shrink the batch to force under-utilization, as happens at
@@ -159,7 +173,12 @@ pub fn ablation_delta() {
                 stats.work.total_relaxations().to_string(),
                 stats.work.near_iterations.to_string(),
             ]),
-            Err(e) => t.row(vec![delta.to_string(), format!("{e}"), "-".into(), "-".into()]),
+            Err(e) => t.row(vec![
+                delta.to_string(),
+                format!("{e}"),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
     t.print();
@@ -239,8 +258,8 @@ pub fn ablation_incore() {
         );
         let mut d1 = GpuDevice::new(profile.clone());
         let in_core = in_core_fw(&mut d1, &g).map(|(_, s)| s.sim_seconds);
-        let ooc = crate::experiments::run_fw(&profile, &g, &FwOptions::default())
-            .map(|(s, _, _)| s);
+        let ooc =
+            crate::experiments::run_fw(&profile, &g, &FwOptions::default()).map(|(s, _, _)| s);
         let overhead = match (&in_core, &ooc) {
             (Ok(i), Ok(o)) => format!("{:+.1}%", (o / i - 1.0) * 100.0),
             _ => "-".into(),

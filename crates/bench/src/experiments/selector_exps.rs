@@ -6,9 +6,9 @@ use crate::{
 };
 use apsp_core::options::{BoundaryOptions, FwOptions};
 use apsp_core::selector::{CostModels, JohnsonModel};
+use apsp_gpu_sim::DeviceProfile;
 use apsp_graph::generators::{rmat, RmatParams, WeightRange};
 use apsp_graph::suite::table3_small_separator;
-use apsp_gpu_sim::DeviceProfile;
 
 /// Fig 6: estimated vs actual times of boundary and Johnson on the
 /// small-separator graphs, V100. The paper's bar: the model "can quite
@@ -58,8 +58,16 @@ fn fig_estimate_vs_actual(tag: &str, base: &DeviceProfile, scale: usize) {
         let act_j = run_johnson(&profile, g, &jopts)
             .map(|(s, _, _)| s)
             .unwrap_or(f64::INFINITY);
-        let selected = if est_b <= est_j { "boundary" } else { "Johnson" };
-        let best = if act_b <= act_j { "boundary" } else { "Johnson" };
+        let selected = if est_b <= est_j {
+            "boundary"
+        } else {
+            "Johnson"
+        };
+        let best = if act_b <= act_j {
+            "boundary"
+        } else {
+            "Johnson"
+        };
         total += 1;
         if selected == best {
             correct += 1;
@@ -85,7 +93,9 @@ fn fig_estimate_vs_actual(tag: &str, base: &DeviceProfile, scale: usize) {
 /// selector always picking the winner.
 pub fn table6() {
     let scale = scale_or(32);
-    println!("== Table VI: Johnson vs blocked FW selection, fixed n, doubling m (scale 1/{scale}) ==");
+    println!(
+        "== Table VI: Johnson vs blocked FW selection, fixed n, doubling m (scale 1/{scale}) =="
+    );
     let profile = scaled_v100(scale);
     let models = CostModels::calibrate(&profile);
     let cfg = scaled_selector(scale);

@@ -21,7 +21,12 @@ pub fn fig2() {
     println!("paper speedup band: 8.22x .. 12.40x");
     let cpu = CpuCostModel::default();
     let profile = scaled_v100(scale);
-    let mut t = Table::new(vec!["graph", "BGL-Plus (model)", "boundary (sim)", "speedup"]);
+    let mut t = Table::new(vec![
+        "graph",
+        "BGL-Plus (model)",
+        "boundary (sim)",
+        "speedup",
+    ]);
     let mut speedups = Vec::new();
     for run in build_analogs(&table3_small_separator(), scale) {
         let (n, m) = (run.graph.num_vertices(), run.graph.num_edges());
@@ -37,7 +42,12 @@ pub fn fig2() {
                     format!("{speedup:.2}x"),
                 ]);
             }
-            Err(e) => t.row(vec![label(&run), fmt_secs(cpu_s), format!("{e}"), "-".into()]),
+            Err(e) => t.row(vec![
+                label(&run),
+                fmt_secs(cpu_s),
+                format!("{e}"),
+                "-".into(),
+            ]),
         }
     }
     t.print();

@@ -1,8 +1,8 @@
 //! Tables I–IV: algorithm summary, device specs, and the input suites.
 
 use crate::{build_analogs, scale_or, suite_config, Table};
-use apsp_graph::suite::{SuiteEntry, TABLE3, TABLE4};
 use apsp_gpu_sim::DeviceProfile;
+use apsp_graph::suite::{SuiteEntry, TABLE3, TABLE4};
 use apsp_partition::{kway_partition, PartitionConfig};
 
 /// Table I: the qualitative comparison of the three implementations.
@@ -21,12 +21,7 @@ pub fn table1() {
         "irregular",
         "regular",
     ]);
-    t.row(vec![
-        "data movement",
-        "O(n_d * n^2)",
-        "O(n^2)",
-        "O(n^2)",
-    ]);
+    t.row(vec!["data movement", "O(n_d * n^2)", "O(n^2)", "O(n^2)"]);
     t.row(vec![
         "target graphs",
         "dense",
@@ -43,9 +38,8 @@ pub fn table2() {
     let mut t = Table::new(vec!["property", "Tesla V100", "Tesla K80"]);
     let v = DeviceProfile::v100();
     let k = DeviceProfile::k80();
-    let row = |name: &str, f: &dyn Fn(&DeviceProfile) -> String| {
-        vec![name.to_string(), f(&v), f(&k)]
-    };
+    let row =
+        |name: &str, f: &dyn Fn(&DeviceProfile) -> String| vec![name.to_string(), f(&v), f(&k)];
     let mut push = |name: &str, f: &dyn Fn(&DeviceProfile) -> String| {
         t.row(row(name, f));
     };
@@ -112,7 +106,12 @@ fn suite_table(title: &str, entries: &[SuiteEntry], scale: usize, with_separator
 /// boundary counts of the analogs.
 pub fn table3() {
     let scale = scale_or(32);
-    suite_table("== Table III: input graphs (output fits host RAM) ==", TABLE3, scale, true);
+    suite_table(
+        "== Table III: input graphs (output fits host RAM) ==",
+        TABLE3,
+        scale,
+        true,
+    );
 }
 
 /// Table IV: the 10 graphs whose output exceeds host RAM.

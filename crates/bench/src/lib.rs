@@ -19,9 +19,9 @@ pub mod experiments;
 
 use apsp_core::options::{ApspOptions, JohnsonOptions};
 use apsp_core::SelectorConfig;
+use apsp_gpu_sim::DeviceProfile;
 use apsp_graph::suite::{SuiteConfig, SuiteEntry};
 use apsp_graph::CsrGraph;
-use apsp_gpu_sim::DeviceProfile;
 
 /// Scale resolution: `REPRO_SCALE` env var wins, else the experiment's
 /// default.

@@ -1,0 +1,106 @@
+//! End-to-end tour of the conformance harness: build the seeded corpus,
+//! run the full differential matrix on one case, then push two fault
+//! plans through each algorithm and print how it coped.
+//!
+//! ```text
+//! cargo run -p apsp-conformance --example demo
+//! ```
+
+use apsp_conformance::{
+    all_variants, run_case, run_under_faults, Case, Corpus, Family, Fault, FaultPlan,
+    FaultRunOutcome, RunnerConfig,
+};
+use apsp_core::options::Algorithm;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE_u64);
+    let cfg = RunnerConfig::default();
+
+    // ---- 1. The corpus is a pure function of its seed.
+    let corpus = Corpus::standard(seed);
+    println!("corpus seed {seed:#x}: {} cases", corpus.cases.len());
+    for case in &corpus.cases {
+        println!(
+            "  {:<28} n={:<4} m={}",
+            case.name,
+            case.graph.num_vertices(),
+            case.graph.num_edges()
+        );
+    }
+
+    // ---- 2. Differential sweep: every variant against the CPU oracle.
+    println!(
+        "\ndifferential matrix ({} variants + in-core baseline per case):",
+        all_variants().len()
+    );
+    for case in &corpus.cases {
+        let report = run_case(case, &cfg).expect("case must run");
+        let verdict = if report.divergences.is_empty() {
+            "agree".to_string()
+        } else {
+            format!("{} DIVERGENCES", report.divergences.len())
+        };
+        println!(
+            "  {:<28} {} runs compared: {}",
+            case.name, report.runs_compared, verdict
+        );
+        for d in &report.divergences {
+            println!("    {d}");
+        }
+    }
+
+    // ---- 3. Fault injection: seeded plans against every algorithm.
+    let case = Case::generate(Family::ErdosRenyi, 0xFA017);
+    println!(
+        "\nfault plans on {} (device {} KiB):",
+        case.name,
+        cfg.device_bytes >> 10
+    );
+    for plan_seed in [1u64, 2, 3] {
+        let plan = FaultPlan::from_seed(plan_seed);
+        println!(
+            "  plan {plan_seed}: {:?} ({} kinds)",
+            plan.faults,
+            plan.kinds()
+        );
+        for alg in [
+            Algorithm::FloydWarshall,
+            Algorithm::Johnson,
+            Algorithm::Boundary,
+        ] {
+            let outcome = run_under_faults(&case, alg, &plan, &cfg);
+            let text = match &outcome {
+                FaultRunOutcome::Exact { retries } => {
+                    format!("exact (retry driver absorbed it, retries={retries})")
+                }
+                FaultRunOutcome::FailedThenRecovered { kind } => {
+                    format!("typed {kind:?} failure, store uncorrupted, re-run exact")
+                }
+                FaultRunOutcome::Corrupted { detail } => format!("CORRUPTED: {detail}"),
+            };
+            println!("    {alg:<14} -> {text}");
+            assert!(outcome.is_acceptable(), "corruption under plan {plan_seed}");
+        }
+    }
+
+    // ---- 4. A pure alloc-fault plan exercises the graceful-degradation
+    // path specifically: FW and Johnson must absorb it and stay exact.
+    let alloc_only = FaultPlan {
+        seed: 0,
+        faults: vec![Fault::AllocFail { kth: 1 }],
+    };
+    println!("\nalloc-only plan (first device allocation fails):");
+    for alg in [Algorithm::FloydWarshall, Algorithm::Johnson] {
+        match run_under_faults(&case, alg, &alloc_only, &cfg) {
+            FaultRunOutcome::Exact { retries } => {
+                println!("    {alg:<14} -> exact, retries={retries}");
+                assert!(retries >= 1, "the fault must actually have fired");
+            }
+            other => panic!("{alg}: expected graceful absorption, got {other:?}"),
+        }
+    }
+    println!("\nall outcomes acceptable");
+}

@@ -1,0 +1,258 @@
+//! The seeded conformance corpus.
+//!
+//! One generator per family, all driven from a single corpus seed via
+//! splitmix64 so `Corpus::standard(s)` is a pure function of `s`. Sizes
+//! are chosen so a full differential sweep (13 runs per case) stays in
+//! test-suite time, while still forcing real out-of-core behaviour on
+//! the runner's deliberately small device.
+
+use apsp_cpu::johnson_reweight::{Reweighted, SignedEdge};
+use apsp_graph::generators::{gnp, grid_2d, rmat, star, GridOptions, RmatParams, WeightRange};
+use apsp_graph::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The graph families the corpus covers, each chosen for a distinct
+/// failure mode it historically provokes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// R-MAT scale-free: skewed degrees, the paper's synthetic workload.
+    Rmat,
+    /// Erdős–Rényi: uniform density, the "no structure" control.
+    ErdosRenyi,
+    /// 2-D lattice: small separators, the boundary algorithm's best case.
+    Grid,
+    /// Hub-and-spoke: a few extreme-degree vertices (dynamic-parallelism
+    /// and partitioner stress).
+    Star,
+    /// Multiple components plus isolated vertices: `INF` handling.
+    Disconnected,
+    /// Johnson-reweighted signed graph whose cycles telescope to nearly
+    /// zero: the result is dominated by zero-weight edges, the worst case
+    /// for bucket-based SSSP and for tie-breaking between algorithms.
+    NearNegativeCycle,
+}
+
+impl Family {
+    /// Every family, in corpus order.
+    pub const ALL: [Family; 6] = [
+        Family::Rmat,
+        Family::ErdosRenyi,
+        Family::Grid,
+        Family::Star,
+        Family::Disconnected,
+        Family::NearNegativeCycle,
+    ];
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Family::Rmat => "rmat",
+            Family::ErdosRenyi => "erdos-renyi",
+            Family::Grid => "grid",
+            Family::Star => "star",
+            Family::Disconnected => "disconnected",
+            Family::NearNegativeCycle => "near-negative-cycle",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One corpus entry: a graph plus the provenance needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// `"<family>-<seed>"`, the handle every report prints.
+    pub name: String,
+    /// The family that generated the graph.
+    pub family: Family,
+    /// The per-case seed (derived from the corpus seed; feeding it back
+    /// to [`Case::generate`] reproduces the graph exactly).
+    pub seed: u64,
+    /// The generated graph.
+    pub graph: CsrGraph,
+}
+
+impl Case {
+    /// Generate the canonical case of `family` for `seed`.
+    pub fn generate(family: Family, seed: u64) -> Case {
+        let w = WeightRange::default();
+        let graph = match family {
+            Family::Rmat => rmat(96, 950, RmatParams::scale_free(), w, seed),
+            Family::ErdosRenyi => gnp(90, 0.06, w, seed),
+            Family::Grid => grid_2d(9, 10, GridOptions::default(), w, seed),
+            Family::Star => star(100, 3, w, seed),
+            Family::Disconnected => disconnected(88, seed),
+            Family::NearNegativeCycle => near_negative_cycle(80, seed),
+        };
+        Case {
+            name: format!("{family}-{seed:#x}"),
+            family,
+            seed,
+            graph,
+        }
+    }
+}
+
+/// A reproducible set of cases.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The seed everything derives from.
+    pub seed: u64,
+    /// The cases, family order preserved.
+    pub cases: Vec<Case>,
+}
+
+impl Corpus {
+    /// One case per family — the tier-1 conformance set.
+    pub fn standard(seed: u64) -> Corpus {
+        Corpus::extended(seed, 1)
+    }
+
+    /// `per_family` cases per family with independent derived seeds — the
+    /// nightly set.
+    pub fn extended(seed: u64, per_family: usize) -> Corpus {
+        let mut state = seed;
+        let mut cases = Vec::with_capacity(Family::ALL.len() * per_family);
+        for round in 0..per_family {
+            for family in Family::ALL {
+                let case_seed = splitmix64(&mut state);
+                let mut case = Case::generate(family, case_seed);
+                if per_family > 1 {
+                    case.name = format!("{}-r{round}", case.name);
+                }
+                cases.push(case);
+            }
+        }
+        Corpus { seed, cases }
+    }
+}
+
+/// Two Erdős–Rényi islands plus two isolated vertices — most pairs are
+/// unreachable, so every algorithm's `INF` plumbing is load-bearing.
+fn disconnected(n: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 4);
+    let w = WeightRange::default();
+    let half = (n - 2) / 2;
+    let a = gnp(half, 0.09, w, seed ^ 0xA);
+    let b = gnp(n - 2 - half, 0.09, w, seed ^ 0xB);
+    let mut builder = GraphBuilder::with_capacity(n, a.num_edges() + b.num_edges());
+    for e in a.edges() {
+        builder.add_edge(e.src, e.dst, e.weight);
+    }
+    let off = half as VertexId;
+    for e in b.edges() {
+        builder.add_edge(e.src + off, e.dst + off, e.weight);
+    }
+    // Vertices n−2 and n−1 stay isolated.
+    builder.build()
+}
+
+/// Signed graph with weights `base + p(u) − p(v)` (tiny `base`, random
+/// potentials): every cycle telescopes to `Σ base ≈ 0`, so it is free of
+/// negative cycles by construction but arbitrarily close to one. The
+/// Johnson reweighting front-end turns it into the non-negative graph the
+/// GPU paths require; a large share of the reweighted edges collapses to
+/// zero weight.
+fn near_negative_cycle(n: usize, seed: u64) -> CsrGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let p: Vec<i64> = (0..n).map(|_| rng.gen_range(-40..40i64)).collect();
+    let m = 8 * n;
+    let edges: Vec<SignedEdge> = (0..m)
+        .map(|_| {
+            let src = rng.gen_range(0..n as u32);
+            let mut dst = rng.gen_range(0..n as u32);
+            if dst == src {
+                dst = (dst + 1) % n as u32;
+            }
+            let base = rng.gen_range(0..3i64);
+            SignedEdge {
+                src,
+                dst,
+                weight: base + p[src as usize] - p[dst as usize],
+            }
+        })
+        .collect();
+    Reweighted::new(n, &edges)
+        .expect("telescoping construction has no negative cycles")
+        .graph
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_every_family_once() {
+        let c = Corpus::standard(7);
+        assert_eq!(c.cases.len(), Family::ALL.len());
+        for (case, family) in c.cases.iter().zip(Family::ALL) {
+            assert_eq!(case.family, family);
+            assert!(case.graph.num_vertices() >= 80, "{}", case.name);
+            case.graph.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn corpus_is_a_pure_function_of_its_seed() {
+        let a = Corpus::standard(42);
+        let b = Corpus::standard(42);
+        let c = Corpus::standard(43);
+        for (x, y) in a.cases.iter().zip(&b.cases) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.graph, y.graph);
+        }
+        assert!(a
+            .cases
+            .iter()
+            .zip(&c.cases)
+            .any(|(x, y)| x.graph != y.graph));
+    }
+
+    #[test]
+    fn case_regenerates_from_printed_seed() {
+        let c = Corpus::standard(0xC0FFEE);
+        for case in &c.cases {
+            let again = Case::generate(case.family, case.seed);
+            assert_eq!(again.graph, case.graph, "{}", case.name);
+        }
+    }
+
+    #[test]
+    fn disconnected_has_unreachable_pairs_and_isolated_tail() {
+        let case = Case::generate(Family::Disconnected, 5);
+        let g = &case.graph;
+        let n = g.num_vertices();
+        assert!(apsp_graph::stats::connected_components(g) >= 3);
+        assert_eq!(g.out_degree((n - 1) as VertexId), 0);
+        assert_eq!(g.out_degree((n - 2) as VertexId), 0);
+    }
+
+    #[test]
+    fn near_negative_cycle_is_zero_weight_heavy() {
+        let case = Case::generate(Family::NearNegativeCycle, 11);
+        let zeros = case.graph.edges().filter(|e| e.weight == 0).count();
+        assert!(
+            zeros * 4 >= case.graph.num_edges(),
+            "only {zeros}/{} zero-weight edges",
+            case.graph.num_edges()
+        );
+    }
+
+    #[test]
+    fn extended_scales_and_stays_deterministic() {
+        let c = Corpus::extended(9, 3);
+        assert_eq!(c.cases.len(), 3 * Family::ALL.len());
+        assert_eq!(c.cases[0].graph, Corpus::extended(9, 3).cases[0].graph);
+        // Rounds use fresh seeds.
+        assert_ne!(c.cases[0].graph, c.cases[Family::ALL.len()].graph);
+    }
+}

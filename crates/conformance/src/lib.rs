@@ -1,0 +1,30 @@
+//! Conformance and fault-injection harness for the out-of-core APSP
+//! implementations.
+//!
+//! Three pieces, used together by `tests/` and the nightly CI job:
+//!
+//! * [`corpus`] — a seeded graph corpus spanning the families that break
+//!   APSP codes in different ways (scale-free, uniform, lattice,
+//!   hub-and-spoke, disconnected, near-negative-cycle reweightings);
+//! * [`runner`] — the differential oracle: every case runs through the
+//!   in-core baseline and all three out-of-core algorithms, crossed with
+//!   `Memory`/`Disk` storage and transfer overlap on/off, and any
+//!   disagreement is reported as a [`runner::Divergence`] pinpointing the
+//!   first diverging cell, its tile, and the Floyd-Warshall pivot round
+//!   that established the expected value;
+//! * [`fault`] — deterministic fault plans (device allocation failures,
+//!   short writes/reads, `ENOSPC`, latency) derived from a single seed,
+//!   plus the harness asserting every algorithm either degrades
+//!   gracefully to an exact result or fails with a typed
+//!   [`apsp_core::ApspError`] *without corrupting the store*.
+//!
+//! Every report carries the seed that reproduces it; see the repository
+//! README ("Testing & conformance") for the reproduction workflow.
+
+pub mod corpus;
+pub mod fault;
+pub mod runner;
+
+pub use corpus::{Case, Corpus, Family};
+pub use fault::{run_under_faults, Fault, FaultPlan, FaultRunOutcome};
+pub use runner::{all_variants, run_case, CaseReport, Divergence, RunnerConfig, Variant};

@@ -1,0 +1,63 @@
+//! The differential conformance matrix: every corpus family through the
+//! in-core baseline and the 3 algorithms × {Memory, Disk} × {overlap
+//! on, off} variant grid, all diffed cell-for-cell against the CPU
+//! reference. Any divergence is printed with tile and pivot-round
+//! coordinates plus the seed that reproduces the case.
+
+use apsp_conformance::{all_variants, run_case, Corpus, RunnerConfig};
+
+/// The fixed conformance seed. CI's nightly job widens the corpus around
+/// the same seed (`Corpus::extended`), so a failure there reproduces
+/// locally by pasting the printed per-case seed into `Case::generate`.
+const CONFORMANCE_SEED: u64 = 0xC0FFEE;
+
+#[test]
+fn standard_corpus_agrees_across_the_full_variant_matrix() {
+    let corpus = Corpus::standard(CONFORMANCE_SEED);
+    assert!(corpus.cases.len() >= 6, "corpus must span ≥6 families");
+    assert_eq!(
+        all_variants().len(),
+        12,
+        "3 algorithms × 2 backends × 2 overlap modes"
+    );
+    let cfg = RunnerConfig::default();
+    let mut failures = 0;
+    let mut runs = 0;
+    for case in &corpus.cases {
+        let report = run_case(case, &cfg)
+            .unwrap_or_else(|e| panic!("case {} failed to run: {e}", case.name));
+        runs += report.runs_compared;
+        for d in &report.divergences {
+            eprintln!("{d}");
+            failures += 1;
+        }
+    }
+    // 6 families × (12 variants + the in-core baseline).
+    assert_eq!(runs, corpus.cases.len() * 13);
+    assert_eq!(failures, 0, "{failures} divergences (details above)");
+}
+
+#[test]
+fn extended_corpus_scales_with_requested_rounds() {
+    // Nightly CI sets APSP_CONFORMANCE_ROUNDS to widen the corpus around
+    // the same fixed seed. Without it, tier-1 keeps one extra round per
+    // family alive (last case only) so `extended` cannot rot.
+    let env_rounds = std::env::var("APSP_CONFORMANCE_ROUNDS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
+    let corpus = Corpus::extended(CONFORMANCE_SEED, env_rounds.unwrap_or(2));
+    let cfg = RunnerConfig::default();
+    let start = if env_rounds.is_some() {
+        0
+    } else {
+        corpus.cases.len() - 1
+    };
+    for case in &corpus.cases[start..] {
+        let report = run_case(case, &cfg)
+            .unwrap_or_else(|e| panic!("case {} failed to run: {e}", case.name));
+        for d in &report.divergences {
+            eprintln!("{d}");
+        }
+        assert!(report.divergences.is_empty(), "case {} diverged", case.name);
+    }
+}

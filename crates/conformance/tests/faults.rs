@@ -1,0 +1,111 @@
+//! Fault-injection conformance: deterministic plans of device and disk
+//! faults against every out-of-core algorithm. The contract under test:
+//! an algorithm either absorbs the faults (retry driver) and produces
+//! the exact matrix, or fails with a typed error leaving the store
+//! uncorrupted and recoverable — never a silently wrong result.
+
+use apsp_conformance::{Case, Family, FaultPlan, FaultRunOutcome, RunnerConfig};
+use apsp_core::options::Algorithm;
+use apsp_core::ApspErrorKind;
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::FloydWarshall,
+    Algorithm::Johnson,
+    Algorithm::Boundary,
+];
+
+#[test]
+fn every_algorithm_survives_seeded_fault_plans() {
+    let cfg = RunnerConfig::default();
+    let case = Case::generate(Family::ErdosRenyi, 0xFA017);
+    for plan_seed in [1u64, 2, 3] {
+        let plan = FaultPlan::from_seed(plan_seed);
+        assert!(plan.kinds() >= 3, "plan {plan_seed} covers too few kinds");
+        for algorithm in ALGORITHMS {
+            let outcome = apsp_conformance::fault::run_under_faults(&case, algorithm, &plan, &cfg);
+            match &outcome {
+                FaultRunOutcome::Exact { retries } => {
+                    eprintln!("plan {plan_seed} × {algorithm:?}: exact after {retries} retries");
+                }
+                FaultRunOutcome::FailedThenRecovered { kind } => {
+                    eprintln!("plan {plan_seed} × {algorithm:?}: typed {kind:?}, recovered");
+                }
+                FaultRunOutcome::Corrupted { detail } => {
+                    panic!("plan {plan_seed} × {algorithm:?} corrupted the store: {detail}");
+                }
+            }
+            assert!(outcome.is_acceptable());
+        }
+    }
+}
+
+#[test]
+fn fault_plans_reproduce_exactly_from_their_seed() {
+    for seed in 0..50u64 {
+        assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+        assert!(FaultPlan::from_seed(seed).kinds() >= 3);
+    }
+}
+
+#[test]
+fn alloc_only_plan_is_absorbed_by_the_retry_drivers() {
+    // A plan with just an allocation fault: Floyd-Warshall and Johnson
+    // must degrade (retries > 0) rather than fail; boundary has no retry
+    // driver and may surface the typed error instead.
+    let cfg = RunnerConfig::default();
+    let case = Case::generate(Family::Rmat, 0xFA117);
+    // kth = 1 targets the very first device allocation, which every
+    // algorithm performs regardless of how the device size shakes out.
+    let plan = FaultPlan {
+        seed: 0,
+        faults: vec![apsp_conformance::Fault::AllocFail { kth: 1 }],
+    };
+    assert!(!plan.has_disk_faults());
+    for algorithm in [Algorithm::FloydWarshall, Algorithm::Johnson] {
+        match apsp_conformance::fault::run_under_faults(&case, algorithm, &plan, &cfg) {
+            FaultRunOutcome::Exact { retries } => {
+                assert!(retries >= 1, "{algorithm:?} should have retried")
+            }
+            other => panic!("{algorithm:?}: expected graceful degradation, got {other:?}"),
+        }
+    }
+    match apsp_conformance::fault::run_under_faults(&case, Algorithm::Boundary, &plan, &cfg) {
+        FaultRunOutcome::Exact { .. } => {}
+        FaultRunOutcome::FailedThenRecovered { kind } => {
+            assert_eq!(kind, ApspErrorKind::OutOfDeviceMemory)
+        }
+        FaultRunOutcome::Corrupted { detail } => panic!("boundary corrupted: {detail}"),
+    }
+}
+
+#[test]
+fn disk_only_short_write_fails_typed_on_disk_and_recovers() {
+    // One dangerous fault — a short write that leaves the store partially
+    // mutated — on every algorithm. For Floyd-Warshall the ordinal lands
+    // past the n init-row writes, mid-round; Johnson batches rows into
+    // one positional write per batch and boundary writes per row, so
+    // their first post-arm write (op 0) is already a result write.
+    let cfg = RunnerConfig::default();
+    let case = Case::generate(Family::Grid, 0xFA217);
+    for (algorithm, op) in [
+        (Algorithm::FloydWarshall, 130u64),
+        (Algorithm::Johnson, 0),
+        (Algorithm::Boundary, 0),
+    ] {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![apsp_conformance::Fault::ShortWrite { op }],
+        };
+        match apsp_conformance::fault::run_under_faults(&case, algorithm, &plan, &cfg) {
+            FaultRunOutcome::FailedThenRecovered { kind } => {
+                assert_eq!(kind, ApspErrorKind::Storage, "{algorithm:?}")
+            }
+            FaultRunOutcome::Exact { .. } => {
+                panic!("{algorithm:?}: the short write never fired (op ordinal too high?)")
+            }
+            FaultRunOutcome::Corrupted { detail } => {
+                panic!("{algorithm:?} corrupted the store: {detail}")
+            }
+        }
+    }
+}

@@ -7,8 +7,8 @@ use crate::ooc_johnson::{ooc_johnson, JohnsonRunStats};
 use crate::options::{Algorithm, ApspOptions};
 use crate::selector::{CostModels, JohnsonModel, Selection};
 use crate::tile_store::TileStore;
-use apsp_graph::CsrGraph;
 use apsp_gpu_sim::{GpuDevice, SimReport};
+use apsp_graph::CsrGraph;
 
 /// Per-algorithm detail statistics.
 #[derive(Debug, Clone)]
@@ -54,7 +54,11 @@ pub struct ApspResult {
 /// assert_eq!(result.store.get(5, 5).unwrap(), 0);
 /// assert!(result.sim_seconds > 0.0);
 /// ```
-pub fn apsp(g: &CsrGraph, dev: &mut GpuDevice, opts: &ApspOptions) -> Result<ApspResult, ApspError> {
+pub fn apsp(
+    g: &CsrGraph,
+    dev: &mut GpuDevice,
+    opts: &ApspOptions,
+) -> Result<ApspResult, ApspError> {
     let n = g.num_vertices();
     if n == 0 {
         return Err(ApspError::InvalidInput("graph has no vertices".into()));
@@ -100,8 +104,8 @@ mod tests {
     use crate::options::ApspOptions;
     use crate::selector::SelectorConfig;
     use apsp_cpu::bgl_plus_apsp;
-    use apsp_graph::generators::{gnp, grid_2d, GridOptions, WeightRange};
     use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::generators::{gnp, grid_2d, GridOptions, WeightRange};
 
     #[test]
     fn forced_algorithms_all_agree() {
@@ -198,7 +202,10 @@ mod tests {
             ..Default::default()
         };
         let result = apsp(&g, &mut dev, &opts).unwrap();
-        assert!(result.report.kernels.contains_key("mssp") || result.report.kernels.contains_key("mssp_dynpar"));
+        assert!(
+            result.report.kernels.contains_key("mssp")
+                || result.report.kernels.contains_key("mssp_dynpar")
+        );
         assert!(result.sim_seconds > 0.0);
     }
 }

@@ -22,6 +22,28 @@ pub enum ApspError {
     InvalidInput(String),
 }
 
+/// Coarse classification of an [`ApspError`] — what conformance
+/// assertions match on, so they stay stable as `detail` strings evolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApspErrorKind {
+    DeviceTooSmall,
+    OutOfDeviceMemory,
+    Storage,
+    InvalidInput,
+}
+
+impl ApspError {
+    /// The error's coarse classification.
+    pub fn kind(&self) -> ApspErrorKind {
+        match self {
+            ApspError::DeviceTooSmall { .. } => ApspErrorKind::DeviceTooSmall,
+            ApspError::OutOfDeviceMemory(_) => ApspErrorKind::OutOfDeviceMemory,
+            ApspError::Storage(_) => ApspErrorKind::Storage,
+            ApspError::InvalidInput(_) => ApspErrorKind::InvalidInput,
+        }
+    }
+}
+
 impl std::fmt::Display for ApspError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -68,7 +90,7 @@ mod tests {
             detail: "bound matrix needs 1 GiB".into(),
         };
         assert!(e.to_string().contains("boundary"));
-        let io = ApspError::from(std::io::Error::new(std::io::ErrorKind::Other, "disk full"));
+        let io = ApspError::from(std::io::Error::other("disk full"));
         assert!(io.to_string().contains("disk full"));
     }
 }

@@ -9,8 +9,8 @@
 
 use crate::error::ApspError;
 use apsp_cpu::DistMatrix;
-use apsp_graph::{CsrGraph, Dist, VertexId, INF};
 use apsp_gpu_sim::{GpuDevice, Pinning};
+use apsp_graph::{CsrGraph, Dist, VertexId, INF};
 use apsp_kernels::fw_block::fw_device;
 use apsp_kernels::DeviceMatrix;
 
@@ -33,7 +33,10 @@ pub fn max_in_core_vertices(dev: &GpuDevice) -> usize {
 /// Whole-matrix blocked Floyd-Warshall on the device. Fails with
 /// [`ApspError::DeviceTooSmall`] when the matrix does not fit — the wall
 /// the out-of-core implementations exist to remove.
-pub fn in_core_fw(dev: &mut GpuDevice, g: &CsrGraph) -> Result<(DistMatrix, InCoreStats), ApspError> {
+pub fn in_core_fw(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+) -> Result<(DistMatrix, InCoreStats), ApspError> {
     let n = g.num_vertices();
     let bytes = (n * n * std::mem::size_of::<Dist>()) as u64;
     if bytes > dev.free_memory() {
@@ -69,7 +72,11 @@ pub fn in_core_fw(dev: &mut GpuDevice, g: &CsrGraph) -> Result<(DistMatrix, InCo
 
 /// Like [`in_core_fw`] but sourced from/into raw adjacency conventions —
 /// convenience for benchmarks comparing against the out-of-core paths.
-pub fn in_core_fw_row(dev: &mut GpuDevice, g: &CsrGraph, row: VertexId) -> Result<Vec<Dist>, ApspError> {
+pub fn in_core_fw_row(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    row: VertexId,
+) -> Result<Vec<Dist>, ApspError> {
     let (m, _) = in_core_fw(dev, g)?;
     Ok(m.row(row as usize).to_vec())
 }
@@ -78,8 +85,8 @@ pub fn in_core_fw_row(dev: &mut GpuDevice, g: &CsrGraph, row: VertexId) -> Resul
 mod tests {
     use super::*;
     use apsp_cpu::bgl_plus_apsp;
-    use apsp_graph::generators::{gnp, WeightRange};
     use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::generators::{gnp, WeightRange};
 
     #[test]
     fn matches_reference_when_it_fits() {

@@ -37,7 +37,7 @@ pub mod tile_store;
 pub mod verify;
 
 pub use api::{apsp, ApspResult};
-pub use error::ApspError;
+pub use error::{ApspError, ApspErrorKind};
 pub use options::{Algorithm, ApspOptions, BoundaryOptions, JohnsonOptions};
 pub use selector::{CostModels, Selection, SelectorConfig};
-pub use tile_store::{StorageBackend, TileStore};
+pub use tile_store::{DiskFault, DiskFaultPlan, StorageBackend, TileStore};

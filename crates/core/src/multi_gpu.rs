@@ -20,8 +20,8 @@ use crate::error::ApspError;
 use crate::ooc_boundary::default_num_components;
 use crate::options::BoundaryOptions;
 use crate::tile_store::TileStore;
-use apsp_graph::{CsrGraph, Dist, VertexId, INF};
 use apsp_gpu_sim::{GpuDevice, Pinning};
+use apsp_graph::{CsrGraph, Dist, VertexId, INF};
 use apsp_kernels::fw_block::fw_device;
 use apsp_kernels::minplus::minplus_product;
 use apsp_kernels::DeviceMatrix;
@@ -179,7 +179,12 @@ pub fn ooc_boundary_multi(
         for j in 0..k {
             let jrange = layout.component_range(j);
             let (sz_j, nb_j) = (jrange.len(), layout.boundary_count(j));
-            let bound_ij = extract_block(&bound_host, nb_total, bofs[i]..bofs[i] + nb_i, bofs[j]..bofs[j] + nb_j);
+            let bound_ij = extract_block(
+                &bound_host,
+                nb_total,
+                bofs[i]..bofs[i] + nb_i,
+                bofs[j]..bofs[j] + nb_j,
+            );
             let bound_ij = upload(dev, nb_i, nb_j, &bound_ij)?;
             let b2c = upload(dev, nb_j, sz_j, &dist2[j][..nb_j * sz_j])?;
             let mut tmp1 = DeviceMatrix::alloc_inf(dev, sz_i, nb_j)?;
@@ -284,7 +289,12 @@ fn extract_block(
     out
 }
 
-fn upload(dev: &mut GpuDevice, rows: usize, cols: usize, host: &[Dist]) -> Result<DeviceMatrix, ApspError> {
+fn upload(
+    dev: &mut GpuDevice,
+    rows: usize,
+    cols: usize,
+    host: &[Dist],
+) -> Result<DeviceMatrix, ApspError> {
     let s = dev.default_stream();
     let mut m = DeviceMatrix::alloc_inf(dev, rows, cols)?;
     if !host.is_empty() {
@@ -298,8 +308,8 @@ mod tests {
     use super::*;
     use crate::tile_store::StorageBackend;
     use apsp_cpu::bgl_plus_apsp;
-    use apsp_graph::generators::{grid_2d, GridOptions, WeightRange};
     use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::generators::{grid_2d, GridOptions, WeightRange};
 
     fn devices(count: usize) -> Vec<GpuDevice> {
         (0..count)

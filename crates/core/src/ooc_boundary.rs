@@ -19,8 +19,8 @@
 use crate::error::ApspError;
 use crate::options::BoundaryOptions;
 use crate::tile_store::TileStore;
-use apsp_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
 use apsp_gpu_sim::{DeviceBuffer, GpuDevice, KernelCost, LaunchConfig, Pinning, StreamId};
+use apsp_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
 use apsp_kernels::fw_block::fw_device;
 use apsp_kernels::minplus::minplus_product;
 use apsp_kernels::DeviceMatrix;
@@ -213,8 +213,7 @@ fn ooc_boundary_inner(
             }
             let local_u = u as usize - layout.component_range(cj).start;
             debug_assert!(local_u < layout.boundary_count(cj));
-            let cell =
-                &mut bound_host[(bofs[ci] + local_v) * nb_total + (bofs[cj] + local_u)];
+            let cell = &mut bound_host[(bofs[ci] + local_v) * nb_total + (bofs[cj] + local_u)];
             if wgt < *cell {
                 *cell = wgt;
             }
@@ -231,8 +230,7 @@ fn ooc_boundary_inner(
     // Staging capacity: after the resident boundary matrix and the peak
     // per-block working set, the rest of the device is the output buffer
     // (the paper's `S_rem`), split across two buffers when overlapping.
-    let per_block_working =
-        ((n_max * nb_max) * 3 + nb_max * nb_max + n_max * n_max) as u64 * w;
+    let per_block_working = ((n_max * nb_max) * 3 + nb_max * nb_max + n_max * n_max) as u64 * w;
     let s_rem = dev.free_memory().saturating_sub(per_block_working);
     let panel_words = (n_max * n).max(1);
     // `N_row = S_rem / (N_max · n · W)` per buffer. If two buffers don't
@@ -411,7 +409,11 @@ pub fn working_set_fits_bytes(
     working_set_bytes(total_boundary, max_component, max_boundary_per_component) <= free_bytes
 }
 
-fn working_set_bytes(total_boundary: usize, max_component: usize, max_boundary_per_component: usize) -> u64 {
+fn working_set_bytes(
+    total_boundary: usize,
+    max_component: usize,
+    max_boundary_per_component: usize,
+) -> u64 {
     let w = std::mem::size_of::<Dist>() as u64;
     let nb = total_boundary as u64;
     let n_max = max_component as u64;
@@ -501,7 +503,12 @@ fn charge_extract(dev: &mut GpuDevice, stream: StreamId, elems: usize) {
 }
 
 /// Elementwise `block = min(block, other)`, charged as one fused kernel.
-fn elementwise_min(dev: &mut GpuDevice, stream: StreamId, block: &mut DeviceMatrix, other: &[Dist]) {
+fn elementwise_min(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    block: &mut DeviceMatrix,
+    other: &[Dist],
+) {
     debug_assert_eq!(block.as_slice().len(), other.len());
     for (b, &o) in block.as_mut_slice().iter_mut().zip(other.iter()) {
         if o < *b {
@@ -585,8 +592,8 @@ mod tests {
     use super::*;
     use crate::tile_store::StorageBackend;
     use apsp_cpu::bgl_plus_apsp;
-    use apsp_graph::generators::{gnp, grid_2d, random_geometric, GridOptions, WeightRange};
     use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::generators::{gnp, grid_2d, random_geometric, GridOptions, WeightRange};
 
     fn run_boundary(
         g: &CsrGraph,

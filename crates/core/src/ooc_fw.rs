@@ -9,8 +9,8 @@
 use crate::error::ApspError;
 use crate::options::FwOptions;
 use crate::tile_store::TileStore;
-use apsp_graph::{CsrGraph, Dist, VertexId, INF};
 use apsp_gpu_sim::{GpuDevice, Pinning, StreamId};
+use apsp_graph::{CsrGraph, Dist, VertexId, INF};
 use apsp_kernels::fw_block::fw_device;
 use apsp_kernels::minplus::{minplus_kernel, minplus_left_inplace, minplus_right_inplace};
 use apsp_kernels::DeviceMatrix;
@@ -18,12 +18,16 @@ use apsp_kernels::DeviceMatrix;
 /// Outcome statistics of one out-of-core Floyd-Warshall run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FwRunStats {
-    /// Tile side used.
+    /// Tile side used (by the final, successful attempt).
     pub block: usize,
     /// Number of tiles along each dimension.
     pub n_d: usize,
     /// Simulated seconds for the whole run.
     pub sim_seconds: f64,
+    /// Restarts forced by mid-run device allocation failures (0 on a
+    /// clean run). Each restart resumes from the partially relaxed
+    /// store, possibly with a smaller block.
+    pub retries: u32,
 }
 
 /// Seed `store` with the adjacency of `g` (zero diagonal, weights, `INF`).
@@ -54,6 +58,17 @@ pub fn max_block_side(dev: &GpuDevice, buffers: usize) -> usize {
 
 /// Run out-of-core blocked Floyd-Warshall over `store` (which must hold
 /// the adjacency initialization; see [`init_store_from_graph`]).
+///
+/// With automatic blocking (`opts.block_size == None`) a mid-run device
+/// allocation failure degrades gracefully instead of aborting: the run
+/// restarts on the partially relaxed store — once at the same block (a
+/// transient fault clears), then at successively halved blocks (the
+/// device shrank). Restarting is exact, not approximate: every entry in
+/// the store is the weight of some real path, so it stays an upper bound
+/// on the true distance, and re-running all rounds of blocked FW from
+/// any such state converges to the same metric closure (min-plus
+/// relaxations are monotone and order-insensitive). A caller-forced
+/// block size propagates the failure instead.
 pub fn ooc_floyd_warshall(
     dev: &mut GpuDevice,
     store: &mut TileStore,
@@ -65,28 +80,74 @@ pub fn ooc_floyd_warshall(
             block: 0,
             n_d: 0,
             sim_seconds: 0.0,
+            retries: 0,
         });
     }
     // Resident working set: pivot tile + A(i,k) + A(k,j) + one or two
     // output tiles (two when overlap is on).
     let buffers = if opts.overlap_transfers { 5 } else { 4 };
-    let block = match opts.block_size {
+    let mut block = match opts.block_size {
         Some(b) => b.min(n).max(1),
         None => max_block_side(dev, buffers).min(n).max(1),
     };
-    if block == 0 || (block as u64) * (block as u64) * 4 * buffers as u64 > dev.free_memory() {
-        return Err(ApspError::DeviceTooSmall {
-            algorithm: "out-of-core Floyd-Warshall",
-            detail: format!(
-                "cannot hold {buffers} tiles of any size in {} bytes",
-                dev.profile().memory_bytes
-            ),
-        });
+    let mut retries = 0u32;
+    let mut retried_same_block = false;
+    loop {
+        if block == 0 || (block as u64) * (block as u64) * 4 * buffers as u64 > dev.free_memory() {
+            // Auto mode re-fits to whatever memory is left (it may have
+            // shrunk since the last attempt was sized).
+            if opts.block_size.is_none() {
+                let refit = max_block_side(dev, buffers).min(block);
+                if refit >= 1 && refit < block {
+                    block = refit;
+                    continue;
+                }
+            }
+            return Err(ApspError::DeviceTooSmall {
+                algorithm: "out-of-core Floyd-Warshall",
+                detail: format!(
+                    "cannot hold {buffers} tiles of any size in {} bytes",
+                    dev.profile().memory_bytes
+                ),
+            });
+        }
+        match fw_rounds(dev, store, opts, block) {
+            Ok(mut stats) => {
+                stats.retries = retries;
+                return Ok(stats);
+            }
+            Err(ApspError::OutOfDeviceMemory(oom)) if opts.block_size.is_none() => {
+                retries += 1;
+                if !retried_same_block {
+                    // A one-shot fault (fragmentation, competing context)
+                    // may clear: try the same geometry once more.
+                    retried_same_block = true;
+                    continue;
+                }
+                if block <= 1 {
+                    return Err(ApspError::DeviceTooSmall {
+                        algorithm: "out-of-core Floyd-Warshall",
+                        detail: format!("allocation kept failing at the minimum 1×1 block: {oom}"),
+                    });
+                }
+                block /= 2;
+                retried_same_block = false;
+            }
+            Err(e) => return Err(e),
+        }
     }
+}
+
+/// One full pass of the three-stage blocked-FW rounds at a fixed block.
+fn fw_rounds(
+    dev: &mut GpuDevice,
+    store: &mut TileStore,
+    opts: &FwOptions,
+    block: usize,
+) -> Result<FwRunStats, ApspError> {
+    let n = store.n();
     let n_d = n.div_ceil(block);
-    let extent = |t: usize| -> std::ops::Range<usize> {
-        t * block..((t + 1) * block).min(n)
-    };
+    let extent = |t: usize| -> std::ops::Range<usize> { t * block..((t + 1) * block).min(n) };
 
     let start = dev.elapsed().seconds();
     let s0 = dev.default_stream();
@@ -164,6 +225,7 @@ pub fn ooc_floyd_warshall(
         block,
         n_d,
         sim_seconds,
+        retries: 0,
     })
 }
 
@@ -199,8 +261,8 @@ mod tests {
     use super::*;
     use crate::tile_store::StorageBackend;
     use apsp_cpu::bgl_plus_apsp;
-    use apsp_graph::generators::{gnp, WeightRange};
     use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::generators::{gnp, WeightRange};
 
     fn small_device() -> GpuDevice {
         // Forces real out-of-core behaviour on ~100-vertex graphs: 64 KiB
@@ -272,7 +334,11 @@ mod tests {
         let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
         init_store_from_graph(&g, &mut store).unwrap();
         let stats = ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default()).unwrap();
-        assert!(stats.n_d >= 2, "device sized to force blocking, n_d = {}", stats.n_d);
+        assert!(
+            stats.n_d >= 2,
+            "device sized to force blocking, n_d = {}",
+            stats.n_d
+        );
         assert_eq!(stats.n_d, 100usize.div_ceil(stats.block));
         assert!(stats.sim_seconds > 0.0);
     }
@@ -298,6 +364,54 @@ mod tests {
         let mut dev = small_device();
         ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default()).unwrap();
         assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn transient_alloc_fault_recovers_exactly() {
+        let g = gnp(90, 0.07, WeightRange::default(), 21);
+        let mut dev = small_device();
+        let mut store = TileStore::new(90, &StorageBackend::Memory).unwrap();
+        init_store_from_graph(&g, &mut store).unwrap();
+        // Fail the 3rd device allocation (mid stage 2 of round 0): the run
+        // restarts on the partially relaxed store and still converges.
+        dev.inject_alloc_failure(3);
+        let stats = ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default()).unwrap();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn repeated_alloc_faults_halve_block_and_stay_exact() {
+        let g = gnp(90, 0.07, WeightRange::default(), 22);
+        let mut dev = small_device();
+        let buffers = 5; // FwOptions::default() has overlap on
+        let initial_block = max_block_side(&dev, buffers).min(90);
+        let mut store = TileStore::new(90, &StorageBackend::Memory).unwrap();
+        init_store_from_graph(&g, &mut store).unwrap();
+        // Two overlapping faults: the first kills attempt 1 at its 3rd
+        // allocation, the second (countdown 10, so 7 left after attempt 1)
+        // kills the same-block retry too, forcing a halved block.
+        dev.inject_alloc_failure(3);
+        dev.inject_alloc_failure(10);
+        let stats = ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default()).unwrap();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.block, initial_block / 2);
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn forced_block_size_propagates_alloc_fault() {
+        let g = gnp(64, 0.1, WeightRange::default(), 23);
+        let mut dev = small_device();
+        let mut store = TileStore::new(64, &StorageBackend::Memory).unwrap();
+        init_store_from_graph(&g, &mut store).unwrap();
+        dev.inject_alloc_failure(2);
+        let opts = FwOptions {
+            block_size: Some(32),
+            ..Default::default()
+        };
+        let err = ooc_floyd_warshall(&mut dev, &mut store, &opts).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::OutOfDeviceMemory);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use crate::error::ApspError;
 use crate::options::{DynamicParallelism, JohnsonOptions};
 use crate::tile_store::TileStore;
-use apsp_graph::{CsrGraph, Dist, VertexId};
 use apsp_gpu_sim::{GpuDevice, Pinning};
+use apsp_graph::{CsrGraph, Dist, VertexId};
 use apsp_kernels::mssp::{mssp_kernel, MsspOptions};
 use apsp_kernels::nearfar::NearFarStats;
 use apsp_kernels::DeviceMatrix;
@@ -28,13 +28,21 @@ pub struct JohnsonRunStats {
     pub work: NearFarStats,
     /// Simulated seconds for the whole run.
     pub sim_seconds: f64,
+    /// Restarts forced by mid-run device allocation failures (0 on a
+    /// clean run). Each restart recomputes every batch from the graph,
+    /// possibly with a smaller `bat`.
+    pub retries: u32,
 }
 
 /// The paper's batch-size formula: `bat = (L − S) / (c·m)`, where `L` is
 /// device memory, `S` the graph's storage, and `c·m` the per-instance
 /// work-queue footprint — extended with the `n`-word output row each
 /// instance must also keep resident. Clamped to `[1, n]`.
-pub fn batch_size(dev: &GpuDevice, g: &CsrGraph, queue_words_per_edge: f64) -> Result<usize, ApspError> {
+pub fn batch_size(
+    dev: &GpuDevice,
+    g: &CsrGraph,
+    queue_words_per_edge: f64,
+) -> Result<usize, ApspError> {
     let w = std::mem::size_of::<Dist>() as f64;
     let l = dev.free_memory() as f64;
     let s = g.storage_bytes() as f64;
@@ -101,6 +109,7 @@ fn ooc_johnson_impl(
             dynamic_parallelism: false,
             work: NearFarStats::default(),
             sim_seconds: 0.0,
+            retries: 0,
         });
     }
     let mut bat = batch_size(dev, g, opts.queue_words_per_edge)?;
@@ -108,8 +117,54 @@ fn ooc_johnson_impl(
         // Two result panels (distances + parents) share the device.
         bat = (bat / 2).max(1);
     }
-    let bat = bat;
-    let delta = opts.delta.unwrap_or_else(|| apsp_kernels::nearfar::default_delta(g));
+    // A mid-run allocation failure degrades gracefully: restart once at
+    // the same batch size (a transient fault clears), then at halved
+    // batches. Restarts are exact — every batch writes complete rows
+    // recomputed from the graph, so a retry simply overwrites them.
+    let mut retries = 0u32;
+    let mut retried_same_bat = false;
+    loop {
+        match johnson_batches(dev, g, store, parent_store.as_deref_mut(), opts, bat) {
+            Ok(mut stats) => {
+                stats.retries = retries;
+                return Ok(stats);
+            }
+            Err(ApspError::OutOfDeviceMemory(oom)) => {
+                retries += 1;
+                if !retried_same_bat {
+                    retried_same_bat = true;
+                    continue;
+                }
+                if bat <= 1 {
+                    return Err(ApspError::DeviceTooSmall {
+                        algorithm: "out-of-core Johnson's",
+                        detail: format!("allocation kept failing at the minimum batch of 1: {oom}"),
+                    });
+                }
+                // Re-fit against current free memory too — the device may
+                // have shrunk since the batch was first sized (and
+                // batch_size re-checks that the graph still fits at all).
+                bat = (bat / 2).min(batch_size(dev, g, opts.queue_words_per_edge)?);
+                retried_same_bat = false;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One full pass over all source batches at a fixed `bat`.
+fn johnson_batches(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    mut parent_store: Option<&mut TileStore>,
+    opts: &JohnsonOptions,
+    bat: usize,
+) -> Result<JohnsonRunStats, ApspError> {
+    let n = g.num_vertices();
+    let delta = opts
+        .delta
+        .unwrap_or_else(|| apsp_kernels::nearfar::default_delta(g));
     let dynamic = match opts.dynamic_parallelism {
         DynamicParallelism::On => true,
         DynamicParallelism::Off => false,
@@ -178,6 +233,7 @@ fn ooc_johnson_impl(
         dynamic_parallelism: dynamic,
         work,
         sim_seconds,
+        retries: 0,
     })
 }
 
@@ -186,10 +242,14 @@ mod tests {
     use super::*;
     use crate::tile_store::StorageBackend;
     use apsp_cpu::bgl_plus_apsp;
-    use apsp_graph::generators::{gnp, rmat, RmatParams, WeightRange};
     use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::generators::{gnp, rmat, RmatParams, WeightRange};
 
-    fn run_johnson(g: &CsrGraph, dev: &mut GpuDevice, opts: &JohnsonOptions) -> apsp_cpu::DistMatrix {
+    fn run_johnson(
+        g: &CsrGraph,
+        dev: &mut GpuDevice,
+        opts: &JohnsonOptions,
+    ) -> apsp_cpu::DistMatrix {
         let mut store = TileStore::new(g.num_vertices(), &StorageBackend::Memory).unwrap();
         let stats = ooc_johnson(dev, g, &mut store, opts).unwrap();
         assert!(stats.num_batches >= 1);
@@ -224,7 +284,13 @@ mod tests {
 
     #[test]
     fn dynamic_parallelism_policies() {
-        let g = rmat(300, 3000, RmatParams::scale_free(), WeightRange::default(), 4);
+        let g = rmat(
+            300,
+            3000,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            4,
+        );
         let reference = bgl_plus_apsp(&g);
         for policy in [
             DynamicParallelism::Off,
@@ -252,7 +318,9 @@ mod tests {
                 ..Default::default()
             };
             let mut store = TileStore::new(200, &StorageBackend::Memory).unwrap();
-            ooc_johnson(&mut dev, &g, &mut store, &opts).unwrap().sim_seconds
+            ooc_johnson(&mut dev, &g, &mut store, &opts)
+                .unwrap()
+                .sim_seconds
         };
         assert!(time_with(true) <= time_with(false));
     }
@@ -310,6 +378,37 @@ mod tests {
         // The parents traffic doubles the D2H volume.
         let r = dev.report();
         assert!(r.bytes_d2h >= 2 * (130 * 130 * 4) as u64);
+    }
+
+    #[test]
+    fn transient_alloc_fault_recovers_exactly() {
+        let g = gnp(150, 0.04, WeightRange::default(), 19);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let mut store = TileStore::new(150, &StorageBackend::Memory).unwrap();
+        // Allocation 1 is the graph hold, allocation 2 the first result
+        // panel: fail the panel, expect one restart and an exact matrix.
+        dev.inject_alloc_failure(2);
+        let stats = ooc_johnson(&mut dev, &g, &mut store, &JohnsonOptions::default()).unwrap();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn repeated_alloc_faults_halve_batch_and_stay_exact() {
+        let g = gnp(150, 0.04, WeightRange::default(), 20);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let opts = JohnsonOptions::default();
+        let initial_bat = batch_size(&dev, &g, opts.queue_words_per_edge).unwrap();
+        let mut store = TileStore::new(150, &StorageBackend::Memory).unwrap();
+        // Attempt 1 dies at its 2nd allocation; the leftover countdown
+        // (4 − 2 = 2) kills the same-bat retry at its 2nd allocation too,
+        // forcing a halved batch.
+        dev.inject_alloc_failure(2);
+        dev.inject_alloc_failure(4);
+        let stats = ooc_johnson(&mut dev, &g, &mut store, &opts).unwrap();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.batch_size, initial_bat / 2);
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
     }
 
     #[test]

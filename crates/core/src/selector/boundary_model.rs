@@ -16,9 +16,9 @@ use crate::ooc_boundary::{default_num_components, ooc_boundary};
 use crate::options::BoundaryOptions;
 use crate::selector::CostModels;
 use crate::tile_store::{StorageBackend, TileStore};
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_graph::generators::{banded, grid_2d, GridOptions, WeightRange};
 use apsp_graph::CsrGraph;
-use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_partition::{kway_partition, PartitionConfig};
 
 /// Number of `c_unit` buckets: bucket `r` covers
@@ -73,7 +73,8 @@ impl BoundaryModel {
         }
         // Fill untrained buckets from the nearest trained one (scaled up
         // mildly per step — irregularity raises unit cost).
-        let fallback = t0_compute / n_op(n0, default_num_components(n0), (n0 as f64).sqrt() as usize).max(1.0);
+        let fallback =
+            t0_compute / n_op(n0, default_num_components(n0), (n0 as f64).sqrt() as usize).max(1.0);
         let mut last = fallback;
         for b in 1..BUCKETS {
             if trained[b] {

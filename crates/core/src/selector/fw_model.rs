@@ -9,9 +9,9 @@ use crate::ooc_fw::{init_store_from_graph, max_block_side, ooc_floyd_warshall};
 use crate::options::FwOptions;
 use crate::selector::CostModels;
 use crate::tile_store::{StorageBackend, TileStore};
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_graph::generators::{gnp, WeightRange};
 use apsp_graph::CsrGraph;
-use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 
 /// Calibrated Floyd-Warshall model.
 #[derive(Debug, Clone, Copy)]
@@ -39,8 +39,8 @@ impl FwModel {
         let cap = ((TRAIN_N / 2) * (TRAIN_N / 2) * 4 * 6) as u64;
         let mut dev = GpuDevice::new(profile.with_memory_bytes(cap));
         let g = gnp(TRAIN_N, 0.05, WeightRange::default(), 0xF0);
-        let mut store = TileStore::new(TRAIN_N, &StorageBackend::Memory)
-            .expect("memory store cannot fail");
+        let mut store =
+            TileStore::new(TRAIN_N, &StorageBackend::Memory).expect("memory store cannot fail");
         init_store_from_graph(&g, &mut store).expect("memory store cannot fail");
         ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default())
             .expect("training run must fit by construction");

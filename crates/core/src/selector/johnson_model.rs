@@ -10,8 +10,8 @@ use crate::error::ApspError;
 use crate::ooc_johnson::batch_size;
 use crate::options::{DynamicParallelism, JohnsonOptions};
 use crate::selector::{CostModels, SelectorConfig};
-use apsp_graph::{CsrGraph, VertexId};
 use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+use apsp_graph::{CsrGraph, VertexId};
 use apsp_kernels::mssp::{mssp_kernel, MsspOptions};
 use apsp_kernels::DeviceMatrix;
 use rand::rngs::SmallRng;

@@ -29,9 +29,9 @@ pub use fw_model::FwModel;
 pub use johnson_model::JohnsonModel;
 
 use crate::options::Algorithm;
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_graph::stats::DensityClass;
 use apsp_graph::CsrGraph;
-use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 
 /// Selector configuration.
 #[derive(Debug, Clone, Copy)]
@@ -161,12 +161,7 @@ impl CostModels {
     ///
     /// `johnson_probe` must sample the requested batches on a scratch
     /// device; it is injected so callers control the sampling cost.
-    pub fn select(
-        &self,
-        g: &CsrGraph,
-        cfg: &SelectorConfig,
-        johnson: &JohnsonModel,
-    ) -> Selection {
+    pub fn select(&self, g: &CsrGraph, cfg: &SelectorConfig, johnson: &JohnsonModel) -> Selection {
         let class = cfg.classify(g);
         let mut estimates: Vec<(Algorithm, f64)> = Vec::new();
         match class {

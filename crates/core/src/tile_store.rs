@@ -11,9 +11,14 @@ use apsp_graph::{Dist, INF};
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 #[cfg(unix)]
 use std::os::unix::fs::FileExt;
+
+/// `ENOSPC` — the errno a full filesystem raises on write.
+const ENOSPC_ERRNO: i32 = 28;
 
 /// Where the result matrix lives.
 #[derive(Debug, Clone)]
@@ -25,6 +30,63 @@ pub enum StorageBackend {
     Disk(PathBuf),
 }
 
+/// One injectable disk-I/O fault (see [`DiskFaultPlan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// A positional write persists only the first half of its bytes,
+    /// then fails with `ErrorKind::WriteZero` — the dangerous case where
+    /// the store is already partially mutated when the error surfaces.
+    ShortWrite,
+    /// A positional read fills only the first half of its buffer, then
+    /// fails with `ErrorKind::UnexpectedEof`.
+    ShortRead,
+    /// A positional write fails up front with the OS `ENOSPC` error
+    /// (filesystem full); nothing is written.
+    Enospc,
+    /// The operation succeeds but stalls for this many microseconds
+    /// first — a degraded spindle/network mount, not a failure.
+    LatencyMicros(u64),
+}
+
+/// A deterministic schedule of disk faults, addressed by positional-I/O
+/// ordinal: the store counts every positional write and read it issues
+/// (a block write of `r` rows is `r` write ops) and fires the fault
+/// whose ordinal matches. Ordinals are 0-based from the moment the plan
+/// is armed. Plans only affect `Disk`-backed stores; arming one on a
+/// memory store is a no-op by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskFaultPlan {
+    /// `(write-op ordinal, fault)` pairs. `ShortRead` entries here are
+    /// ignored (wrong direction); keep entries direction-appropriate.
+    pub write_faults: Vec<(u64, DiskFault)>,
+    /// `(read-op ordinal, fault)` pairs. `ShortWrite`/`Enospc` entries
+    /// here are ignored.
+    pub read_faults: Vec<(u64, DiskFault)>,
+}
+
+impl DiskFaultPlan {
+    fn write_fault_at(&self, op: u64) -> Option<DiskFault> {
+        self.write_faults
+            .iter()
+            .find(|(at, _)| *at == op)
+            .map(|(_, f)| *f)
+    }
+
+    fn read_fault_at(&self, op: u64) -> Option<DiskFault> {
+        self.read_faults
+            .iter()
+            .find(|(at, _)| *at == op)
+            .map(|(_, f)| *f)
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    plan: DiskFaultPlan,
+    write_ops: AtomicU64,
+    read_ops: AtomicU64,
+}
+
 enum Backing {
     Memory(Vec<Dist>),
     Disk { file: File, path: PathBuf },
@@ -34,6 +96,7 @@ enum Backing {
 pub struct TileStore {
     n: usize,
     backing: Backing,
+    faults: Option<FaultState>,
 }
 
 impl std::fmt::Debug for TileStore {
@@ -59,6 +122,7 @@ impl TileStore {
                 Ok(TileStore {
                     n,
                     backing: Backing::Memory(data),
+                    faults: None,
                 })
             }
             StorageBackend::Disk(dir) => {
@@ -73,6 +137,7 @@ impl TileStore {
                 let store = TileStore {
                     n,
                     backing: Backing::Disk { file, path },
+                    faults: None,
                 };
                 // Materialize the INF + zero-diagonal initialization one
                 // row at a time so even huge matrices never need n² RAM.
@@ -100,6 +165,34 @@ impl TileStore {
         matches!(self.backing, Backing::Disk { .. })
     }
 
+    /// Arm a deterministic [`DiskFaultPlan`]. Positional-I/O ordinals
+    /// restart at zero; any previously armed plan is replaced. Memory
+    /// backings issue no positional I/O, so the plan never fires there.
+    pub fn arm_faults(&mut self, plan: DiskFaultPlan) {
+        self.faults = Some(FaultState {
+            plan,
+            write_ops: AtomicU64::new(0),
+            read_ops: AtomicU64::new(0),
+        });
+    }
+
+    /// Remove an armed fault plan.
+    pub fn disarm_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// `(write, read)` positional-I/O ops issued since the plan was
+    /// armed; `(0, 0)` when no plan is armed.
+    pub fn io_ops(&self) -> (u64, u64) {
+        match &self.faults {
+            Some(f) => (
+                f.write_ops.load(Ordering::Relaxed),
+                f.read_ops.load(Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        }
+    }
+
     /// Overwrite full row `i`.
     pub fn write_row(&mut self, i: usize, row: &[Dist]) -> io::Result<()> {
         assert_eq!(row.len(), self.n, "row width mismatch");
@@ -119,7 +212,7 @@ impl TileStore {
             Backing::Memory(_) => unreachable!("memory writes go through write_row"),
             Backing::Disk { file, .. } => {
                 let offset = (i * self.n * std::mem::size_of::<Dist>()) as u64;
-                file.write_all_at(cast_bytes(row), offset)
+                write_at(file, self.faults.as_ref(), cast_bytes(row), offset)
             }
         }
     }
@@ -136,7 +229,7 @@ impl TileStore {
             }
             Backing::Disk { file, .. } => {
                 let offset = (row_start * self.n * std::mem::size_of::<Dist>()) as u64;
-                file.write_all_at(cast_bytes(rows), offset)
+                write_at(file, self.faults.as_ref(), cast_bytes(rows), offset)
             }
         }
     }
@@ -164,7 +257,12 @@ impl TileStore {
                 for (r, i) in row_range.enumerate() {
                     let offset =
                         ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
-                    file.write_all_at(cast_bytes(&data[r * width..(r + 1) * width]), offset)?;
+                    write_at(
+                        file,
+                        self.faults.as_ref(),
+                        cast_bytes(&data[r * width..(r + 1) * width]),
+                        offset,
+                    )?;
                 }
                 Ok(())
             }
@@ -192,7 +290,7 @@ impl TileStore {
                 for i in row_range {
                     let offset =
                         ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
-                    file.read_exact_at(cast_bytes_mut(&mut row), offset)?;
+                    read_at(file, self.faults.as_ref(), cast_bytes_mut(&mut row), offset)?;
                     out.extend_from_slice(&row);
                 }
             }
@@ -208,7 +306,7 @@ impl TileStore {
             Backing::Disk { file, .. } => {
                 let mut row = vec![0 as Dist; self.n];
                 let offset = (i * self.n * std::mem::size_of::<Dist>()) as u64;
-                file.read_exact_at(cast_bytes_mut(&mut row), offset)?;
+                read_at(file, self.faults.as_ref(), cast_bytes_mut(&mut row), offset)?;
                 Ok(row)
             }
         }
@@ -223,7 +321,7 @@ impl TileStore {
             Backing::Disk { file, .. } => {
                 let mut one = [0 as Dist; 1];
                 let offset = ((i * self.n + j) * std::mem::size_of::<Dist>()) as u64;
-                file.read_exact_at(cast_bytes_mut(&mut one), offset)?;
+                read_at(file, self.faults.as_ref(), cast_bytes_mut(&mut one), offset)?;
                 Ok(one[0])
             }
         }
@@ -269,6 +367,7 @@ impl TileStore {
                 file,
                 path: PathBuf::new(), // empty ⇒ drop() removes nothing
             },
+            faults: None,
         })
     }
 
@@ -303,11 +402,62 @@ fn unique_file(dir: &Path) -> PathBuf {
     use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let id = COUNTER.fetch_add(1, Ordering::Relaxed);
-    dir.join(format!(
-        "apsp-tiles-{}-{}.bin",
-        std::process::id(),
-        id
-    ))
+    dir.join(format!("apsp-tiles-{}-{}.bin", std::process::id(), id))
+}
+
+/// Positional write with fault application: counts the op against the
+/// armed plan and fires any scheduled write-direction fault.
+fn write_at(file: &File, faults: Option<&FaultState>, buf: &[u8], offset: u64) -> io::Result<()> {
+    if let Some(state) = faults {
+        let op = state.write_ops.fetch_add(1, Ordering::Relaxed);
+        match state.plan.write_fault_at(op) {
+            Some(DiskFault::Enospc) => {
+                return Err(io::Error::from_raw_os_error(ENOSPC_ERRNO));
+            }
+            Some(DiskFault::ShortWrite) => {
+                let half = buf.len() / 2;
+                file.write_all_at(&buf[..half], offset)?;
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    format!(
+                        "injected short write at op {op}: {half} of {} bytes persisted",
+                        buf.len()
+                    ),
+                ));
+            }
+            Some(DiskFault::LatencyMicros(us)) => std::thread::sleep(Duration::from_micros(us)),
+            Some(DiskFault::ShortRead) | None => {}
+        }
+    }
+    file.write_all_at(buf, offset)
+}
+
+/// Positional read with fault application (see [`write_at`]).
+fn read_at(
+    file: &File,
+    faults: Option<&FaultState>,
+    buf: &mut [u8],
+    offset: u64,
+) -> io::Result<()> {
+    if let Some(state) = faults {
+        let op = state.read_ops.fetch_add(1, Ordering::Relaxed);
+        match state.plan.read_fault_at(op) {
+            Some(DiskFault::ShortRead) => {
+                let half = buf.len() / 2;
+                file.read_exact_at(&mut buf[..half], offset)?;
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!(
+                        "injected short read at op {op}: {half} of {} bytes filled",
+                        buf.len()
+                    ),
+                ));
+            }
+            Some(DiskFault::LatencyMicros(us)) => std::thread::sleep(Duration::from_micros(us)),
+            Some(DiskFault::ShortWrite) | Some(DiskFault::Enospc) | None => {}
+        }
+    }
+    file.read_exact_at(buf, offset)
 }
 
 fn cast_bytes(d: &[Dist]) -> &[u8] {
@@ -407,7 +557,14 @@ mod tests {
         }
         // After drop, no stale file with our pid remains among those seen.
         for p in path_probe {
-            assert!(!p.exists() || !p.to_string_lossy().contains(&format!("-{}-", std::process::id())) || std::fs::metadata(&p).is_err() || !p.exists());
+            assert!(
+                !p.exists()
+                    || !p
+                        .to_string_lossy()
+                        .contains(&format!("-{}-", std::process::id()))
+                    || std::fs::metadata(&p).is_err()
+                    || !p.exists()
+            );
         }
     }
 
@@ -464,6 +621,141 @@ mod tests {
     fn rejects_bad_row_width() {
         let mut s = TileStore::new(3, &StorageBackend::Memory).unwrap();
         s.write_row(0, &[1, 2]).unwrap();
+    }
+
+    #[test]
+    fn last_row_roundtrips_on_disk() {
+        // Off-by-one-row bugs in positional offsets show up exactly at
+        // the file's tail, where a bad offset runs past EOF.
+        let n = 7;
+        let mut s = TileStore::new(n, &StorageBackend::Disk(tmp_dir())).unwrap();
+        let row: Vec<Dist> = (100..100 + n as Dist).collect();
+        s.write_row(n - 1, &row).unwrap();
+        assert_eq!(s.read_row(n - 1).unwrap(), row);
+        assert_eq!(s.get(n - 1, n - 1).unwrap(), row[n - 1]);
+        // The row above is untouched.
+        assert_eq!(s.get(n - 2, n - 2).unwrap(), 0);
+        assert_eq!(s.get(n - 2, n - 1).unwrap(), INF);
+    }
+
+    #[test]
+    fn drop_removes_exactly_its_spill_file() {
+        let dir = tmp_dir().join("drop_cleanup");
+        let path = {
+            let s = TileStore::new(4, &StorageBackend::Disk(dir.clone())).unwrap();
+            let survivor = TileStore::new(4, &StorageBackend::Disk(dir.clone())).unwrap();
+            let files: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            assert_eq!(files.len(), 2);
+            drop(s);
+            let remaining: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            assert_eq!(remaining.len(), 1, "dropped store must remove its file");
+            // The survivor still reads after its sibling's cleanup.
+            assert_eq!(survivor.get(0, 0).unwrap(), 0);
+            remaining[0].clone()
+        };
+        assert!(!path.exists(), "second drop removes the last file");
+        std::fs::remove_dir(&dir).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unwritable_directory_surfaces_io_error() {
+        use std::os::unix::fs::PermissionsExt;
+        if effective_uid() == 0 {
+            return; // root bypasses permission bits; nothing to test
+        }
+        let dir = tmp_dir().join("readonly_dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::set_permissions(&dir, std::fs::Permissions::from_mode(0o555)).unwrap();
+        let err = TileStore::new(4, &StorageBackend::Disk(dir.clone())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::PermissionDenied);
+        std::fs::set_permissions(&dir, std::fs::Permissions::from_mode(0o755)).unwrap();
+        std::fs::remove_dir(&dir).unwrap();
+    }
+
+    #[cfg(unix)]
+    fn effective_uid() -> u32 {
+        // Avoid a libc dependency: the uid is in /proc for this purpose.
+        std::fs::read_to_string("/proc/self/status")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("Uid:"))
+                    .and_then(|l| l.split_whitespace().nth(1).map(str::to_string))
+            })
+            .and_then(|u| u.parse().ok())
+            .unwrap_or(u32::MAX)
+    }
+
+    #[test]
+    fn fault_plan_enospc_fires_at_scheduled_write() {
+        let mut s = TileStore::new(3, &StorageBackend::Disk(tmp_dir())).unwrap();
+        s.arm_faults(DiskFaultPlan {
+            write_faults: vec![(1, DiskFault::Enospc)],
+            read_faults: vec![],
+        });
+        s.write_row(0, &[1, 2, 3]).unwrap(); // op 0: clean
+        let err = s.write_row(1, &[4, 5, 6]).unwrap_err(); // op 1: ENOSPC
+        assert_eq!(err.raw_os_error(), Some(ENOSPC_ERRNO));
+        // Nothing from the failed write landed.
+        assert_eq!(s.read_row(1).unwrap(), vec![INF, 0, INF]);
+        // Subsequent ops are clean again.
+        s.write_row(1, &[4, 5, 6]).unwrap();
+        assert_eq!(s.read_row(1).unwrap(), vec![4, 5, 6]);
+        assert_eq!(s.io_ops().0, 3);
+    }
+
+    #[test]
+    fn fault_plan_short_write_mutates_then_errors() {
+        let mut s = TileStore::new(4, &StorageBackend::Disk(tmp_dir())).unwrap();
+        s.arm_faults(DiskFaultPlan {
+            write_faults: vec![(0, DiskFault::ShortWrite)],
+            read_faults: vec![],
+        });
+        let err = s.write_row(2, &[9, 9, 9, 9]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        // The dangerous part: half the row (2 of 4 u32s) did land.
+        assert_eq!(s.read_row(2).unwrap(), vec![9, 9, 0, INF]);
+    }
+
+    #[test]
+    fn fault_plan_short_read_and_latency() {
+        let mut s = TileStore::new(4, &StorageBackend::Disk(tmp_dir())).unwrap();
+        s.write_row(1, &[5, 6, 7, 8]).unwrap();
+        s.arm_faults(DiskFaultPlan {
+            write_faults: vec![(0, DiskFault::LatencyMicros(50))],
+            read_faults: vec![(0, DiskFault::ShortRead), (1, DiskFault::LatencyMicros(50))],
+        });
+        let err = s.read_row(1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Latency faults delay but succeed, on both directions.
+        assert_eq!(s.read_row(1).unwrap(), vec![5, 6, 7, 8]);
+        s.write_row(0, &[1, 1, 1, 1]).unwrap();
+        assert_eq!(s.io_ops(), (1, 2));
+        s.disarm_faults();
+        assert_eq!(s.io_ops(), (0, 0));
+    }
+
+    #[test]
+    fn fault_plan_is_inert_on_memory_backing() {
+        let mut s = TileStore::new(3, &StorageBackend::Memory).unwrap();
+        s.arm_faults(DiskFaultPlan {
+            write_faults: vec![(0, DiskFault::Enospc)],
+            read_faults: vec![(0, DiskFault::ShortRead)],
+        });
+        s.write_row(0, &[1, 2, 3]).unwrap();
+        assert_eq!(s.read_row(0).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            s.io_ops(),
+            (0, 0),
+            "memory backing issues no positional I/O"
+        );
     }
 
     #[test]

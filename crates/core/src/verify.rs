@@ -90,8 +90,8 @@ mod tests {
     use super::*;
     use crate::options::{Algorithm, ApspOptions};
     use crate::{apsp, StorageBackend};
-    use apsp_graph::generators::{gnp, WeightRange};
     use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+    use apsp_graph::generators::{gnp, WeightRange};
 
     #[test]
     fn verifies_a_correct_result() {

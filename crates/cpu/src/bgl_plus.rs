@@ -47,7 +47,10 @@ mod tests {
         let g = gnp(120, 0.05, WeightRange::default(), 3);
         let m = bgl_plus_apsp(&g);
         for s in [0u32, 7, 119] {
-            assert_eq!(m.row(s as usize), &crate::dijkstra::dijkstra_sssp(&g, s)[..]);
+            assert_eq!(
+                m.row(s as usize),
+                &crate::dijkstra::dijkstra_sssp(&g, s)[..]
+            );
         }
     }
 

@@ -133,8 +133,7 @@ pub fn blocked_floyd_warshall(m: &mut DistMatrix, block: usize) {
                     // which stage 2 finalized and stage 3 never writes
                     // (ib != kb, jb != kb).
                     let data = unsafe { std::slice::from_raw_parts_mut(data_ptr.get(), n * n) };
-                    let (a_base, b_base, c_base) =
-                        (is * n + ks, ks * n + js, is * n + js);
+                    let (a_base, b_base, c_base) = (is * n + ks, ks * n + js, is * n + js);
                     // Borrow-split manually via raw indexing within the
                     // single mutable slice: use minplus_tile on copies of
                     // the read panels to stay within safe aliasing rules.
@@ -146,6 +145,7 @@ pub fn blocked_floyd_warshall(m: &mut DistMatrix, block: usize) {
 
 /// Like [`minplus_tile`] but all three operands live in one row-major
 /// buffer (base offsets + shared stride), with C disjoint from A and B.
+#[allow(clippy::too_many_arguments)]
 fn minplus_tile_raw(
     data: &mut [Dist],
     stride: usize,

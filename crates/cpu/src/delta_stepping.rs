@@ -123,7 +123,11 @@ mod tests {
         let g = gnp(100, 0.05, WeightRange::new(1, 50), 31);
         let reference = dijkstra_sssp(&g, 0);
         for delta in [1, 5, 25, 51, 1000] {
-            assert_eq!(delta_stepping_sssp(&g, 0, delta), reference, "delta {delta}");
+            assert_eq!(
+                delta_stepping_sssp(&g, 0, delta),
+                reference,
+                "delta {delta}"
+            );
         }
     }
 

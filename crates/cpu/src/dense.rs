@@ -106,13 +106,22 @@ impl DistMatrix {
 
     /// Largest finite entry (0 for an all-INF matrix).
     pub fn max_finite(&self) -> Dist {
-        self.data.iter().copied().filter(|&d| d < INF).max().unwrap_or(0)
+        self.data
+            .iter()
+            .copied()
+            .filter(|&d| d < INF)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Verify the triangle inequality on every `(i, k, j)` triple drawn
     /// from `samples` pseudo-random triples — used by tests as a cheap
     /// full-matrix sanity check. Returns the first violated triple.
-    pub fn check_triangle_sampled(&self, samples: usize, seed: u64) -> Option<(usize, usize, usize)> {
+    pub fn check_triangle_sampled(
+        &self,
+        samples: usize,
+        seed: u64,
+    ) -> Option<(usize, usize, usize)> {
         let n = self.n;
         if n == 0 {
             return None;

@@ -139,8 +139,8 @@ mod tests {
         assert_eq!(d[3][1], Some(-1));
         assert_eq!(d[2][0], Some(7));
         // Diagonal zero.
-        for i in 0..5 {
-            assert_eq!(d[i][i], Some(0));
+        for (i, row) in d.iter().enumerate() {
+            assert_eq!(row[i], Some(0));
         }
     }
 

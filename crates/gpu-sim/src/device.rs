@@ -127,7 +127,13 @@ impl GpuDevice {
         self.trace.as_deref().unwrap_or(&[])
     }
 
-    fn record_trace(&mut self, name: &str, engine: Engine, stream: StreamId, span: (SimTime, SimTime)) {
+    fn record_trace(
+        &mut self,
+        name: &str,
+        engine: Engine,
+        stream: StreamId,
+        span: (SimTime, SimTime),
+    ) {
         if let Some(t) = self.trace.as_mut() {
             t.push(crate::trace::TraceEvent {
                 name: name.to_string(),
@@ -164,9 +170,33 @@ impl GpuDevice {
         self.pool.in_use()
     }
 
-    /// Bytes still available.
+    /// Bytes still available (zero when an injected shrink put capacity
+    /// below current usage).
     pub fn free_memory(&self) -> u64 {
-        self.pool.capacity() - self.pool.in_use()
+        self.pool.capacity().saturating_sub(self.pool.in_use())
+    }
+
+    /// Fault injection: make the `kth` subsequent non-empty allocation
+    /// (1 = the very next one) fail with [`OutOfDeviceMemory`] regardless
+    /// of remaining capacity, then clear the fault. Models spurious
+    /// mid-run allocation failures (fragmentation, a competing context).
+    pub fn inject_alloc_failure(&self, kth: u64) {
+        self.pool.inject_alloc_failure(kth);
+    }
+
+    /// Disarm a pending [`Self::inject_alloc_failure`] fault.
+    pub fn clear_alloc_failure(&self) {
+        self.pool.clear_alloc_failure();
+    }
+
+    /// Fault injection: change usable device memory at runtime. Shrinking
+    /// below `used_memory()` is allowed — live buffers stay valid, new
+    /// allocations fail until enough is freed. Both the pool and the
+    /// profile observe the new size, so algorithms that re-read
+    /// `profile().memory_bytes` re-plan against the shrunken device.
+    pub fn set_memory_bytes(&mut self, bytes: u64) {
+        self.profile.memory_bytes = bytes;
+        self.pool.set_capacity(bytes);
     }
 
     /// The default stream.
@@ -180,7 +210,10 @@ impl GpuDevice {
     }
 
     /// Allocate a zero-initialized device buffer of `len` elements.
-    pub fn alloc<T: Copy + Default>(&self, len: usize) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+    pub fn alloc<T: Copy + Default>(
+        &self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
         DeviceBuffer::new(len, self.pool.clone())
     }
 
@@ -224,7 +257,9 @@ impl GpuDevice {
         assert_eq!(range.len(), dst.len(), "d2h destination size mismatch");
         dst.copy_from_slice(&src.as_slice()[range]);
         let bytes = std::mem::size_of_val(dst) as u64;
-        let rate = self.profile.transfer_rate(false, pinning == Pinning::Pinned);
+        let rate = self
+            .profile
+            .transfer_rate(false, pinning == Pinning::Pinned);
         let dur = self.profile.transfer_latency + bytes as f64 / rate;
         let span = self.timeline.schedule(stream, Engine::CopyD2H, dur);
         self.record_trace("d2h", Engine::CopyD2H, stream, span);
@@ -306,10 +341,8 @@ impl GpuDevice {
     /// devices the probe shrinks to half the free memory.
     pub fn measure_transfer_throughput(&mut self) -> f64 {
         let stream = self.default_stream();
-        let len = (self.free_memory() as usize / 8).min(1_000_000).max(1);
-        let buf: DeviceBuffer<u32> = self
-            .alloc(len)
-            .expect("probe sized to available memory");
+        let len = (self.free_memory() as usize / 8).clamp(1, 1_000_000);
+        let buf: DeviceBuffer<u32> = self.alloc(len).expect("probe sized to available memory");
         let mut host = vec![0u32; len];
         let before = self.elapsed();
         self.d2h(stream, &buf, 0..len, &mut host, Pinning::Pinned);
@@ -380,8 +413,8 @@ mod tests {
         let s = d.default_stream();
         let cost = KernelCost::regular(0.0, 0.0);
         d.launch_with_children(s, "mssp", LaunchConfig::saturating(), cost, 1000);
-        let expect = d.profile().kernel_launch_overhead
-            + 1000.0 * d.profile().dynamic_launch_overhead;
+        let expect =
+            d.profile().kernel_launch_overhead + 1000.0 * d.profile().dynamic_launch_overhead;
         assert!((d.elapsed().seconds() - expect).abs() < 1e-9);
     }
 
@@ -421,6 +454,27 @@ mod tests {
     }
 
     #[test]
+    fn injected_alloc_failure_is_one_shot() {
+        let d = dev();
+        d.inject_alloc_failure(1);
+        let err = d.alloc::<u32>(16).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert!(d.alloc::<u32>(16).is_ok(), "fault must clear after firing");
+    }
+
+    #[test]
+    fn shrunken_memory_updates_profile_and_pool() {
+        let mut d = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(1 << 20));
+        let held = d.alloc::<u8>(1 << 19).unwrap();
+        d.set_memory_bytes(1 << 18);
+        assert_eq!(d.profile().memory_bytes, 1 << 18);
+        assert_eq!(d.free_memory(), 0);
+        assert!(d.alloc::<u8>(1).is_err());
+        drop(held);
+        assert!(d.alloc::<u8>(1 << 17).is_ok());
+    }
+
+    #[test]
     fn throughput_measurement_matches_profile() {
         let mut d = dev();
         let measured = d.measure_transfer_throughput();
@@ -439,7 +493,12 @@ mod tests {
         let s = d.default_stream();
         let buf: DeviceBuffer<u32> = d.alloc(1024).unwrap();
         let mut host = vec![0u32; 1024];
-        d.launch(s, "work", LaunchConfig::saturating(), KernelCost::regular(1e9, 0.0));
+        d.launch(
+            s,
+            "work",
+            LaunchConfig::saturating(),
+            KernelCost::regular(1e9, 0.0),
+        );
         d.d2h(s, &buf, 0..1024, &mut host, Pinning::Pinned);
         let trace = d.trace();
         assert_eq!(trace.len(), 2);
@@ -456,7 +515,12 @@ mod tests {
     fn trace_off_by_default() {
         let mut d = dev();
         let s = d.default_stream();
-        d.launch(s, "work", LaunchConfig::saturating(), KernelCost::regular(1.0, 0.0));
+        d.launch(
+            s,
+            "work",
+            LaunchConfig::saturating(),
+            KernelCost::regular(1.0, 0.0),
+        );
         assert!(d.trace().is_empty());
     }
 

@@ -50,6 +50,14 @@ pub(crate) struct PoolInner {
     pub in_use: u64,
     pub peak: u64,
     pub alloc_count: u64,
+    /// Fault injection: each entry is a countdown of non-empty
+    /// reservations; when one reaches zero that reservation fails with
+    /// [`OutOfDeviceMemory`] even if capacity remains, and the entry is
+    /// consumed. Models the spurious mid-run allocation failures
+    /// (fragmentation, competing contexts) the out-of-core algorithms
+    /// must survive. Multiple entries count down concurrently, so a test
+    /// can schedule faults at the k-th and j-th future allocations.
+    pub fail_countdowns: Vec<u64>,
 }
 
 /// Shared allocation state of one device.
@@ -66,13 +74,29 @@ impl MemoryPool {
                 in_use: 0,
                 peak: 0,
                 alloc_count: 0,
+                fail_countdowns: Vec::new(),
             })),
         }
     }
 
     pub(crate) fn reserve(&self, bytes: u64) -> Result<(), OutOfDeviceMemory> {
         let mut p = self.inner.lock();
-        let available = p.capacity - p.in_use;
+        let available = p.capacity.saturating_sub(p.in_use);
+        if bytes > 0 && !p.fail_countdowns.is_empty() {
+            let mut fired = false;
+            for countdown in p.fail_countdowns.iter_mut() {
+                *countdown -= 1;
+                fired |= *countdown == 0;
+            }
+            p.fail_countdowns.retain(|c| *c > 0);
+            if fired {
+                return Err(OutOfDeviceMemory {
+                    requested: bytes,
+                    available: 0, // the injected fault leaves nothing usable
+                    capacity: p.capacity,
+                });
+            }
+        }
         if bytes > available {
             return Err(OutOfDeviceMemory {
                 requested: bytes,
@@ -106,6 +130,22 @@ impl MemoryPool {
 
     pub(crate) fn alloc_count(&self) -> u64 {
         self.inner.lock().alloc_count
+    }
+
+    pub(crate) fn inject_alloc_failure(&self, kth: u64) {
+        assert!(kth >= 1, "allocation ordinals are 1-based");
+        self.inner.lock().fail_countdowns.push(kth);
+    }
+
+    pub(crate) fn clear_alloc_failure(&self) {
+        self.inner.lock().fail_countdowns.clear();
+    }
+
+    /// Change capacity at runtime. Shrinking below `in_use` is allowed:
+    /// existing buffers stay valid, new reservations fail until enough is
+    /// released.
+    pub(crate) fn set_capacity(&self, bytes: u64) {
+        self.inner.lock().capacity = bytes;
     }
 }
 
@@ -230,6 +270,49 @@ mod tests {
         buf.as_mut_slice()[3] = 9;
         assert_eq!(buf.as_slice(), &[0, 0, 7, 9]);
         assert_eq!(buf[3], 9);
+    }
+
+    #[test]
+    fn injected_failure_hits_kth_alloc_then_clears() {
+        let pool = MemoryPool::new(1 << 20);
+        pool.inject_alloc_failure(2);
+        let _a: DeviceBuffer<u32> = DeviceBuffer::new(8, pool.clone()).unwrap();
+        let err = DeviceBuffer::<u32>::new(8, pool.clone()).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert_eq!(err.capacity, 1 << 20);
+        // One-shot: the next allocation succeeds again.
+        assert!(DeviceBuffer::<u32>::new(8, pool.clone()).is_ok());
+        // Zero-byte reservations never consume the countdown.
+        pool.inject_alloc_failure(1);
+        assert!(DeviceBuffer::<u32>::new(0, pool.clone()).is_ok());
+        assert!(DeviceBuffer::<u32>::new(1, pool.clone()).is_err());
+        // And the fault can be disarmed before it fires.
+        pool.inject_alloc_failure(1);
+        pool.clear_alloc_failure();
+        assert!(DeviceBuffer::<u32>::new(1, pool).is_ok());
+    }
+
+    #[test]
+    fn multiple_injected_faults_count_down_concurrently() {
+        let pool = MemoryPool::new(1 << 20);
+        pool.inject_alloc_failure(1);
+        pool.inject_alloc_failure(3);
+        assert!(DeviceBuffer::<u32>::new(8, pool.clone()).is_err()); // fault 1
+        assert!(DeviceBuffer::<u32>::new(8, pool.clone()).is_ok()); // countdown 3 -> 1 left
+        assert!(DeviceBuffer::<u32>::new(8, pool.clone()).is_err()); // fault 2
+        assert!(DeviceBuffer::<u32>::new(8, pool).is_ok());
+    }
+
+    #[test]
+    fn shrunken_capacity_blocks_new_allocs_only() {
+        let pool = MemoryPool::new(1024);
+        let held: DeviceBuffer<u8> = DeviceBuffer::new(512, pool.clone()).unwrap();
+        pool.set_capacity(256); // below in_use
+        let err = DeviceBuffer::<u8>::new(1, pool.clone()).unwrap_err();
+        assert_eq!(err.available, 0);
+        assert_eq!(err.capacity, 256);
+        drop(held);
+        assert!(DeviceBuffer::<u8>::new(200, pool).is_ok());
     }
 
     #[test]

@@ -156,9 +156,7 @@ impl DeviceProfile {
         assert!(scale >= 1);
         let s = scale as f64;
         let s2 = (scale * scale) as u64;
-        let mut p = self
-            .with_memory_divided(s2)
-            .with_overheads_divided(s);
+        let mut p = self.with_memory_divided(s2).with_overheads_divided(s);
         p.saturating_blocks = (p.saturating_blocks / s2 as u32).max(1);
         p.frontier_iter_floor /= s * s;
         p

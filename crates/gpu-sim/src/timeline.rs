@@ -120,7 +120,12 @@ impl Timeline {
 
     /// Schedule an operation of `duration` seconds on `stream` using
     /// `engine`. Returns the operation's `(start, end)` times.
-    pub fn schedule(&mut self, stream: StreamId, engine: Engine, duration: f64) -> (SimTime, SimTime) {
+    pub fn schedule(
+        &mut self,
+        stream: StreamId,
+        engine: Engine,
+        duration: f64,
+    ) -> (SimTime, SimTime) {
         assert!(duration >= 0.0, "durations cannot be negative");
         assert!(stream.0 < self.stream_free.len(), "unknown stream");
         let e = engine.index();
@@ -251,7 +256,10 @@ mod tests {
             tl.schedule(stream, Engine::CopyD2H, 1.0);
         }
         let makespan = tl.synchronize().seconds();
-        assert!((makespan - (n as f64 + 1.0)).abs() < 1e-9, "makespan = {makespan}");
+        assert!(
+            (makespan - (n as f64 + 1.0)).abs() < 1e-9,
+            "makespan = {makespan}"
+        );
     }
 
     #[test]

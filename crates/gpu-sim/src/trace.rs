@@ -39,7 +39,10 @@ pub fn render_gantt(events: &[TraceEvent], width: usize) -> String {
         return "(empty trace)\n".to_string();
     }
     let mut out = String::new();
-    out.push_str(&format!("makespan: {makespan:.6} s, {} ops\n", events.len()));
+    out.push_str(&format!(
+        "makespan: {makespan:.6} s, {} ops\n",
+        events.len()
+    ));
     for (engine, label) in [
         (Engine::Compute, "compute"),
         (Engine::CopyH2D, "h2d    "),

@@ -128,7 +128,12 @@ impl GraphBuilder {
             let lo = row_ptr[v];
             let hi = row_ptr[v + 1];
             scratch.clear();
-            scratch.extend(col_idx[lo..hi].iter().copied().zip(weights[lo..hi].iter().copied()));
+            scratch.extend(
+                col_idx[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(weights[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable();
             let mut last: Option<VertexId> = None;
             for &(dst, w) in scratch.iter() {

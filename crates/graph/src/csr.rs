@@ -50,10 +50,7 @@ impl CsrGraph {
             "row_ptr must be non-decreasing"
         );
         let n = (row_ptr.len() - 1) as VertexId;
-        assert!(
-            col_idx.iter().all(|&c| c < n),
-            "column index out of range"
-        );
+        assert!(col_idx.iter().all(|&c| c < n), "column index out of range");
         CsrGraph {
             row_ptr,
             col_idx,

@@ -72,7 +72,10 @@ mod tests {
             .edges()
             .filter(|e| (e.src as i64 - e.dst as i64).unsigned_abs() as usize > bw)
             .count();
-        assert!(long > 100, "expected substantial long-range fill, got {long}");
+        assert!(
+            long > 100,
+            "expected substantial long-range fill, got {long}"
+        );
     }
 
     #[test]

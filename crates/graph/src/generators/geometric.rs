@@ -19,7 +19,9 @@ use rand::{Rng, SeedableRng};
 pub fn random_geometric(n: usize, radius: f64, weights: WeightRange, seed: u64) -> CsrGraph {
     assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let cells = ((1.0 / radius).floor() as usize).max(1);
     let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
     let mut bins: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];

@@ -16,9 +16,7 @@ use rand::{Rng, SeedableRng};
 pub fn random_geometric_3d(n: usize, radius: f64, weights: WeightRange, seed: u64) -> CsrGraph {
     assert!(radius > 0.0 && radius <= 1.0, "radius must be in (0, 1]");
     let mut rng = SmallRng::seed_from_u64(seed);
-    let pts: Vec<[f64; 3]> = (0..n)
-        .map(|_| [rng.gen(), rng.gen(), rng.gen()])
-        .collect();
+    let pts: Vec<[f64; 3]> = (0..n).map(|_| [rng.gen(), rng.gen(), rng.gen()]).collect();
     let cells = ((1.0 / radius).floor() as usize).max(1);
     let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
     let mut bins: Vec<Vec<u32>> = vec![Vec::new(); cells * cells * cells];
@@ -49,9 +47,8 @@ pub fn random_geometric_3d(n: usize, radius: f64, weights: WeightRange, seed: u6
                             continue;
                         }
                         let q = &pts[j as usize];
-                        let d2 = (q[0] - p[0]).powi(2)
-                            + (q[1] - p[1]).powi(2)
-                            + (q[2] - p[2]).powi(2);
+                        let d2 =
+                            (q[0] - p[0]).powi(2) + (q[1] - p[1]).powi(2) + (q[2] - p[2]).powi(2);
                         if d2 <= r2 {
                             let frac = d2.sqrt() / radius;
                             let w = weights.lo + (frac * span).round() as Dist;

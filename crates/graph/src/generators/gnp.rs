@@ -54,7 +54,11 @@ pub fn gnp(n: usize, p: f64, weights: WeightRange, seed: u64) -> CsrGraph {
 /// `p = m / (n·(n−1))`.
 pub fn gnm_expected(n: usize, m: usize, weights: WeightRange, seed: u64) -> CsrGraph {
     let pairs = (n as f64) * (n as f64 - 1.0);
-    let p = if pairs > 0.0 { (m as f64 / pairs).min(1.0) } else { 0.0 };
+    let p = if pairs > 0.0 {
+        (m as f64 / pairs).min(1.0)
+    } else {
+        0.0
+    };
     gnp(n, p, weights, seed)
 }
 

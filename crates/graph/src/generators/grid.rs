@@ -31,7 +31,13 @@ impl Default for GridOptions {
 
 /// An `rows × cols` undirected grid (each undirected edge is stored as two
 /// directed edges with equal weight).
-pub fn grid_2d(rows: usize, cols: usize, opts: GridOptions, weights: WeightRange, seed: u64) -> CsrGraph {
+pub fn grid_2d(
+    rows: usize,
+    cols: usize,
+    opts: GridOptions,
+    weights: WeightRange,
+    seed: u64,
+) -> CsrGraph {
     assert!((0.0..1.0).contains(&opts.deletion_prob) || opts.deletion_prob == 0.0);
     let n = rows * cols;
     let mut rng = SmallRng::seed_from_u64(seed);

@@ -132,7 +132,10 @@ mod tests {
         assert_eq!(g.num_vertices(), 1000);
         // Multi-edge folding can only shrink the edge count.
         assert!(g.num_edges() <= 5000);
-        assert!(g.num_edges() > 3000, "folding should not dominate at this density");
+        assert!(
+            g.num_edges() > 3000,
+            "folding should not dominate at this density"
+        );
         g.check_invariants().unwrap();
     }
 
@@ -147,8 +150,20 @@ mod tests {
 
     #[test]
     fn scale_free_is_more_skewed_than_uniform() {
-        let sf = rmat(2048, 16384, RmatParams::scale_free(), WeightRange::default(), 1);
-        let un = rmat(2048, 16384, RmatParams::uniform(), WeightRange::default(), 1);
+        let sf = rmat(
+            2048,
+            16384,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            1,
+        );
+        let un = rmat(
+            2048,
+            16384,
+            RmatParams::uniform(),
+            WeightRange::default(),
+            1,
+        );
         let max_sf = stats::degree_stats(&sf).max_out;
         let max_un = stats::degree_stats(&un).max_out;
         assert!(
@@ -161,7 +176,9 @@ mod tests {
     fn non_power_of_two_vertices() {
         let g = rmat(777, 3000, RmatParams::default(), WeightRange::default(), 5);
         assert_eq!(g.num_vertices(), 777);
-        assert!(g.edges().all(|e| (e.dst as usize) < 777 && (e.src as usize) < 777));
+        assert!(g
+            .edges()
+            .all(|e| (e.dst as usize) < 777 && (e.src as usize) < 777));
     }
 
     #[test]

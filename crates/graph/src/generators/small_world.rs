@@ -15,19 +15,15 @@ use rand::{Rng, SeedableRng};
 /// Watts–Strogatz graph: ring lattice of `n` vertices with `k` nearest
 /// neighbours each (`k` even, `k < n`), each lattice edge rewired with
 /// probability `beta` to a uniform random endpoint.
-pub fn watts_strogatz(
-    n: usize,
-    k: usize,
-    beta: f64,
-    weights: WeightRange,
-    seed: u64,
-) -> CsrGraph {
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, weights: WeightRange, seed: u64) -> CsrGraph {
     assert!(n >= 3, "ring needs at least 3 vertices");
-    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
     assert!(k < n, "k must be smaller than n");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::with_capacity(n, n * k).symmetric(true).drop_self_loops(true);
+    let mut b = GraphBuilder::with_capacity(n, n * k)
+        .symmetric(true)
+        .drop_self_loops(true);
     for v in 0..n {
         for hop in 1..=(k / 2) {
             let mut u = (v + hop) % n;

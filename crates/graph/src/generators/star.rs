@@ -1,0 +1,90 @@
+//! Star / hub-and-spoke generator: a few extreme-degree hubs.
+//!
+//! Hub vertices stress the paths the power-law families only sample: the
+//! Johnson implementation's dynamic-parallelism offload (a hub's
+//! out-degree dwarfs `heavy_degree_threshold`), Near-Far bucket skew, and
+//! the boundary algorithm's partitioner (a hub touches every component).
+//! Every spoke connects bidirectionally to one pseudo-randomly chosen
+//! hub, and the hubs form a bidirectional ring so the graph is strongly
+//! connected whenever `n > 0`.
+
+use super::WeightRange;
+use crate::{CsrGraph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Star graph on `n` vertices with `hubs ≥ 1` hub vertices (ids
+/// `0..hubs`). With `hubs == 1` this is the textbook star; larger values
+/// give a multi-hub "dandelion" whose hubs still have degree `Θ(n/hubs)`.
+pub fn star(n: usize, hubs: usize, weights: WeightRange, seed: u64) -> CsrGraph {
+    assert!(hubs >= 1, "a star needs at least one hub");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hubs = hubs.min(n.max(1));
+    let mut b = GraphBuilder::with_capacity(n, 2 * n + 2 * hubs);
+    if n == 0 {
+        return b.build();
+    }
+    // Hub ring (a single hub needs no ring; two hubs get one two-way link).
+    if hubs > 1 {
+        for h in 0..hubs as VertexId {
+            let next = ((h + 1) % hubs as VertexId) as VertexId;
+            let w = weights.sample(&mut rng);
+            b.add_edge(h, next, w);
+            b.add_edge(next, h, w);
+        }
+    }
+    // Spokes.
+    for v in hubs..n {
+        let hub = rng.gen_range(0..hubs) as VertexId;
+        let w = weights.sample(&mut rng);
+        b.add_edge(hub, v as VertexId, w);
+        b.add_edge(v as VertexId, hub, w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::connected_components;
+
+    #[test]
+    fn single_hub_touches_everyone() {
+        let g = star(200, 1, WeightRange::default(), 3);
+        assert_eq!(g.num_vertices(), 200);
+        assert_eq!(g.out_degree(0), 199);
+        assert!((1..200).all(|v| g.out_degree(v as VertexId) == 1));
+        assert_eq!(connected_components(&g), 1);
+    }
+
+    #[test]
+    fn multi_hub_degrees_stay_extreme() {
+        let n = 300;
+        let hubs = 3;
+        let g = star(n, hubs, WeightRange::default(), 5);
+        for h in 0..hubs as VertexId {
+            // Ring contributes 2; spokes split ~n/hubs ways.
+            assert!(
+                g.out_degree(h) > n / hubs / 2,
+                "hub {h} degree {}",
+                g.out_degree(h)
+            );
+        }
+        assert_eq!(connected_components(&g), 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deterministic_and_tiny_cases() {
+        assert_eq!(
+            star(120, 2, WeightRange::default(), 9),
+            star(120, 2, WeightRange::default(), 9)
+        );
+        assert_eq!(star(0, 1, WeightRange::default(), 0).num_vertices(), 0);
+        let one = star(1, 1, WeightRange::default(), 0);
+        assert_eq!((one.num_vertices(), one.num_edges()), (1, 0));
+        // More hubs than vertices degrades to a plain ring.
+        let tiny = star(2, 5, WeightRange::default(), 1);
+        assert_eq!(connected_components(&tiny), 1);
+    }
+}

@@ -70,9 +70,7 @@ pub fn read_matrix_market<P: AsRef<Path>>(path: P, mode: WeightMode) -> Result<C
 /// fixtures).
 pub fn read_matrix_market_from<R: Read>(reader: R, mode: WeightMode) -> Result<CsrGraph, MtxError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let header_lc = header.to_ascii_lowercase();
     if !header_lc.starts_with("%%matrixmarket matrix coordinate") {
         return Err(parse_err(format!(
@@ -163,7 +161,13 @@ pub fn write_matrix_market<P: AsRef<Path>>(path: P, g: &CsrGraph) -> Result<(), 
     let mut w = BufWriter::new(file);
     writeln!(w, "%%MatrixMarket matrix coordinate integer general")?;
     writeln!(w, "% written by apsp-graph")?;
-    writeln!(w, "{} {} {}", g.num_vertices(), g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "{} {} {}",
+        g.num_vertices(),
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         writeln!(w, "{} {} {}", e.src + 1, e.dst + 1, e.weight)?;
     }
@@ -193,9 +197,8 @@ mod tests {
 
     #[test]
     fn reads_general_integer() {
-        let g =
-            read_matrix_market_from(GENERAL.as_bytes(), WeightMode::ScaledAbs { scale: 1.0 })
-                .unwrap();
+        let g = read_matrix_market_from(GENERAL.as_bytes(), WeightMode::ScaledAbs { scale: 1.0 })
+            .unwrap();
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.edge_weight(0, 1), Some(5));
@@ -204,9 +207,8 @@ mod tests {
 
     #[test]
     fn symmetric_mirrors_entries() {
-        let g =
-            read_matrix_market_from(SYMMETRIC.as_bytes(), WeightMode::ScaledAbs { scale: 2.0 })
-                .unwrap();
+        let g = read_matrix_market_from(SYMMETRIC.as_bytes(), WeightMode::ScaledAbs { scale: 2.0 })
+            .unwrap();
         assert_eq!(g.num_edges(), 2);
         assert_eq!(g.edge_weight(0, 1), Some(7)); // ceil(3.5 * 2)
         assert_eq!(g.edge_weight(1, 0), Some(7));
@@ -241,9 +243,8 @@ mod tests {
 
     #[test]
     fn roundtrip_through_file() {
-        let g =
-            read_matrix_market_from(GENERAL.as_bytes(), WeightMode::ScaledAbs { scale: 1.0 })
-                .unwrap();
+        let g = read_matrix_market_from(GENERAL.as_bytes(), WeightMode::ScaledAbs { scale: 1.0 })
+            .unwrap();
         let dir = std::env::temp_dir().join("apsp_graph_io_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.mtx");

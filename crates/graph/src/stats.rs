@@ -128,7 +128,11 @@ pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
     let mut hist: Vec<usize> = Vec::new();
     for v in 0..g.num_vertices() as VertexId {
         let d = g.out_degree(v);
-        let bucket = if d <= 1 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        let bucket = if d <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - d.leading_zeros()) as usize
+        };
         if bucket >= hist.len() {
             hist.resize(bucket + 1, 0);
         }
@@ -231,7 +235,10 @@ mod tests {
         }
         let g = b.build();
         assert_eq!(bfs_hops(&g, 0), vec![0, 1, 2, 3, 4]);
-        assert_eq!(bfs_hops(&g, 4), vec![usize::MAX, usize::MAX, usize::MAX, usize::MAX, 0]);
+        assert_eq!(
+            bfs_hops(&g, 4),
+            vec![usize::MAX, usize::MAX, usize::MAX, usize::MAX, 0]
+        );
     }
 
     #[test]
@@ -271,7 +278,11 @@ mod tests {
             WeightRange::default(),
             3,
         );
-        assert!(degree_histogram(&sf).len() >= 6, "{:?}", degree_histogram(&sf));
+        assert!(
+            degree_histogram(&sf).len() >= 6,
+            "{:?}",
+            degree_histogram(&sf)
+        );
     }
 
     #[test]

@@ -79,7 +79,14 @@ pub const TABLE3: &[SuiteEntry] = &[
     // both the degree and the genuine O(√n) separator structure.
     entry("usroads-48", 126_000, 324_000, true, true, Family::GridRoad),
     entry("usroads", 129_000, 331_000, true, true, Family::GridRoad),
-    entry("luxembourg_osm", 115_000, 239_000, true, true, Family::GridRoad),
+    entry(
+        "luxembourg_osm",
+        115_000,
+        239_000,
+        true,
+        true,
+        Family::GridRoad,
+    ),
     // Census-tract adjacency graphs are planar (polygon adjacency);
     // near-planar thinned grids keep their thin O(√n) separators, which a
     // thick geometric disk graph would not.
@@ -95,7 +102,14 @@ pub const TABLE3: &[SuiteEntry] = &[
 
 /// Table IV — the 10 graphs whose output exceeds host memory.
 pub const TABLE4: &[SuiteEntry] = &[
-    entry("af_shell1", 505_000, 18_094_000, false, false, Family::Banded),
+    entry(
+        "af_shell1",
+        505_000,
+        18_094_000,
+        false,
+        false,
+        Family::Banded,
+    ),
     entry("cage13", 445_000, 7_479_000, false, false, Family::Rmat),
     entry("kim2", 457_000, 11_330_000, false, false, Family::Banded),
     entry("language", 256_000, 2_500_000, false, false, Family::Rmat),

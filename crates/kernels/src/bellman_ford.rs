@@ -8,8 +8,8 @@
 //! (`repro ablation-sssp`).
 
 use crate::model::{BYTES_PER_RELAXATION, OPS_PER_RELAXATION, THREADS_PER_BLOCK};
-use apsp_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
 use apsp_gpu_sim::{GpuDevice, KernelCost, LaunchConfig, StreamId};
+use apsp_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
 
 /// Statistics from a device Bellman-Ford run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,8 +76,8 @@ pub fn bellman_ford_device(
 mod tests {
     use super::*;
     use apsp_cpu::dijkstra_sssp;
-    use apsp_graph::generators::{gnp, grid_2d, GridOptions, WeightRange};
     use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::generators::{gnp, grid_2d, GridOptions, WeightRange};
 
     fn dev() -> GpuDevice {
         GpuDevice::new(DeviceProfile::v100())

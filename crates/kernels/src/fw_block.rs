@@ -77,9 +77,9 @@ pub fn fw_device(dev: &mut GpuDevice, stream: StreamId, m: &mut DeviceMatrix) {
 mod tests {
     use super::*;
     use apsp_cpu::bgl_plus_apsp;
+    use apsp_gpu_sim::DeviceProfile;
     use apsp_graph::generators::{gnp, WeightRange};
     use apsp_graph::INF;
-    use apsp_gpu_sim::DeviceProfile;
 
     fn dev() -> GpuDevice {
         GpuDevice::new(DeviceProfile::v100())

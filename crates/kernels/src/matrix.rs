@@ -1,7 +1,7 @@
 //! Dense distance matrices in device memory.
 
-use apsp_graph::{Dist, INF};
 use apsp_gpu_sim::{DeviceBuffer, GpuDevice, OutOfDeviceMemory, Pinning, StreamId};
+use apsp_graph::{Dist, INF};
 
 /// A `rows × cols` row-major distance matrix living in (simulated) device
 /// memory.
@@ -107,10 +107,16 @@ impl DeviceMatrix {
     /// Extract a rectangular sub-matrix as a host vector (no transfer
     /// charged — used for device-side shuffles whose cost the caller
     /// models as part of a kernel).
-    pub fn submatrix(&self, rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> Vec<Dist> {
+    pub fn submatrix(
+        &self,
+        rows: std::ops::Range<usize>,
+        cols: std::ops::Range<usize>,
+    ) -> Vec<Dist> {
         let mut out = Vec::with_capacity(rows.len() * cols.len());
         for i in rows {
-            out.extend_from_slice(&self.buf.as_slice()[i * self.cols + cols.start..i * self.cols + cols.end]);
+            out.extend_from_slice(
+                &self.buf.as_slice()[i * self.cols + cols.start..i * self.cols + cols.end],
+            );
         }
         out
     }

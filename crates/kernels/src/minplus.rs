@@ -26,8 +26,7 @@ pub fn minplus_cost(rows: usize, inner: usize, cols: usize) -> KernelCost {
 /// Launch configuration for a min-plus multiply: one block per output
 /// tile.
 pub fn minplus_launch(rows: usize, cols: usize) -> LaunchConfig {
-    let tiles =
-        rows.div_ceil(MINPLUS_TILE) * cols.div_ceil(MINPLUS_TILE);
+    let tiles = rows.div_ceil(MINPLUS_TILE) * cols.div_ceil(MINPLUS_TILE);
     LaunchConfig::new((tiles as u32).max(1), THREADS_PER_BLOCK)
 }
 
@@ -164,8 +163,8 @@ pub fn minplus_product(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apsp_graph::INF;
     use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::INF;
 
     fn dev() -> GpuDevice {
         GpuDevice::new(DeviceProfile::v100())

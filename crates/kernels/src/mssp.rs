@@ -13,8 +13,8 @@ use crate::model::{
     BYTES_PER_RELAXATION, FRONTIER_IRREGULARITY, OPS_PER_RELAXATION, THREADS_PER_BLOCK,
 };
 use crate::nearfar::{near_far_sssp, NearFarStats};
-use apsp_graph::{CsrGraph, Dist, VertexId};
 use apsp_gpu_sim::{GpuDevice, KernelCost, LaunchConfig, StreamId};
+use apsp_graph::{CsrGraph, Dist, VertexId};
 
 /// Options for one MSSP launch.
 #[derive(Debug, Clone, Copy)]
@@ -111,12 +111,8 @@ fn mssp_kernel_impl(
     };
     for (i, &src) in sources.iter().enumerate() {
         if let Some(pm) = parents.as_deref_mut() {
-            let (dist, par, s) = crate::nearfar::near_far_sssp_with_parents(
-                g,
-                src,
-                opts.delta,
-                heavy_threshold,
-            );
+            let (dist, par, s) =
+                crate::nearfar::near_far_sssp_with_parents(g, src, opts.delta, heavy_threshold);
             max_iterations = max_iterations.max(s.near_iterations);
             stats.merge(&s);
             out.as_mut_slice()[i * n..(i + 1) * n].copy_from_slice(&dist);
@@ -135,8 +131,7 @@ fn mssp_kernel_impl(
     // from below.
     let launch = LaunchConfig::new(bat as u32, THREADS_PER_BLOCK);
     let eff_blocks = (bat as u32).min(dev.profile().saturating_blocks).max(1) as f64;
-    let iter_floor =
-        stats.near_iterations as f64 / eff_blocks * dev.profile().frontier_iter_floor;
+    let iter_floor = stats.near_iterations as f64 / eff_blocks * dev.profile().frontier_iter_floor;
     // Parent tracking stores one extra word per improving relaxation.
     let bytes_per_relax = if parents.is_some() {
         BYTES_PER_RELAXATION + 8.0
@@ -207,8 +202,8 @@ fn mssp_kernel_impl(
 mod tests {
     use super::*;
     use apsp_cpu::dijkstra_sssp;
-    use apsp_graph::generators::{gnp, rmat, RmatParams, WeightRange};
     use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::generators::{gnp, rmat, RmatParams, WeightRange};
 
     fn dev() -> GpuDevice {
         GpuDevice::new(DeviceProfile::v100())
@@ -233,7 +228,13 @@ mod tests {
 
     #[test]
     fn dynamic_parallelism_preserves_results() {
-        let g = rmat(256, 4096, RmatParams::scale_free(), WeightRange::default(), 5);
+        let g = rmat(
+            256,
+            4096,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            5,
+        );
         let sources: Vec<u32> = (0..16).collect();
         let mut d1 = dev();
         let mut d2 = dev();
@@ -278,7 +279,13 @@ mod tests {
         // Scale-free graph, batch of 8 (≪ saturating blocks): offloading
         // hub edges to full-occupancy children should beat the plain
         // kernel despite the child-launch overheads.
-        let g = rmat(2048, 65536, RmatParams::scale_free(), WeightRange::default(), 11);
+        let g = rmat(
+            2048,
+            65536,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            11,
+        );
         let sources: Vec<u32> = (0..8).collect();
         let run = |dynamic: bool| {
             let mut d = dev();

@@ -228,7 +228,13 @@ mod tests {
 
     #[test]
     fn heavy_classification_targets_hubs() {
-        let g = rmat(512, 4096, RmatParams::scale_free(), WeightRange::default(), 9);
+        let g = rmat(
+            512,
+            4096,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            9,
+        );
         let (_, st) = near_far_sssp(&g, 0, 25, 32);
         assert!(st.heavy_vertices > 0, "scale-free graphs have hubs");
         assert!(st.heavy_relaxations > 0);

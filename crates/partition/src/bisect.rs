@@ -73,7 +73,7 @@ pub fn multilevel_bisect(g: &CoarseGraph, fraction0: f64, opts: &BisectOptions) 
         let mut bis = Bisection::new(side, coarsest);
         refine_two_sided(coarsest, &mut bis, max0, max1, opts.refine_passes);
         let cut = bis.cut(coarsest);
-        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
             best = Some((cut, bis.side));
         }
     }
@@ -97,13 +97,7 @@ pub fn multilevel_bisect(g: &CoarseGraph, fraction0: f64, opts: &BisectOptions) 
 /// FM with asymmetric bounds: the pass interface takes one bound, so run
 /// with the looser bound and post-check; in practice region growing starts
 /// feasible and FM preserves feasibility under `max(max0, max1)`.
-fn refine_two_sided(
-    g: &CoarseGraph,
-    bis: &mut Bisection,
-    max0: u64,
-    max1: u64,
-    passes: usize,
-) {
+fn refine_two_sided(g: &CoarseGraph, bis: &mut Bisection, max0: u64, max1: u64, passes: usize) {
     refine(g, bis, max0.max(max1), passes);
 }
 
@@ -126,7 +120,10 @@ fn grow_region(g: &CoarseGraph, target0: u64, seed: u64) -> Vec<u8> {
             let unvisited: Vec<VertexId> = (0..n as VertexId)
                 .filter(|&v| !visited[v as usize])
                 .collect();
-            let Some(&start) = unvisited.get(rng.gen_range(0..unvisited.len().max(1)).min(unvisited.len().saturating_sub(1))) else {
+            let Some(&start) = unvisited.get(
+                rng.gen_range(0..unvisited.len().max(1))
+                    .min(unvisited.len().saturating_sub(1)),
+            ) else {
                 break;
             };
             visited[start as usize] = true;
@@ -169,7 +166,11 @@ mod tests {
         let side = multilevel_bisect(&g, 0.5, &BisectOptions::default());
         let bis = Bisection::new(side, &g);
         // Balance within epsilon-ish.
-        assert!(bis.weight0.abs_diff(bis.weight1) <= 26, "{:?}", (bis.weight0, bis.weight1));
+        assert!(
+            bis.weight0.abs_diff(bis.weight1) <= 26,
+            "{:?}",
+            (bis.weight0, bis.weight1)
+        );
         // Optimal cut of a 16×16 grid is 16 edges (multiplicity 2 → 32);
         // multilevel should land within 2× of that.
         assert!(bis.cut(&g) <= 64, "cut = {}", bis.cut(&g));

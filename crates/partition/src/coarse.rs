@@ -99,10 +99,9 @@ impl CoarseGraph {
             // the heaviest edge.
             let mut best: Option<(VertexId, u64)> = None;
             for (u, w) in self.neighbors(v) {
-                if u != v && mate[u as usize] == VertexId::MAX {
-                    if best.map_or(true, |(_, bw)| w > bw) {
-                        best = Some((u, w));
-                    }
+                if u != v && mate[u as usize] == VertexId::MAX && best.is_none_or(|(_, bw)| w > bw)
+                {
+                    best = Some((u, w));
                 }
             }
             match best {
@@ -283,7 +282,11 @@ mod tests {
         }
         let cg = CoarseGraph::from_graph(&b.build());
         let (c1, _) = cg.coarsen(3);
-        assert!(c1.num_vertices() <= (n * 3).div_ceil(4), "{}", c1.num_vertices());
+        assert!(
+            c1.num_vertices() <= (n * 3).div_ceil(4),
+            "{}",
+            c1.num_vertices()
+        );
     }
 
     #[test]

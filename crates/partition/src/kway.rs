@@ -53,15 +53,7 @@ pub fn kway_partition(g: &CsrGraph, k: usize, cfg: &PartitionConfig) -> Partitio
     let coarse = CoarseGraph::from_graph(g);
     let vertices: Vec<VertexId> = (0..n as VertexId).collect();
     let mut assignment = vec![0u32; n];
-    split(
-        &coarse,
-        &vertices,
-        k,
-        0,
-        cfg,
-        cfg.seed,
-        &mut assignment,
-    );
+    split(&coarse, &vertices, k, 0, cfg, cfg.seed, &mut assignment);
     Partition::new(assignment, k)
 }
 
@@ -107,8 +99,24 @@ fn split(
     // must not collapse part ids: steal vertices to keep every part
     // non-empty when possible.
     rebalance_if_empty(&mut left, &mut right);
-    split(root, &left, k0, first_part, cfg, seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1), assignment);
-    split(root, &right, k1, first_part + k0 as u32, cfg, seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2), assignment);
+    split(
+        root,
+        &left,
+        k0,
+        first_part,
+        cfg,
+        seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+        assignment,
+    );
+    split(
+        root,
+        &right,
+        k1,
+        first_part + k0 as u32,
+        cfg,
+        seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2),
+        assignment,
+    );
 }
 
 fn rebalance_if_empty(left: &mut Vec<VertexId>, right: &mut Vec<VertexId>) {
@@ -163,7 +171,9 @@ pub fn default_num_components(n: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apsp_graph::generators::{grid_2d, random_geometric, rmat, GridOptions, RmatParams, WeightRange};
+    use apsp_graph::generators::{
+        grid_2d, random_geometric, rmat, GridOptions, RmatParams, WeightRange,
+    };
 
     #[test]
     fn partitions_grid_with_small_boundary() {
@@ -183,7 +193,13 @@ mod tests {
     fn geometric_graphs_have_small_separators_rmat_does_not() {
         let n = 1024;
         let geo = random_geometric(n, 0.05, WeightRange::default(), 3);
-        let scale_free = rmat(n, 8 * n, RmatParams::scale_free(), WeightRange::default(), 3);
+        let scale_free = rmat(
+            n,
+            8 * n,
+            RmatParams::scale_free(),
+            WeightRange::default(),
+            3,
+        );
         let k = 8;
         let cfg = PartitionConfig::default();
         let nb_geo = kway_partition(&geo, k, &cfg).num_boundary_nodes(&geo);

@@ -138,7 +138,10 @@ impl PartitionLayout {
     /// Map a dense vector indexed by old ids into new-id order.
     pub fn permute_values<T: Copy>(&self, old_indexed: &[T]) -> Vec<T> {
         assert_eq!(old_indexed.len(), self.num_vertices());
-        self.perm.iter().map(|&old| old_indexed[old as usize]).collect()
+        self.perm
+            .iter()
+            .map(|&old| old_indexed[old as usize])
+            .collect()
     }
 }
 

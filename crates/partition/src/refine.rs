@@ -84,7 +84,10 @@ pub fn fm_pass(g: &CoarseGraph, bis: &mut Bisection, max_side_weight: u64) -> u6
     // each selection scans O(|boundary|) instead of O(n). Moves add the
     // moved vertex's neighbourhood back into the list.
     let mut candidates: Vec<VertexId> = (0..n as VertexId)
-        .filter(|&v| g.neighbors(v).any(|(u, _)| side[u as usize] != side[v as usize]))
+        .filter(|&v| {
+            g.neighbors(v)
+                .any(|(u, _)| side[u as usize] != side[v as usize])
+        })
         .collect();
     let mut queued = vec![false; n];
     for &v in &candidates {
@@ -111,11 +114,13 @@ pub fn fm_pass(g: &CoarseGraph, bis: &mut Bisection, max_side_weight: u64) -> u6
             // Stale entries (no longer on the boundary) can only move for
             // positive gain.
             let gv = gain(g, &side, v);
-            let on_boundary = g.neighbors(v).any(|(u, _)| side[u as usize] != side[v as usize]);
+            let on_boundary = g
+                .neighbors(v)
+                .any(|(u, _)| side[u as usize] != side[v as usize]);
             if !on_boundary && gv <= 0 {
                 continue;
             }
-            if best.map_or(true, |(_, bg)| gv > bg) {
+            if best.is_none_or(|(_, bg)| gv > bg) {
                 best = Some((v, gv));
             }
         }

@@ -10,9 +10,9 @@
 //! Section IV story.
 
 use apsp::core::{apsp, ApspOptions, SelectorConfig};
+use apsp::gpu_sim::{DeviceProfile, GpuDevice};
 use apsp::graph::generators::{gnm_expected, grid_2d, GridOptions, WeightRange};
 use apsp::graph::CsrGraph;
-use apsp::gpu_sim::{DeviceProfile, GpuDevice};
 
 fn main() {
     let n = 400;
@@ -20,7 +20,13 @@ fn main() {
     // graphs of growing density.
     let mut workloads: Vec<(String, CsrGraph)> = vec![{
         let side = (n as f64).sqrt() as usize;
-        let g = grid_2d(side, side, GridOptions::default(), WeightRange::default(), 3);
+        let g = grid_2d(
+            side,
+            side,
+            GridOptions::default(),
+            WeightRange::default(),
+            3,
+        );
         ("grid (planar)".to_string(), g)
     }];
     for avg_deg in [8usize, 40, 120] {
@@ -36,7 +42,10 @@ fn main() {
         ..Default::default()
     };
 
-    println!("{:<28} {:>10} {:>16} {:>44}", "graph", "density", "selected", "estimates (simulated seconds)");
+    println!(
+        "{:<28} {:>10} {:>16} {:>44}",
+        "graph", "density", "selected", "estimates (simulated seconds)"
+    );
     for (name, graph) in workloads {
         let profile = DeviceProfile::v100().with_memory_bytes(1 << 20);
         let mut dev = GpuDevice::new(profile);

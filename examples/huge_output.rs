@@ -12,8 +12,8 @@
 
 use apsp::core::{apsp, ApspOptions, StorageBackend};
 use apsp::cpu::dijkstra_sssp;
-use apsp::graph::suite::{find, SuiteConfig};
 use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+use apsp::graph::suite::{find, SuiteConfig};
 
 fn main() {
     // The `cage13` analog (a scale-free biology matrix from Table IV).

@@ -14,8 +14,8 @@ use apsp::core::multi_gpu::ooc_boundary_multi;
 use apsp::core::options::BoundaryOptions;
 use apsp::core::{StorageBackend, TileStore};
 use apsp::cpu::dijkstra_sssp;
-use apsp::graph::generators::{ensure_connected, grid_2d, GridOptions, WeightRange};
 use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+use apsp::graph::generators::{ensure_connected, grid_2d, GridOptions, WeightRange};
 
 fn main() {
     // A 60×60 thinned street grid (≈ 3600 junctions).
@@ -45,7 +45,9 @@ fn main() {
     let mut baseline = None;
     let mut reference_row = None;
     for count in [1usize, 2, 4, 8] {
-        let mut devs: Vec<GpuDevice> = (0..count).map(|_| GpuDevice::new(profile.clone())).collect();
+        let mut devs: Vec<GpuDevice> = (0..count)
+            .map(|_| GpuDevice::new(profile.clone()))
+            .collect();
         let mut store = TileStore::new(n, &StorageBackend::Memory).unwrap();
         let stats = ooc_boundary_multi(&mut devs, &graph, &mut store, &BoundaryOptions::default())
             .expect("multi-GPU run");

@@ -10,8 +10,8 @@
 
 use apsp::core::{apsp, ApspOptions};
 use apsp::cpu::bgl_plus_apsp;
-use apsp::graph::generators::{gnp, WeightRange};
 use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+use apsp::graph::generators::{gnp, WeightRange};
 
 fn main() {
     // A random directed graph: 500 vertices, ~2% density, weights 1–100.

@@ -12,12 +12,12 @@
 //! with each optimization combination, and prints the simulated-time
 //! breakdown.
 
-use apsp::core::ooc_boundary::{ooc_boundary, default_num_components};
+use apsp::core::ooc_boundary::{default_num_components, ooc_boundary};
 use apsp::core::options::BoundaryOptions;
 use apsp::core::{StorageBackend, TileStore};
 use apsp::cpu::dijkstra_sssp;
-use apsp::graph::generators::{ensure_connected, grid_2d, GridOptions, WeightRange};
 use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+use apsp::graph::generators::{ensure_connected, grid_2d, GridOptions, WeightRange};
 use apsp::partition::{kway_partition, PartitionConfig};
 
 fn main() {

@@ -6,11 +6,11 @@ use apsp::core::options::{Algorithm, ApspOptions};
 use apsp::core::{apsp, StorageBackend};
 use apsp::cpu::delta_stepping::{default_delta, galois_apsp};
 use apsp::cpu::{bgl_plus_apsp, blocked_floyd_warshall, DistMatrix};
+use apsp::gpu_sim::{DeviceProfile, GpuDevice};
 use apsp::graph::generators::{
     banded, gnp, grid_2d, random_geometric, rmat, GridOptions, RmatParams, WeightRange,
 };
 use apsp::graph::CsrGraph;
-use apsp::gpu_sim::{DeviceProfile, GpuDevice};
 
 fn workloads() -> Vec<(&'static str, CsrGraph)> {
     vec![
@@ -25,11 +25,23 @@ fn workloads() -> Vec<(&'static str, CsrGraph)> {
         ),
         (
             "rmat",
-            rmat(128, 1024, RmatParams::scale_free(), WeightRange::default(), 104),
+            rmat(
+                128,
+                1024,
+                RmatParams::scale_free(),
+                WeightRange::default(),
+                104,
+            ),
         ),
-        ("banded", banded(140, 9, 4, 0.2, WeightRange::default(), 105)),
+        (
+            "banded",
+            banded(140, 9, 4, 0.2, WeightRange::default(), 105),
+        ),
         // Disconnected input: INF handling end to end.
-        ("sparse-disconnected", gnp(100, 0.01, WeightRange::default(), 106)),
+        (
+            "sparse-disconnected",
+            gnp(100, 0.01, WeightRange::default(), 106),
+        ),
     ]
 }
 

@@ -1,9 +1,9 @@
 //! Negative-weight APSP end to end: Johnson reweighting in front of the
 //! out-of-core GPU machinery.
 
-use apsp::core::options::{Algorithm, ApspOptions};
 use apsp::core::apsp;
-use apsp::cpu::johnson_reweight::{Reweighted, SignedEdge};
+use apsp::core::options::{Algorithm, ApspOptions};
+use apsp::cpu::johnson_reweight::{NegativeCycle, Reweighted, SignedEdge};
 use apsp::gpu_sim::{DeviceProfile, GpuDevice};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -55,12 +55,91 @@ fn reweighted_ooc_apsp_matches_signed_reference() {
             ..Default::default()
         };
         let result = apsp(&rw.graph, &mut dev, &opts).unwrap();
-        for i in 0..n {
+        for (i, ref_row) in reference.iter().enumerate() {
             let row = result.store.read_row(i).unwrap();
             for j in 0..n {
                 let got = rw.true_distance(i as u32, j as u32, row[j]);
-                assert_eq!(got, reference[i][j], "{alg}: pair ({i}, {j})");
+                assert_eq!(got, ref_row[j], "{alg}: pair ({i}, {j})");
             }
+        }
+    }
+}
+
+#[test]
+fn negative_cycle_is_detected_before_any_gpu_work() {
+    // Splice a −1 cycle into an otherwise cycle-safe random graph. The
+    // Bellman-Ford front-end must refuse, so the out-of-core pipeline is
+    // never handed an instance with no well-defined answer.
+    let mut edges = random_signed_graph(30, 150, 5);
+    edges.push(SignedEdge {
+        src: 10,
+        dst: 11,
+        weight: 2,
+    });
+    edges.push(SignedEdge {
+        src: 11,
+        dst: 12,
+        weight: 2,
+    });
+    edges.push(SignedEdge {
+        src: 12,
+        dst: 10,
+        weight: -5,
+    });
+    assert!(matches!(Reweighted::new(30, &edges), Err(NegativeCycle)));
+}
+
+#[test]
+fn negative_cycle_behind_a_long_chain_is_still_detected() {
+    // The cycle's negativity only propagates after many Bellman-Ford
+    // rounds: a chain 0 → 1 → … → k feeds a tail cycle of total −1.
+    // This is the case a round-capped (early-exiting) Bellman-Ford gets
+    // wrong, so it pins the iteration count, not just the happy path.
+    let k = 40u32;
+    let mut edges: Vec<SignedEdge> = (0..k)
+        .map(|v| SignedEdge {
+            src: v,
+            dst: v + 1,
+            weight: 1,
+        })
+        .collect();
+    edges.push(SignedEdge {
+        src: k,
+        dst: k + 1,
+        weight: 3,
+    });
+    edges.push(SignedEdge {
+        src: k + 1,
+        dst: k,
+        weight: -4,
+    });
+    assert!(matches!(
+        Reweighted::new(k as usize + 2, &edges),
+        Err(NegativeCycle)
+    ));
+    // Relaxing the cycle to total 0 makes the same topology legal, and
+    // the reweighted graph runs through out-of-core Johnson cleanly.
+    *edges.last_mut().unwrap() = SignedEdge {
+        src: k + 1,
+        dst: k,
+        weight: -3,
+    };
+    let rw = Reweighted::new(k as usize + 2, &edges).unwrap();
+    let reference = rw.apsp();
+    let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+    let opts = ApspOptions {
+        algorithm: Some(Algorithm::Johnson),
+        ..Default::default()
+    };
+    let result = apsp(&rw.graph, &mut dev, &opts).unwrap();
+    for (i, ref_row) in reference.iter().enumerate() {
+        let row = result.store.read_row(i).unwrap();
+        for j in 0..(k as usize + 2) {
+            assert_eq!(
+                rw.true_distance(i as u32, j as u32, row[j]),
+                ref_row[j],
+                "pair ({i}, {j})"
+            );
         }
     }
 }
@@ -71,5 +150,8 @@ fn negative_distances_actually_occur() {
     let rw = Reweighted::new(40, &edges).unwrap();
     let d = rw.apsp();
     let any_negative = (0..40).any(|i| (0..40).any(|j| matches!(d[i][j], Some(x) if x < 0)));
-    assert!(any_negative, "the signed construction should produce negative shortest distances");
+    assert!(
+        any_negative,
+        "the signed construction should produce negative shortest distances"
+    );
 }

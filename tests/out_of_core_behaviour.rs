@@ -5,8 +5,8 @@ use apsp::core::ooc_johnson::ooc_johnson;
 use apsp::core::options::{Algorithm, ApspOptions, FwOptions, JohnsonOptions};
 use apsp::core::{apsp, StorageBackend, TileStore};
 use apsp::cpu::bgl_plus_apsp;
-use apsp::graph::generators::{gnp, random_geometric, WeightRange};
 use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+use apsp::graph::generators::{gnp, random_geometric, WeightRange};
 
 #[test]
 fn shrinking_device_changes_blocking_not_results() {
@@ -19,7 +19,11 @@ fn shrinking_device_changes_blocking_not_results() {
         let mut store = TileStore::new(120, &StorageBackend::Memory).unwrap();
         init_store_from_graph(&g, &mut store).unwrap();
         let stats = ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default()).unwrap();
-        assert_eq!(store.to_dist_matrix().unwrap(), reference, "mem {mem_kib} KiB");
+        assert_eq!(
+            store.to_dist_matrix().unwrap(),
+            reference,
+            "mem {mem_kib} KiB"
+        );
         if last_n_d != 0 && stats.n_d != last_n_d {
             seen_different_blockings = true;
         }
@@ -86,10 +90,7 @@ fn simulated_time_increases_under_memory_pressure() {
     };
     let roomy = time(4 << 20);
     let tight = time(128 << 10);
-    assert!(
-        tight > roomy,
-        "tight {tight} should exceed roomy {roomy}"
-    );
+    assert!(tight > roomy, "tight {tight} should exceed roomy {roomy}");
 }
 
 #[test]

@@ -1,10 +1,10 @@
 //! Property-based tests over the core data structures and invariants.
 
-use apsp::core::options::{Algorithm, ApspOptions};
 use apsp::core::apsp;
+use apsp::core::options::{Algorithm, ApspOptions};
 use apsp::cpu::{bgl_plus_apsp, dijkstra_sssp};
-use apsp::graph::{dist_add, CsrGraph, Edge, GraphBuilder, INF};
 use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+use apsp::graph::{dist_add, CsrGraph, Edge, GraphBuilder, INF};
 use apsp::kernels::near_far_sssp;
 use apsp::partition::{kway_partition, PartitionConfig, PartitionLayout};
 use proptest::prelude::*;
@@ -15,10 +15,7 @@ use proptest::prelude::*;
 fn arb_graph(n_max: usize, m_max: usize) -> impl Strategy<Value = CsrGraph> {
     (2usize..n_max, 0usize..m_max)
         .prop_flat_map(|(n, m)| {
-            let edges = proptest::collection::vec(
-                (0..n as u32, 0..n as u32, 0u32..1000u32),
-                m,
-            );
+            let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0u32..1000u32), m);
             (Just(n), edges)
         })
         .prop_map(|(n, edges)| {

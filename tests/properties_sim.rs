@@ -3,8 +3,8 @@
 
 use apsp::core::{StorageBackend, TileStore};
 use apsp::cpu::blocked_fw::minplus_tile;
-use apsp::graph::{dist_add, INF};
 use apsp::gpu_sim::{DeviceProfile, Engine, GpuDevice, KernelCost, LaunchConfig, Timeline};
+use apsp::graph::{dist_add, INF};
 use proptest::prelude::*;
 
 proptest! {

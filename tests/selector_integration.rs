@@ -4,9 +4,9 @@
 use apsp::core::options::{Algorithm, ApspOptions, JohnsonOptions};
 use apsp::core::selector::{CostModels, JohnsonModel};
 use apsp::core::{apsp, SelectorConfig};
+use apsp::gpu_sim::{DeviceProfile, GpuDevice};
 use apsp::graph::generators::{gnp, grid_2d, GridOptions, WeightRange};
 use apsp::graph::stats::DensityClass;
-use apsp::gpu_sim::{DeviceProfile, GpuDevice};
 
 #[test]
 fn density_filter_controls_candidates() {
@@ -73,7 +73,10 @@ fn johnson_probe_extrapolates_within_factor_two() {
     let cfg = SelectorConfig::default();
     let jopts = JohnsonOptions::default();
     let probe = JohnsonModel::probe(&profile, &g, &cfg, &jopts).unwrap();
-    assert!(probe.total_batches > probe.sampled, "need extrapolation to test");
+    assert!(
+        probe.total_batches > probe.sampled,
+        "need extrapolation to test"
+    );
     let models = CostModels::calibrate(&profile);
     let mut dev = GpuDevice::new(profile);
     let opts = ApspOptions {

@@ -1,0 +1,77 @@
+//! Property tests for the selector's density filter (Section IV-C): over
+//! randomly drawn graphs, the boundary algorithm is never a candidate
+//! above the 1% density threshold and Floyd-Warshall never below the
+//! 0.01% threshold — regardless of what the cost models estimate.
+
+use apsp::core::options::{Algorithm, JohnsonOptions};
+use apsp::core::selector::JohnsonModel;
+use apsp::core::{CostModels, SelectorConfig};
+use apsp::gpu_sim::DeviceProfile;
+use apsp::graph::generators::{gnm_expected, gnp, WeightRange};
+use proptest::prelude::*;
+
+fn select_for(g: &apsp::graph::CsrGraph) -> apsp::core::Selection {
+    let profile = DeviceProfile::v100().with_memory_bytes(8 << 20);
+    let models = CostModels::calibrate_cached(&profile);
+    let cfg = SelectorConfig::default();
+    let johnson = JohnsonModel::probe(&profile, g, &cfg, &JohnsonOptions::default())
+        .expect("probe must succeed on these graph sizes");
+    models.select(g, &cfg, &johnson)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Density > 1%: the boundary algorithm must not even appear among
+    /// the ranked candidates, let alone win.
+    #[test]
+    fn boundary_never_picked_above_one_percent_density(
+        n in 60usize..100,
+        p in 0.03f64..0.15,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = gnp(n, p, WeightRange::default(), seed);
+        prop_assert!(g.density() > 0.01, "construction must land dense");
+        let sel = select_for(&g);
+        prop_assert!(sel.algorithm != Algorithm::Boundary);
+        prop_assert!(
+            sel.estimates.iter().all(|&(a, _)| a != Algorithm::Boundary),
+            "boundary survived the density filter at density {}",
+            g.density()
+        );
+    }
+
+    /// Density < 0.01%: Floyd-Warshall must not appear among the ranked
+    /// candidates.
+    #[test]
+    fn fw_never_picked_below_hundredth_percent_density(
+        n in 320usize..400,
+        m in 1usize..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let g = gnm_expected(n, m, WeightRange::default(), seed);
+        prop_assert!(g.density() < 1e-4, "construction must land very sparse");
+        let sel = select_for(&g);
+        prop_assert!(sel.algorithm != Algorithm::FloydWarshall);
+        prop_assert!(
+            sel.estimates.iter().all(|&(a, _)| a != Algorithm::FloydWarshall),
+            "Floyd-Warshall survived the density filter at density {}",
+            g.density()
+        );
+    }
+
+    /// The middle band short-circuits to Johnson's alone.
+    #[test]
+    fn middle_band_is_johnson_only(
+        n in 120usize..180,
+        seed in 0u64..1_000_000,
+    ) {
+        // Target density ~1e-3: inside (0.01%, 1%) with wide margin.
+        let m = (n * n) / 1000;
+        let g = gnm_expected(n, m, WeightRange::default(), seed);
+        prop_assert!(g.density() > 1e-4 && g.density() < 1e-2);
+        let sel = select_for(&g);
+        prop_assert!(sel.algorithm == Algorithm::Johnson);
+        prop_assert!(sel.estimates.len() == 1);
+    }
+}

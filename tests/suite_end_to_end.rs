@@ -2,8 +2,8 @@
 
 use apsp::core::{apsp, ApspOptions, SelectorConfig, StorageBackend};
 use apsp::cpu::dijkstra_sssp;
-use apsp::graph::suite::{SuiteConfig, TABLE3, TABLE4};
 use apsp::gpu_sim::{DeviceProfile, GpuDevice};
+use apsp::graph::suite::{SuiteConfig, TABLE3, TABLE4};
 
 /// Deep scale so every analog stays test-sized.
 fn cfg() -> SuiteConfig {
@@ -29,13 +29,17 @@ fn table3_analogs_run_and_spot_check() {
             selector: SelectorConfig::scaled(256),
             ..Default::default()
         };
-        let result = apsp(&g, &mut dev, &opts)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", entry.name));
+        let result =
+            apsp(&g, &mut dev, &opts).unwrap_or_else(|e| panic!("{} failed: {e}", entry.name));
         // Spot-check three rows against Dijkstra.
         for src in [0usize, n / 2, n - 1] {
             let expect = dijkstra_sssp(&g, src as u32);
             let got = result.store.read_row(src).unwrap();
-            assert_eq!(got, expect, "{} row {src} via {}", entry.name, result.algorithm);
+            assert_eq!(
+                got, expect,
+                "{} row {src} via {}",
+                entry.name, result.algorithm
+            );
         }
     }
 }
@@ -53,8 +57,8 @@ fn table4_analogs_run_with_disk_spill() {
             selector: SelectorConfig::scaled(256),
             ..Default::default()
         };
-        let result = apsp(&g, &mut dev, &opts)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", entry.name));
+        let result =
+            apsp(&g, &mut dev, &opts).unwrap_or_else(|e| panic!("{} failed: {e}", entry.name));
         assert!(result.store.is_disk_backed());
         let expect = dijkstra_sssp(&g, 0);
         assert_eq!(result.store.read_row(0).unwrap(), expect, "{}", entry.name);
