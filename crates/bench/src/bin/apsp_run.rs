@@ -7,6 +7,8 @@
 //!   --memory-mib <n>         override device memory
 //!   --algorithm fw|johnson|boundary   force an implementation
 //!   --spill <dir>            disk-backed result store
+//!   --checkpoint-dir <dir>   commit crash-safe progress to this directory
+//!   --resume                 continue from a checkpoint left in --checkpoint-dir
 //!   --scale <s>              apply reproduction scaling rules to the profile
 //!   --sample <count>         print this many random distances (default 3)
 //!   --verify <rows>          re-derive this many random rows with Dijkstra
@@ -18,7 +20,7 @@
 //! profiler report.
 
 use apsp_core::options::Algorithm;
-use apsp_core::{apsp, ApspOptions, StorageBackend};
+use apsp_core::{apsp, ApspOptions, CheckpointOptions, StorageBackend};
 use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_graph::io::{read_matrix_market, WeightMode};
 use apsp_graph::io_dimacs::read_dimacs;
@@ -31,6 +33,8 @@ struct Args {
     memory_mib: Option<u64>,
     algorithm: Option<Algorithm>,
     spill: Option<PathBuf>,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
     scale: Option<usize>,
     sample: usize,
     verify: usize,
@@ -44,6 +48,8 @@ fn parse_args() -> Result<Args, String> {
         memory_mib: None,
         algorithm: None,
         spill: None,
+        checkpoint_dir: None,
+        resume: false,
         scale: None,
         sample: 3,
         verify: 0,
@@ -75,6 +81,12 @@ fn parse_args() -> Result<Args, String> {
             "--spill" => {
                 args.spill = Some(PathBuf::from(it.next().ok_or("--spill needs a value")?))
             }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(PathBuf::from(
+                    it.next().ok_or("--checkpoint-dir needs a value")?,
+                ))
+            }
+            "--resume" => args.resume = true,
             "--scale" => {
                 args.scale = Some(
                     it.next()
@@ -108,6 +120,9 @@ fn parse_args() -> Result<Args, String> {
     if !got_path {
         return Err("missing graph file".into());
     }
+    if args.resume && args.checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir".into());
+    }
     Ok(args)
 }
 
@@ -124,7 +139,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--scale s] [--sample n] [--trace]");
+            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--sample n] [--trace]");
             std::process::exit(2);
         }
     };
@@ -173,8 +188,23 @@ fn main() {
             Some(dir) => StorageBackend::Disk(dir.clone()),
             None => StorageBackend::Memory,
         },
+        checkpoint: args.checkpoint_dir.as_ref().map(|dir| CheckpointOptions {
+            dir: dir.clone(),
+            resume: args.resume,
+        }),
         ..Default::default()
     };
+    if let Some(dir) = &args.checkpoint_dir {
+        println!(
+            "checkpointing to {} ({})",
+            dir.display(),
+            if args.resume {
+                "resuming if a run is in flight"
+            } else {
+                "starting fresh"
+            }
+        );
+    }
     let result = match apsp(&graph, &mut dev, &opts) {
         Ok(r) => r,
         Err(e) => {

@@ -87,13 +87,19 @@ fn main() {
     }
 
     // ---- 4. A pure alloc-fault plan exercises the graceful-degradation
-    // path specifically: FW and Johnson must absorb it and stay exact.
+    // path specifically: all three algorithms must absorb it and stay
+    // exact (FW halves its block, Johnson its batch, boundary retries
+    // then halves its component count).
     let alloc_only = FaultPlan {
         seed: 0,
         faults: vec![Fault::AllocFail { kth: 1 }],
     };
     println!("\nalloc-only plan (first device allocation fails):");
-    for alg in [Algorithm::FloydWarshall, Algorithm::Johnson] {
+    for alg in [
+        Algorithm::FloydWarshall,
+        Algorithm::Johnson,
+        Algorithm::Boundary,
+    ] {
         match run_under_faults(&case, alg, &alloc_only, &cfg) {
             FaultRunOutcome::Exact { retries } => {
                 println!("    {alg:<14} -> exact, retries={retries}");

@@ -180,8 +180,7 @@ fn run_algorithm(
         }
         Algorithm::Johnson => Ok(ooc_johnson(dev, g, store, &JohnsonOptions::default())?.retries),
         Algorithm::Boundary => {
-            ooc_boundary(dev, g, store, &BoundaryOptions::default())?;
-            Ok(0)
+            Ok(ooc_boundary(dev, g, store, &BoundaryOptions::default())?.retries)
         }
     }
 }

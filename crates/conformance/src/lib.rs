@@ -16,15 +16,21 @@
 //!   short writes/reads, `ENOSPC`, latency) derived from a single seed,
 //!   plus the harness asserting every algorithm either degrades
 //!   gracefully to an exact result or fails with a typed
-//!   [`apsp_core::ApspError`] *without corrupting the store*.
+//!   [`apsp_core::ApspError`] *without corrupting the store*;
+//! * [`crash`] — the kill–resume differential: every checkpointed
+//!   algorithm killed at a seed-chosen store operation and resumed in a
+//!   fresh device/store must reproduce the uninterrupted run's matrix
+//!   bit-for-bit.
 //!
 //! Every report carries the seed that reproduces it; see the repository
 //! README ("Testing & conformance") for the reproduction workflow.
 
 pub mod corpus;
+pub mod crash;
 pub mod fault;
 pub mod runner;
 
 pub use corpus::{Case, Corpus, Family};
+pub use crash::{run_kill_resume, CrashCellOptions, CrashReport};
 pub use fault::{run_under_faults, Fault, FaultPlan, FaultRunOutcome};
 pub use runner::{all_variants, run_case, CaseReport, Divergence, RunnerConfig, Variant};

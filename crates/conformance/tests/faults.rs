@@ -49,9 +49,9 @@ fn fault_plans_reproduce_exactly_from_their_seed() {
 
 #[test]
 fn alloc_only_plan_is_absorbed_by_the_retry_drivers() {
-    // A plan with just an allocation fault: Floyd-Warshall and Johnson
-    // must degrade (retries > 0) rather than fail; boundary has no retry
-    // driver and may surface the typed error instead.
+    // A plan with just an allocation fault: every algorithm now has a
+    // retry driver (boundary retries then halves its component count),
+    // so all three must degrade (retries > 0) rather than fail.
     let cfg = RunnerConfig::default();
     let case = Case::generate(Family::Rmat, 0xFA117);
     // kth = 1 targets the very first device allocation, which every
@@ -61,20 +61,13 @@ fn alloc_only_plan_is_absorbed_by_the_retry_drivers() {
         faults: vec![apsp_conformance::Fault::AllocFail { kth: 1 }],
     };
     assert!(!plan.has_disk_faults());
-    for algorithm in [Algorithm::FloydWarshall, Algorithm::Johnson] {
+    for algorithm in ALGORITHMS {
         match apsp_conformance::fault::run_under_faults(&case, algorithm, &plan, &cfg) {
             FaultRunOutcome::Exact { retries } => {
                 assert!(retries >= 1, "{algorithm:?} should have retried")
             }
             other => panic!("{algorithm:?}: expected graceful degradation, got {other:?}"),
         }
-    }
-    match apsp_conformance::fault::run_under_faults(&case, Algorithm::Boundary, &plan, &cfg) {
-        FaultRunOutcome::Exact { .. } => {}
-        FaultRunOutcome::FailedThenRecovered { kind } => {
-            assert_eq!(kind, ApspErrorKind::OutOfDeviceMemory)
-        }
-        FaultRunOutcome::Corrupted { detail } => panic!("boundary corrupted: {detail}"),
     }
 }
 

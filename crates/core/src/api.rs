@@ -1,9 +1,12 @@
 //! Unified front-end: select (or accept) an algorithm and run it.
 
+use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
-use crate::ooc_boundary::{ooc_boundary, BoundaryRunStats};
-use crate::ooc_fw::{init_store_from_graph, ooc_floyd_warshall, FwRunStats};
-use crate::ooc_johnson::{ooc_johnson, JohnsonRunStats};
+use crate::ooc_boundary::{ooc_boundary, ooc_boundary_checkpointed, BoundaryRunStats};
+use crate::ooc_fw::{
+    init_store_from_graph, ooc_floyd_warshall, ooc_floyd_warshall_checkpointed, FwRunStats,
+};
+use crate::ooc_johnson::{ooc_johnson, ooc_johnson_checkpointed, JohnsonRunStats};
 use crate::options::{Algorithm, ApspOptions};
 use crate::selector::{CostModels, JohnsonModel, Selection};
 use crate::tile_store::TileStore;
@@ -63,9 +66,37 @@ pub fn apsp(
     if n == 0 {
         return Err(ApspError::InvalidInput("graph has no vertices".into()));
     }
-    let (algorithm, selection) = match opts.algorithm {
-        Some(a) => (a, None),
-        None => {
+    // Durability first: with `resume`, an existing checkpoint pins the
+    // algorithm (its committed state is algorithm-specific); without it,
+    // any stale checkpoint is cleared before fresh work begins.
+    let ckpt = match &opts.checkpoint {
+        Some(co) => {
+            let ckpt = Checkpoint::new(&co.dir, g)?;
+            if !co.resume {
+                ckpt.clear()?;
+            }
+            Some(ckpt)
+        }
+        None => None,
+    };
+    let resumed_algorithm = match &ckpt {
+        Some(c) => c.load()?.map(|m| match m.progress {
+            Progress::FloydWarshall { .. } => Algorithm::FloydWarshall,
+            Progress::Johnson { .. } => Algorithm::Johnson,
+            Progress::Boundary { .. } => Algorithm::Boundary,
+        }),
+        None => None,
+    };
+    let (algorithm, selection) = match (resumed_algorithm, opts.algorithm) {
+        (Some(resumed), Some(forced)) if resumed != forced => {
+            return Err(ApspError::InvalidInput(format!(
+                "checkpoint was written by the {resumed} algorithm but {forced} was forced — \
+                 resume without forcing, force {resumed}, or delete the checkpoint"
+            )));
+        }
+        (Some(resumed), _) => (resumed, None),
+        (None, Some(forced)) => (forced, None),
+        (None, None) => {
             let models = CostModels::calibrate_cached(dev.profile());
             let johnson = JohnsonModel::probe(dev.profile(), g, &opts.selector, &opts.johnson)?;
             let selection = models.select(g, &opts.selector, &johnson);
@@ -73,17 +104,29 @@ pub fn apsp(
         }
     };
     let mut store = TileStore::new(n, &opts.storage)?;
-    let (sim_seconds, details) = match algorithm {
-        Algorithm::FloydWarshall => {
+    let (sim_seconds, details) = match (algorithm, &ckpt) {
+        (Algorithm::FloydWarshall, Some(c)) => {
+            let stats = ooc_floyd_warshall_checkpointed(dev, g, &mut store, &opts.fw, c)?;
+            (stats.sim_seconds, RunDetails::FloydWarshall(stats))
+        }
+        (Algorithm::FloydWarshall, None) => {
             init_store_from_graph(g, &mut store)?;
             let stats = ooc_floyd_warshall(dev, &mut store, &opts.fw)?;
             (stats.sim_seconds, RunDetails::FloydWarshall(stats))
         }
-        Algorithm::Johnson => {
+        (Algorithm::Johnson, Some(c)) => {
+            let stats = ooc_johnson_checkpointed(dev, g, &mut store, &opts.johnson, c)?;
+            (stats.sim_seconds, RunDetails::Johnson(stats))
+        }
+        (Algorithm::Johnson, None) => {
             let stats = ooc_johnson(dev, g, &mut store, &opts.johnson)?;
             (stats.sim_seconds, RunDetails::Johnson(stats))
         }
-        Algorithm::Boundary => {
+        (Algorithm::Boundary, Some(c)) => {
+            let stats = ooc_boundary_checkpointed(dev, g, &mut store, &opts.boundary, c)?;
+            (stats.sim_seconds, RunDetails::Boundary(stats))
+        }
+        (Algorithm::Boundary, None) => {
             let stats = ooc_boundary(dev, g, &mut store, &opts.boundary)?;
             (stats.sim_seconds, RunDetails::Boundary(stats))
         }
@@ -191,6 +234,76 @@ mod tests {
         let g = apsp_graph::GraphBuilder::new(0).build();
         let mut dev = GpuDevice::new(DeviceProfile::v100());
         assert!(apsp(&g, &mut dev, &ApspOptions::default()).is_err());
+    }
+
+    #[test]
+    fn checkpointed_apsp_resumes_through_the_front_end() {
+        use crate::options::CheckpointOptions;
+        let g = gnp(120, 0.04, WeightRange::default(), 61);
+        let reference = bgl_plus_apsp(&g);
+        let dir = std::env::temp_dir().join("apsp_api_ckpt").join("front_end");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ApspOptions {
+            algorithm: Some(Algorithm::Johnson),
+            checkpoint: Some(CheckpointOptions {
+                dir: dir.clone(),
+                resume: false,
+            }),
+            ..Default::default()
+        };
+        // A clean checkpointed run completes and clears its state.
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        let result = apsp(&g, &mut dev, &opts).unwrap();
+        assert_eq!(result.store.to_dist_matrix().unwrap(), reference);
+        assert!(!dir.join("manifest").exists(), "cleared on completion");
+
+        // Seed a mid-run checkpoint by hand, then resume WITHOUT forcing
+        // an algorithm: the manifest must pin Johnson.
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        let mut seeded = TileStore::new(120, &crate::StorageBackend::Memory).unwrap();
+        crate::ooc_fw::init_store_from_graph(&g, &mut seeded).unwrap();
+        ckpt.commit(
+            &seeded,
+            &Progress::Johnson {
+                batch_size: 40,
+                next_row: 0,
+            },
+        )
+        .unwrap();
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        let resume_opts = ApspOptions {
+            algorithm: None,
+            checkpoint: Some(CheckpointOptions {
+                dir: dir.clone(),
+                resume: true,
+            }),
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &resume_opts).unwrap();
+        assert_eq!(result.algorithm, Algorithm::Johnson);
+        assert!(result.selection.is_none(), "resume bypasses the selector");
+        assert_eq!(result.store.to_dist_matrix().unwrap(), reference);
+
+        // A conflicting forced algorithm on resume is refused.
+        ckpt.commit(
+            &seeded,
+            &Progress::Johnson {
+                batch_size: 40,
+                next_row: 0,
+            },
+        )
+        .unwrap();
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        let conflict = ApspOptions {
+            algorithm: Some(Algorithm::Boundary),
+            checkpoint: Some(CheckpointOptions {
+                dir: dir.clone(),
+                resume: true,
+            }),
+            ..Default::default()
+        };
+        let err = apsp(&g, &mut dev, &conflict).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::InvalidInput, "{err}");
     }
 
     #[test]

@@ -20,6 +20,16 @@ pub enum ApspError {
     /// The input graph is unusable (e.g. zero vertices where the
     /// algorithm needs at least one).
     InvalidInput(String),
+    /// Durable state failed validation: a checkpoint manifest is
+    /// truncated or fails its self-checksum, a persisted matrix does not
+    /// match the checksums recorded for it, or a manifest was written
+    /// for a different graph than the one being resumed. Never silently
+    /// recovered from — resuming corrupt state would produce wrong
+    /// distances.
+    Corruption {
+        /// What failed validation and how.
+        detail: String,
+    },
 }
 
 /// Coarse classification of an [`ApspError`] — what conformance
@@ -30,6 +40,7 @@ pub enum ApspErrorKind {
     OutOfDeviceMemory,
     Storage,
     InvalidInput,
+    Corruption,
 }
 
 impl ApspError {
@@ -40,6 +51,7 @@ impl ApspError {
             ApspError::OutOfDeviceMemory(_) => ApspErrorKind::OutOfDeviceMemory,
             ApspError::Storage(_) => ApspErrorKind::Storage,
             ApspError::InvalidInput(_) => ApspErrorKind::InvalidInput,
+            ApspError::Corruption { .. } => ApspErrorKind::Corruption,
         }
     }
 }
@@ -53,6 +65,9 @@ impl std::fmt::Display for ApspError {
             ApspError::OutOfDeviceMemory(e) => write!(f, "{e}"),
             ApspError::Storage(e) => write!(f, "tile store I/O error: {e}"),
             ApspError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ApspError::Corruption { detail } => {
+                write!(f, "durable state corrupted: {detail}")
+            }
         }
     }
 }
@@ -92,5 +107,10 @@ mod tests {
         assert!(e.to_string().contains("boundary"));
         let io = ApspError::from(std::io::Error::other("disk full"));
         assert!(io.to_string().contains("disk full"));
+        let c = ApspError::Corruption {
+            detail: "manifest truncated".into(),
+        };
+        assert_eq!(c.kind(), ApspErrorKind::Corruption);
+        assert!(c.to_string().contains("manifest truncated"));
     }
 }

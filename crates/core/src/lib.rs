@@ -24,6 +24,7 @@
 //! Table IV regime).
 
 pub mod api;
+pub mod checkpoint;
 pub mod error;
 pub mod in_core;
 pub mod multi_gpu;
@@ -37,7 +38,8 @@ pub mod tile_store;
 pub mod verify;
 
 pub use api::{apsp, ApspResult};
+pub use checkpoint::{graph_fingerprint, Checkpoint, Manifest, Progress};
 pub use error::{ApspError, ApspErrorKind};
-pub use options::{Algorithm, ApspOptions, BoundaryOptions, JohnsonOptions};
+pub use options::{Algorithm, ApspOptions, BoundaryOptions, CheckpointOptions, JohnsonOptions};
 pub use selector::{CostModels, Selection, SelectorConfig};
 pub use tile_store::{DiskFault, DiskFaultPlan, StorageBackend, TileStore};

@@ -16,6 +16,7 @@
 //! device staging buffer per transfer, and **overlap** double-buffers the
 //! staging so D2H copies hide behind the next components' compute.
 
+use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
 use crate::options::BoundaryOptions;
 use crate::tile_store::TileStore;
@@ -40,6 +41,12 @@ pub struct BoundaryRunStats {
     /// Simulated seconds for the whole run (excludes host-side
     /// partitioning, which the paper also performs on the CPU).
     pub sim_seconds: f64,
+    /// Restarts forced by mid-run device allocation failures (0 on a
+    /// clean run). Each restart recomputes every panel from the graph,
+    /// possibly with fewer components.
+    pub retries: u32,
+    /// Checkpoint commits performed (0 without checkpointing).
+    pub checkpoint_commits: u32,
 }
 
 /// The paper's default component count, `√n / 4` (Section V-F).
@@ -59,16 +66,129 @@ pub fn default_num_components(n: usize) -> usize {
 pub const BOUNDARY_KERNEL_EFFICIENCY_DIVISOR: f64 = 8.0;
 
 /// Run the out-of-core boundary algorithm into `store`.
+///
+/// A mid-run device allocation failure degrades gracefully instead of
+/// aborting: the run restarts — once at the same component count (a
+/// transient fault clears), then at successively halved counts (the
+/// device shrank). Restarts are exact: the boundary algorithm never
+/// reads the store, so a retry simply recomputes and overwrites every
+/// row panel from the graph.
 pub fn ooc_boundary(
     dev: &mut GpuDevice,
     g: &CsrGraph,
     store: &mut TileStore,
     opts: &BoundaryOptions,
 ) -> Result<BoundaryRunStats, ApspError> {
-    let result = ooc_boundary_inner(dev, g, store, opts);
-    // Restore the device's efficiency context on every exit path.
-    dev.set_kernel_efficiency_divisor(1.0);
-    result
+    boundary_driver(dev, g, store, opts, None, None)
+}
+
+/// [`ooc_boundary`] with crash-safe durability: dist₄ progress commits
+/// to `ckpt` after every streamed panel group, and a checkpoint already
+/// present in `ckpt`'s directory (validated against `g` and the store
+/// checksums) is resumed — dist₂/dist₃ are recomputed (deterministic
+/// given the partition), then the streaming phase skips the committed
+/// components. The checkpoint is cleared on successful completion.
+///
+/// The committed cursor only transfers to the identical partition: the
+/// manifest's seed must match `opts.partition_seed` (a mismatch is
+/// [`ApspError::InvalidInput`]), and if the committed component count no
+/// longer fits the device the run restarts from scratch instead — still
+/// exact, every panel is recomputed.
+pub fn ooc_boundary_checkpointed(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &BoundaryOptions,
+    ckpt: &Checkpoint,
+) -> Result<BoundaryRunStats, ApspError> {
+    let resume = match ckpt.load()? {
+        Some(m) => {
+            let Progress::Boundary {
+                components,
+                partition_seed,
+                next_component,
+            } = m.progress
+            else {
+                return Err(ApspError::InvalidInput(format!(
+                    "checkpoint in {} belongs to the `{}` algorithm, not the boundary \
+                     algorithm — delete it to start over",
+                    ckpt.dir().display(),
+                    m.progress.algorithm_tag()
+                )));
+            };
+            if partition_seed != opts.partition_seed {
+                return Err(ApspError::InvalidInput(format!(
+                    "checkpoint committed panels under partition seed {partition_seed}, but \
+                     seed {} is configured — the committed rows would describe the wrong \
+                     vertex sets; resume with the same seed, or delete the checkpoint",
+                    opts.partition_seed
+                )));
+            }
+            ckpt.restore_into(&m, store)?;
+            Some((components, next_component))
+        }
+        None => None,
+    };
+    let stats = boundary_driver(dev, g, store, opts, resume, Some(ckpt))?;
+    ckpt.clear()?;
+    Ok(stats)
+}
+
+/// The retry-then-halve driver shared by the plain and checkpointed
+/// entry points. `resume` carries `(components, next_component)` from a
+/// restored manifest; restarts drop the cursor and recompute everything.
+fn boundary_driver(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &BoundaryOptions,
+    mut resume: Option<(usize, usize)>,
+    ckpt: Option<&Checkpoint>,
+) -> Result<BoundaryRunStats, ApspError> {
+    let n = g.num_vertices();
+    let mut opts_eff = *opts;
+    let mut retries = 0u32;
+    let mut commits = 0u32;
+    let mut retried_same_k = false;
+    loop {
+        let result = ooc_boundary_inner(dev, g, store, &opts_eff, resume, ckpt, &mut commits);
+        // Restore the device's efficiency context on every exit path.
+        dev.set_kernel_efficiency_divisor(1.0);
+        match result {
+            Ok(mut stats) => {
+                stats.retries = retries;
+                stats.checkpoint_commits = commits;
+                return Ok(stats);
+            }
+            Err(ApspError::OutOfDeviceMemory(oom)) => {
+                retries += 1;
+                // Restarts recompute every panel, so any partition is
+                // valid again — drop the resume cursor.
+                resume = None;
+                if !retried_same_k {
+                    // A one-shot fault (fragmentation, competing
+                    // context) may clear: same geometry once more.
+                    retried_same_k = true;
+                    continue;
+                }
+                let cur = opts_eff
+                    .num_components
+                    .unwrap_or_else(|| default_num_components(n))
+                    .clamp(1, n.max(1));
+                if cur <= 1 {
+                    return Err(ApspError::DeviceTooSmall {
+                        algorithm: "out-of-core boundary",
+                        detail: format!(
+                            "allocation kept failing even at a single component: {oom}"
+                        ),
+                    });
+                }
+                opts_eff.num_components = Some(cur / 2);
+                retried_same_k = false;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 fn ooc_boundary_inner(
@@ -76,6 +196,9 @@ fn ooc_boundary_inner(
     g: &CsrGraph,
     store: &mut TileStore,
     opts: &BoundaryOptions,
+    resume: Option<(usize, usize)>,
+    ckpt: Option<&Checkpoint>,
+    commits: &mut u32,
 ) -> Result<BoundaryRunStats, ApspError> {
     let n = g.num_vertices();
     assert_eq!(store.n(), n);
@@ -86,30 +209,51 @@ fn ooc_boundary_inner(
             max_component: 0,
             n_row: 0,
             sim_seconds: 0.0,
+            retries: 0,
+            checkpoint_commits: 0,
         });
     }
 
     // ---- Step 1: partition (host CPU, as in the paper).
-    let requested_k = opts
-        .num_components
-        .unwrap_or_else(|| default_num_components(n))
-        .clamp(1, n);
     let pcfg = PartitionConfig {
         seed: opts.partition_seed,
         ..Default::default()
     };
-    // Shrink k until the boundary matrix and working set fit the device;
-    // fewer components ⇒ fewer boundary nodes (at higher dist₂ cost),
-    // mirroring the paper's observation that non-small-separator graphs
-    // only admit a small number of components.
-    let mut k = requested_k;
-    let mut layout = loop {
-        let partition = kway_partition(g, k, &pcfg);
-        let layout = PartitionLayout::new(g, &partition);
-        if working_set_fits(dev, &layout) || k <= 2 {
-            break layout;
+    // A resume must reproduce the committed partition exactly, or the
+    // already-written panels would describe the wrong vertex sets. If it
+    // cannot (device shrank, partitioner merged components), fall back
+    // to a fresh start — exact, every panel is recomputed.
+    let mut start_component = 0usize;
+    let mut resumed_layout = None;
+    if let Some((rk, next)) = resume {
+        let candidate = PartitionLayout::new(g, &kway_partition(g, rk.clamp(1, n), &pcfg));
+        if candidate.num_components() == rk && working_set_fits(dev, &candidate) {
+            start_component = next.min(rk);
+            resumed_layout = Some(candidate);
         }
-        k = (k / 2).max(2);
+    }
+    let mut layout = match resumed_layout {
+        Some(l) => l,
+        None => {
+            let requested_k = opts
+                .num_components
+                .unwrap_or_else(|| default_num_components(n))
+                .clamp(1, n);
+            // Shrink k until the boundary matrix and working set fit the
+            // device; fewer components ⇒ fewer boundary nodes (at higher
+            // dist₂ cost), mirroring the paper's observation that
+            // non-small-separator graphs only admit a small number of
+            // components.
+            let mut k = requested_k;
+            loop {
+                let partition = kway_partition(g, k, &pcfg);
+                let layout = PartitionLayout::new(g, &partition);
+                if working_set_fits(dev, &layout) || k <= 2 {
+                    break layout;
+                }
+                k = (k / 2).max(2);
+            }
+        }
     };
     // If transfer batching is on but not even one staging row-panel fits
     // alongside the working set, try doubling k once: smaller components
@@ -117,7 +261,9 @@ fn ooc_boundary_inner(
     // further multiplies the k² per-block overheads past any transfer
     // win, so a candidate is adopted only if it actually restores
     // batching; otherwise the per-block pinned fallback is cheaper.
-    if opts.batch_transfers && !staging_fits(dev, opts, &layout) {
+    // Never mid-resume: a different partition would orphan the committed
+    // panels.
+    if start_component == 0 && opts.batch_transfers && !staging_fits(dev, opts, &layout) {
         let k2 = (layout.num_components() * 2).min(n / 2).max(2);
         if k2 > layout.num_components() {
             let candidate = PartitionLayout::new(g, &kway_partition(g, k2, &pcfg));
@@ -262,7 +408,7 @@ fn ooc_boundary_inner(
     let mut host_panel = vec![0 as Dist; n_max * n];
     let mut scatter_row = vec![0 as Dist; n];
 
-    for i in 0..k {
+    for i in start_component..k {
         let irange = layout.component_range(i);
         let sz_i = irange.len();
         let nb_i = layout.boundary_count(i);
@@ -328,6 +474,7 @@ fn ooc_boundary_inner(
             }
         }
 
+        let mut flushed = false;
         if batching {
             staged.push(i);
             let last = i + 1 == k;
@@ -343,6 +490,7 @@ fn ooc_boundary_inner(
                     &mut scatter_row,
                 )?;
                 staged.clear();
+                flushed = true;
                 if stagings.len() == 2 {
                     active = 1 - active;
                 }
@@ -350,6 +498,24 @@ fn ooc_boundary_inner(
         } else {
             // Unbatched: the host panel for component i is complete.
             write_panel(store, &layout, i, &host_panel, &mut scatter_row)?;
+            flushed = true;
+        }
+        // Natural commit point: every component below the cursor has its
+        // dist₄ panel in the store. The final flush is not committed —
+        // completion clears the checkpoint, and a crash after it replays
+        // the last panel group (exact: panels are recomputed).
+        if let Some(ck) = ckpt {
+            if flushed && i + 1 < k {
+                ck.commit(
+                    store,
+                    &Progress::Boundary {
+                        components: k,
+                        partition_seed: opts.partition_seed,
+                        next_component: i + 1,
+                    },
+                )?;
+                *commits += 1;
+            }
         }
     }
 
@@ -360,6 +526,8 @@ fn ooc_boundary_inner(
         max_component: n_max,
         n_row,
         sim_seconds,
+        retries: 0,
+        checkpoint_commits: 0,
     })
 }
 
@@ -730,6 +898,126 @@ mod tests {
             Err(ApspError::DeviceTooSmall { .. }) | Err(ApspError::OutOfDeviceMemory(_)) => {}
             Err(e) => panic!("unexpected error {e}"),
         }
+    }
+
+    #[test]
+    fn transient_alloc_fault_recovers_exactly() {
+        let g = grid_2d(9, 9, GridOptions::default(), WeightRange::default(), 29);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(81, &StorageBackend::Memory).unwrap();
+        let opts = BoundaryOptions {
+            num_components: Some(4),
+            ..Default::default()
+        };
+        // Fail an allocation somewhere in dist₂/dist₃: the run restarts
+        // and still converges.
+        dev.inject_alloc_failure(3);
+        let stats = ooc_boundary(&mut dev, &g, &mut store, &opts).unwrap();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn repeated_alloc_faults_halve_components_and_stay_exact() {
+        let g = grid_2d(9, 9, GridOptions::default(), WeightRange::default(), 31);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(81, &StorageBackend::Memory).unwrap();
+        let opts = BoundaryOptions {
+            num_components: Some(8),
+            ..Default::default()
+        };
+        // Kill attempt 1 and the same-k retry, forcing halved components.
+        dev.inject_alloc_failure(3);
+        dev.inject_alloc_failure(6);
+        let stats = ooc_boundary(&mut dev, &g, &mut store, &opts).unwrap();
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.num_components, 4);
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir()
+            .join("apsp_ooc_boundary_ckpt")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn checkpointed_clean_run_commits_and_clears() {
+        let g = grid_2d(10, 10, GridOptions::default(), WeightRange::default(), 33);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
+        let opts = BoundaryOptions {
+            num_components: Some(6),
+            batch_transfers: false, // per-component commits
+            ..Default::default()
+        };
+        let ckpt = Checkpoint::new(ckpt_dir("clean"), &g).unwrap();
+        let stats = ooc_boundary_checkpointed(&mut dev, &g, &mut store, &opts, &ckpt).unwrap();
+        assert_eq!(stats.checkpoint_commits as usize, stats.num_components - 1);
+        assert!(ckpt.load().unwrap().is_none(), "cleared on completion");
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn interrupted_run_resumes_skipping_committed_components() {
+        let g = grid_2d(10, 10, GridOptions::default(), WeightRange::default(), 35);
+        let dir = ckpt_dir("resume");
+        let opts = BoundaryOptions {
+            num_components: Some(6),
+            batch_transfers: false,
+            ..Default::default()
+        };
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
+        // Panels write ~17 rows per component, commits tick n = 100: die
+        // after a couple of components committed.
+        store.arm_crash(300);
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        let err = ooc_boundary_checkpointed(&mut dev, &g, &mut store, &opts, &ckpt).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::Storage);
+        drop(store);
+        let probe = Checkpoint::new(&dir, &g).unwrap();
+        let m = probe.load().unwrap().expect("some component committed");
+        let crate::checkpoint::Progress::Boundary { next_component, .. } = m.progress else {
+            panic!("wrong progress variant {:?}", m.progress);
+        };
+        assert!(next_component >= 1);
+
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        ooc_boundary_checkpointed(&mut dev, &g, &mut store, &opts, &ckpt).unwrap();
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+        assert!(ckpt.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn resume_with_conflicting_partition_seed_is_rejected() {
+        let g = grid_2d(10, 10, GridOptions::default(), WeightRange::default(), 37);
+        let dir = ckpt_dir("seed_conflict");
+        let opts = BoundaryOptions {
+            num_components: Some(6),
+            batch_transfers: false,
+            ..Default::default()
+        };
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
+        store.arm_crash(300);
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        ooc_boundary_checkpointed(&mut dev, &g, &mut store, &opts, &ckpt).unwrap_err();
+        drop(store);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        let other_seed = BoundaryOptions {
+            partition_seed: opts.partition_seed + 1,
+            ..opts
+        };
+        let err =
+            ooc_boundary_checkpointed(&mut dev, &g, &mut store, &other_seed, &ckpt).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::InvalidInput, "{err}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! back — `O(n_d · n²)` total data movement against `O(n³)` compute,
 //! which is why the paper reserves this implementation for dense inputs.
 
+use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
 use crate::options::FwOptions;
 use crate::tile_store::TileStore;
@@ -28,6 +29,8 @@ pub struct FwRunStats {
     /// clean run). Each restart resumes from the partially relaxed
     /// store, possibly with a smaller block.
     pub retries: u32,
+    /// Checkpoint commits performed (0 without checkpointing).
+    pub checkpoint_commits: u32,
 }
 
 /// Seed `store` with the adjacency of `g` (zero diagonal, weights, `INF`).
@@ -74,6 +77,72 @@ pub fn ooc_floyd_warshall(
     store: &mut TileStore,
     opts: &FwOptions,
 ) -> Result<FwRunStats, ApspError> {
+    fw_driver(dev, store, opts, None, None)
+}
+
+/// [`ooc_floyd_warshall`] with crash-safe durability: progress commits to
+/// `ckpt` after every pivot round, and a checkpoint already present in
+/// `ckpt`'s directory (validated against `g` and the store checksums) is
+/// resumed instead of starting over. The checkpoint is cleared on
+/// successful completion. Seeds the store from `g` itself on a fresh
+/// start — the caller must *not* pre-initialize it.
+///
+/// Rounds are only resumable at the blocking they committed under: a
+/// forced `opts.block_size` that disagrees with the manifest is an
+/// [`ApspError::InvalidInput`]; in auto mode an infeasible manifest
+/// block re-fits and replays all rounds on the restored snapshot (exact,
+/// by the same monotonicity argument as the OOM restarts).
+pub fn ooc_floyd_warshall_checkpointed(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &FwOptions,
+    ckpt: &Checkpoint,
+) -> Result<FwRunStats, ApspError> {
+    let n = g.num_vertices();
+    assert_eq!(store.n(), n);
+    let resume = match ckpt.load()? {
+        Some(m) => {
+            let Progress::FloydWarshall { block, next_round } = m.progress else {
+                return Err(ApspError::InvalidInput(format!(
+                    "checkpoint in {} belongs to the `{}` algorithm, not Floyd-Warshall — \
+                     delete it to start over",
+                    ckpt.dir().display(),
+                    m.progress.algorithm_tag()
+                )));
+            };
+            if let Some(forced) = opts.block_size {
+                let forced = forced.min(n).max(1);
+                if forced != block {
+                    return Err(ApspError::InvalidInput(format!(
+                        "checkpoint committed rounds at block {block} but block {forced} was \
+                         forced — resume with the same block, or delete the checkpoint"
+                    )));
+                }
+            }
+            ckpt.restore_into(&m, store)?;
+            Some((block, next_round))
+        }
+        None => {
+            init_store_from_graph(g, store)?;
+            None
+        }
+    };
+    let stats = fw_driver(dev, store, opts, resume, Some(ckpt))?;
+    ckpt.clear()?;
+    Ok(stats)
+}
+
+/// The retry-then-halve driver shared by the plain and checkpointed
+/// entry points. `resume` carries `(block, start_round)` from a restored
+/// manifest; restarts (OOM or re-fit) always replay from round 0.
+fn fw_driver(
+    dev: &mut GpuDevice,
+    store: &mut TileStore,
+    opts: &FwOptions,
+    resume: Option<(usize, usize)>,
+    ckpt: Option<&Checkpoint>,
+) -> Result<FwRunStats, ApspError> {
     let n = store.n();
     if n == 0 {
         return Ok(FwRunStats {
@@ -81,16 +150,24 @@ pub fn ooc_floyd_warshall(
             n_d: 0,
             sim_seconds: 0.0,
             retries: 0,
+            checkpoint_commits: 0,
         });
     }
     // Resident working set: pivot tile + A(i,k) + A(k,j) + one or two
     // output tiles (two when overlap is on).
     let buffers = if opts.overlap_transfers { 5 } else { 4 };
-    let mut block = match opts.block_size {
-        Some(b) => b.min(n).max(1),
-        None => max_block_side(dev, buffers).min(n).max(1),
+    let (mut block, mut start_round) = match resume {
+        Some((b, r)) => (b, r),
+        None => (
+            match opts.block_size {
+                Some(b) => b.min(n).max(1),
+                None => max_block_side(dev, buffers).min(n).max(1),
+            },
+            0,
+        ),
     };
     let mut retries = 0u32;
+    let mut commits = 0u32;
     let mut retried_same_block = false;
     loop {
         if block == 0 || (block as u64) * (block as u64) * 4 * buffers as u64 > dev.free_memory() {
@@ -100,6 +177,9 @@ pub fn ooc_floyd_warshall(
                 let refit = max_block_side(dev, buffers).min(block);
                 if refit >= 1 && refit < block {
                     block = refit;
+                    // Committed rounds describe a different blocking:
+                    // replay them all on the (restored) store.
+                    start_round = 0;
                     continue;
                 }
             }
@@ -111,13 +191,15 @@ pub fn ooc_floyd_warshall(
                 ),
             });
         }
-        match fw_rounds(dev, store, opts, block) {
+        match fw_rounds(dev, store, opts, block, start_round, ckpt, &mut commits) {
             Ok(mut stats) => {
                 stats.retries = retries;
+                stats.checkpoint_commits = commits;
                 return Ok(stats);
             }
             Err(ApspError::OutOfDeviceMemory(oom)) if opts.block_size.is_none() => {
                 retries += 1;
+                start_round = 0;
                 if !retried_same_block {
                     // A one-shot fault (fragmentation, competing context)
                     // may clear: try the same geometry once more.
@@ -138,12 +220,16 @@ pub fn ooc_floyd_warshall(
     }
 }
 
-/// One full pass of the three-stage blocked-FW rounds at a fixed block.
+/// The three-stage blocked-FW rounds `start_round..n_d` at a fixed
+/// block, committing to `ckpt` (when present) at each round barrier.
 fn fw_rounds(
     dev: &mut GpuDevice,
     store: &mut TileStore,
     opts: &FwOptions,
     block: usize,
+    start_round: usize,
+    ckpt: Option<&Checkpoint>,
+    commits: &mut u32,
 ) -> Result<FwRunStats, ApspError> {
     let n = store.n();
     let n_d = n.div_ceil(block);
@@ -157,7 +243,7 @@ fn fw_rounds(
         s0
     };
 
-    for kb in 0..n_d {
+    for kb in start_round..n_d {
         let kr = extent(kb);
         // ---- Stage 1: diagonal tile.
         let mut diag = upload_tile(dev, s0, store, kr.clone(), kr.clone())?;
@@ -219,6 +305,22 @@ fn fw_rounds(
         }
         // Round barrier: the next round's pivot depends on everything.
         dev.synchronize();
+        // Natural commit point: every tile reflects rounds 0..=kb. The
+        // final round is not committed — completion clears the
+        // checkpoint, and a crash after the last barrier replays one
+        // round (exact, by monotonicity).
+        if let Some(ck) = ckpt {
+            if kb + 1 < n_d {
+                ck.commit(
+                    store,
+                    &Progress::FloydWarshall {
+                        block,
+                        next_round: kb + 1,
+                    },
+                )?;
+                *commits += 1;
+            }
+        }
     }
     let sim_seconds = dev.synchronize().seconds() - start;
     Ok(FwRunStats {
@@ -226,6 +328,7 @@ fn fw_rounds(
         n_d,
         sim_seconds,
         retries: 0,
+        checkpoint_commits: 0,
     })
 }
 
@@ -420,5 +523,85 @@ mod tests {
         let mut store = TileStore::new(0, &StorageBackend::Memory).unwrap();
         let stats = ooc_floyd_warshall(&mut dev, &mut store, &FwOptions::default()).unwrap();
         assert_eq!(stats.n_d, 0);
+    }
+
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("apsp_ooc_fw_ckpt").join(name);
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn checkpointed_clean_run_commits_per_round_and_clears() {
+        let g = gnp(97, 0.07, WeightRange::default(), 41);
+        let mut dev = small_device();
+        let mut store = TileStore::new(97, &StorageBackend::Memory).unwrap();
+        let ckpt = Checkpoint::new(ckpt_dir("clean"), &g).unwrap();
+        let stats =
+            ooc_floyd_warshall_checkpointed(&mut dev, &g, &mut store, &FwOptions::default(), &ckpt)
+                .unwrap();
+        assert_eq!(stats.checkpoint_commits as usize, stats.n_d - 1);
+        assert!(ckpt.load().unwrap().is_none(), "cleared on completion");
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_the_exact_matrix() {
+        let g = gnp(97, 0.07, WeightRange::default(), 42);
+        let dir = ckpt_dir("resume");
+        // Interrupted attempt: the store dies mid-run.
+        let mut dev = small_device();
+        let mut store = TileStore::new(97, &StorageBackend::Memory).unwrap();
+        store.arm_crash(400);
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        let err =
+            ooc_floyd_warshall_checkpointed(&mut dev, &g, &mut store, &FwOptions::default(), &ckpt)
+                .unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::Storage);
+        drop(store);
+        // Resumed attempt on fresh everything.
+        let mut dev = small_device();
+        let mut store = TileStore::new(97, &StorageBackend::Memory).unwrap();
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        ooc_floyd_warshall_checkpointed(&mut dev, &g, &mut store, &FwOptions::default(), &ckpt)
+            .unwrap();
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn resume_with_conflicting_forced_block_is_rejected() {
+        let g = gnp(64, 0.1, WeightRange::default(), 43);
+        let dir = ckpt_dir("block_conflict");
+        let opts16 = FwOptions {
+            block_size: Some(16),
+            ..Default::default()
+        };
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(64, &StorageBackend::Memory).unwrap();
+        // Past round 0 (init 64 + ~704 tile ops + 64 commit ops) so the
+        // first round's commit has landed, but well before the run ends.
+        store.arm_crash(1000);
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        ooc_floyd_warshall_checkpointed(&mut dev, &g, &mut store, &opts16, &ckpt).unwrap_err();
+        drop(store);
+        let probe = Checkpoint::new(&dir, &g).unwrap();
+        assert!(
+            probe.load().unwrap().is_some(),
+            "round 0 must have committed"
+        );
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(64, &StorageBackend::Memory).unwrap();
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        let opts32 = FwOptions {
+            block_size: Some(32),
+            ..Default::default()
+        };
+        let err =
+            ooc_floyd_warshall_checkpointed(&mut dev, &g, &mut store, &opts32, &ckpt).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::InvalidInput, "{err}");
+        // Resuming with the committed block still works.
+        let err_free = ooc_floyd_warshall_checkpointed(&mut dev, &g, &mut store, &opts16, &ckpt);
+        assert!(err_free.is_ok(), "{err_free:?}");
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
     }
 }

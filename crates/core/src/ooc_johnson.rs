@@ -6,6 +6,7 @@
 //! the batch is too small to saturate the device, the paper's dynamic
 //! parallelism offloads high-out-degree vertices to child kernels.
 
+use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
 use crate::options::{DynamicParallelism, JohnsonOptions};
 use crate::tile_store::TileStore;
@@ -29,9 +30,11 @@ pub struct JohnsonRunStats {
     /// Simulated seconds for the whole run.
     pub sim_seconds: f64,
     /// Restarts forced by mid-run device allocation failures (0 on a
-    /// clean run). Each restart recomputes every batch from the graph,
-    /// possibly with a smaller `bat`.
+    /// clean run). Each restart recomputes every uncommitted batch from
+    /// the graph, possibly with a smaller `bat`.
     pub retries: u32,
+    /// Checkpoint commits performed (0 without checkpointing).
+    pub checkpoint_commits: u32,
 }
 
 /// The paper's batch-size formula: `bat = (L − S) / (c·m)`, where `L` is
@@ -72,7 +75,47 @@ pub fn ooc_johnson(
     store: &mut TileStore,
     opts: &JohnsonOptions,
 ) -> Result<JohnsonRunStats, ApspError> {
-    ooc_johnson_impl(dev, g, store, None, opts)
+    ooc_johnson_impl(dev, g, store, None, opts, None, None)
+}
+
+/// [`ooc_johnson`] with crash-safe durability: progress commits to
+/// `ckpt` after every batch, and a checkpoint already present in
+/// `ckpt`'s directory (validated against `g` and the store checksums) is
+/// resumed — only the source rows at or above the committed cursor are
+/// recomputed. The checkpoint is cleared on successful completion.
+///
+/// Unlike Floyd-Warshall, resume is geometry-free: every batch writes
+/// complete rows recomputed from the graph, so the remaining rows may be
+/// re-batched at whatever size fits the device today.
+pub fn ooc_johnson_checkpointed(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &JohnsonOptions,
+    ckpt: &Checkpoint,
+) -> Result<JohnsonRunStats, ApspError> {
+    let resume = match ckpt.load()? {
+        Some(m) => {
+            let Progress::Johnson {
+                batch_size,
+                next_row,
+            } = m.progress
+            else {
+                return Err(ApspError::InvalidInput(format!(
+                    "checkpoint in {} belongs to the `{}` algorithm, not Johnson's — \
+                     delete it to start over",
+                    ckpt.dir().display(),
+                    m.progress.algorithm_tag()
+                )));
+            };
+            ckpt.restore_into(&m, store)?;
+            Some((batch_size, next_row))
+        }
+        None => None,
+    };
+    let stats = ooc_johnson_impl(dev, g, store, None, opts, resume, Some(ckpt))?;
+    ckpt.clear()?;
+    Ok(stats)
 }
 
 /// [`ooc_johnson`] that additionally streams the full n×n *predecessor*
@@ -87,7 +130,7 @@ pub fn ooc_johnson_with_parents(
     parent_store: &mut TileStore,
     opts: &JohnsonOptions,
 ) -> Result<JohnsonRunStats, ApspError> {
-    ooc_johnson_impl(dev, g, store, Some(parent_store), opts)
+    ooc_johnson_impl(dev, g, store, Some(parent_store), opts, None, None)
 }
 
 fn ooc_johnson_impl(
@@ -96,6 +139,8 @@ fn ooc_johnson_impl(
     store: &mut TileStore,
     mut parent_store: Option<&mut TileStore>,
     opts: &JohnsonOptions,
+    resume: Option<(usize, usize)>,
+    ckpt: Option<&Checkpoint>,
 ) -> Result<JohnsonRunStats, ApspError> {
     let n = g.num_vertices();
     assert_eq!(store.n(), n);
@@ -110,23 +155,49 @@ fn ooc_johnson_impl(
             work: NearFarStats::default(),
             sim_seconds: 0.0,
             retries: 0,
+            checkpoint_commits: 0,
         });
     }
-    let mut bat = batch_size(dev, g, opts.queue_words_per_edge)?;
-    if parent_store.is_some() {
-        // Two result panels (distances + parents) share the device.
-        bat = (bat / 2).max(1);
-    }
+    // A resumed run keeps the committed batch size (re-fitting happens
+    // through the retry path if it no longer fits) and skips the rows
+    // already final in the restored snapshot.
+    let (resume_bat, start_row) = match resume {
+        Some((b, r)) => (Some(b.clamp(1, n)), r.min(n)),
+        None => (None, 0),
+    };
+    let mut bat = match resume_bat {
+        Some(b) => b,
+        None => {
+            let mut b = batch_size(dev, g, opts.queue_words_per_edge)?;
+            if parent_store.is_some() {
+                // Two result panels (distances + parents) share the device.
+                b = (b / 2).max(1);
+            }
+            b
+        }
+    };
     // A mid-run allocation failure degrades gracefully: restart once at
     // the same batch size (a transient fault clears), then at halved
     // batches. Restarts are exact — every batch writes complete rows
     // recomputed from the graph, so a retry simply overwrites them.
     let mut retries = 0u32;
+    let mut commits = 0u32;
     let mut retried_same_bat = false;
     loop {
-        match johnson_batches(dev, g, store, parent_store.as_deref_mut(), opts, bat) {
+        match johnson_batches(
+            dev,
+            g,
+            store,
+            parent_store.as_deref_mut(),
+            opts,
+            bat,
+            start_row,
+            ckpt,
+            &mut commits,
+        ) {
             Ok(mut stats) => {
                 stats.retries = retries;
+                stats.checkpoint_commits = commits;
                 return Ok(stats);
             }
             Err(ApspError::OutOfDeviceMemory(oom)) => {
@@ -152,7 +223,9 @@ fn ooc_johnson_impl(
     }
 }
 
-/// One full pass over all source batches at a fixed `bat`.
+/// One pass over the source batches `start_row..n` at a fixed `bat`,
+/// committing to `ckpt` (when present) after each batch's rows land.
+#[allow(clippy::too_many_arguments)]
 fn johnson_batches(
     dev: &mut GpuDevice,
     g: &CsrGraph,
@@ -160,6 +233,9 @@ fn johnson_batches(
     mut parent_store: Option<&mut TileStore>,
     opts: &JohnsonOptions,
     bat: usize,
+    start_row: usize,
+    ckpt: Option<&Checkpoint>,
+    commits: &mut u32,
 ) -> Result<JohnsonRunStats, ApspError> {
     let n = g.num_vertices();
     let delta = opts
@@ -191,7 +267,7 @@ fn johnson_batches(
     let mut work = NearFarStats::default();
     let mut num_batches = 0usize;
     let mut host_panel = vec![0 as Dist; bat * n];
-    let sources: Vec<VertexId> = (0..n as VertexId).collect();
+    let sources: Vec<VertexId> = (start_row as VertexId..n as VertexId).collect();
     for (bi, chunk) in sources.chunks(bat).enumerate() {
         num_batches += 1;
         // Alternate streams so the previous panel's D2H overlaps this
@@ -224,6 +300,23 @@ fn johnson_batches(
         let host = &mut host_panel[..chunk.len() * n];
         panel.download_rows(dev, stream, 0..chunk.len(), host, Pinning::Pinned);
         store.write_rows(chunk[0] as usize, host)?;
+        // Natural commit point: every row below the cursor is final.
+        // The last batch is not committed — completion clears the
+        // checkpoint, and a crash after it replays one batch (exact:
+        // rows are recomputed from the graph).
+        let next_row = chunk[0] as usize + chunk.len();
+        if let Some(ck) = ckpt {
+            if next_row < n {
+                ck.commit(
+                    store,
+                    &Progress::Johnson {
+                        batch_size: bat,
+                        next_row,
+                    },
+                )?;
+                *commits += 1;
+            }
+        }
     }
     drop(graph_hold);
     let sim_seconds = dev.synchronize().seconds() - start;
@@ -234,6 +327,7 @@ fn johnson_batches(
         work,
         sim_seconds,
         retries: 0,
+        checkpoint_commits: 0,
     })
 }
 
@@ -409,6 +503,64 @@ mod tests {
         assert_eq!(stats.retries, 2);
         assert_eq!(stats.batch_size, initial_bat / 2);
         assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    fn ckpt_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir()
+            .join("apsp_ooc_johnson_ckpt")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn checkpointed_clean_run_commits_per_batch_and_clears() {
+        let g = gnp(150, 0.04, WeightRange::default(), 19);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let mut store = TileStore::new(150, &StorageBackend::Memory).unwrap();
+        let ckpt = Checkpoint::new(ckpt_dir("clean"), &g).unwrap();
+        let stats =
+            ooc_johnson_checkpointed(&mut dev, &g, &mut store, &JohnsonOptions::default(), &ckpt)
+                .unwrap();
+        assert!(stats.num_batches >= 2, "want a multi-batch run");
+        assert_eq!(stats.checkpoint_commits as usize, stats.num_batches - 1);
+        assert!(ckpt.load().unwrap().is_none(), "cleared on completion");
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+    }
+
+    #[test]
+    fn interrupted_run_resumes_skipping_committed_rows() {
+        let g = gnp(150, 0.04, WeightRange::default(), 25);
+        let dir = ckpt_dir("resume");
+        // 256 KiB → several batches of well under 150 sources.
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        let mut store = TileStore::new(150, &StorageBackend::Memory).unwrap();
+        // Batch writes tick 1 op, commits tick n = 150: op 200 lands in
+        // the second commit, after the first one is durable.
+        store.arm_crash(200);
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        let err =
+            ooc_johnson_checkpointed(&mut dev, &g, &mut store, &JohnsonOptions::default(), &ckpt)
+                .unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::Storage);
+        drop(store);
+        let probe = Checkpoint::new(&dir, &g).unwrap();
+        let m = probe.load().unwrap().expect("some batch committed");
+        let crate::checkpoint::Progress::Johnson { next_row, .. } = m.progress else {
+            panic!("wrong progress variant {:?}", m.progress);
+        };
+        assert!(next_row > 0 && next_row < 150);
+
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        let mut store = TileStore::new(150, &StorageBackend::Memory).unwrap();
+        let ckpt = Checkpoint::new(&dir, &g).unwrap();
+        let stats =
+            ooc_johnson_checkpointed(&mut dev, &g, &mut store, &JohnsonOptions::default(), &ckpt)
+                .unwrap();
+        // The resumed run only recomputed the uncommitted tail.
+        assert!(stats.num_batches < 150usize.div_ceil(stats.batch_size) + 1);
+        assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
+        assert!(ckpt.load().unwrap().is_none());
     }
 
     #[test]

@@ -112,6 +112,19 @@ impl Default for FwOptions {
     }
 }
 
+/// Crash-safe checkpointing for [`crate::api::apsp`].
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Directory holding the run manifest and matrix snapshots (created
+    /// if missing). Must not be a `Disk` backend's spill directory.
+    pub dir: std::path::PathBuf,
+    /// `true`: continue from a checkpoint in `dir` if one exists
+    /// (validated against the graph before any work). `false`: clear any
+    /// existing checkpoint and start fresh — either way the run commits
+    /// its progress as it goes.
+    pub resume: bool,
+}
+
 /// Front-end options for [`crate::api::apsp`].
 #[derive(Debug, Clone)]
 pub struct ApspOptions {
@@ -127,6 +140,8 @@ pub struct ApspOptions {
     pub fw: FwOptions,
     /// Selector configuration (density thresholds, sampling).
     pub selector: SelectorConfig,
+    /// Checkpoint/resume; `None` runs without durability.
+    pub checkpoint: Option<CheckpointOptions>,
 }
 
 impl Default for ApspOptions {
@@ -138,6 +153,7 @@ impl Default for ApspOptions {
             boundary: BoundaryOptions::default(),
             fw: FwOptions::default(),
             selector: SelectorConfig::default(),
+            checkpoint: None,
         }
     }
 }

@@ -11,7 +11,7 @@ use apsp_graph::{Dist, INF};
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 #[cfg(unix)]
@@ -87,6 +87,33 @@ struct FaultState {
     read_ops: AtomicU64,
 }
 
+/// An armed crash point (see [`TileStore::arm_crash`]): the store
+/// services `after_ops` row-granular operations, then every subsequent
+/// operation fails as if the owning process had died mid-run. Unlike
+/// [`DiskFaultPlan`], this counts logical row operations on *both*
+/// backings, so kill/resume behaviour is testable in the `Memory`
+/// regime too.
+#[derive(Debug)]
+struct CrashState {
+    after_ops: u64,
+    ticks: AtomicU64,
+    fired: AtomicBool,
+}
+
+/// FNV-1a over `bytes`, continuing from `hash` (seed with
+/// [`FNV_OFFSET_BASIS`]). Shared with the checkpoint manifest's
+/// self-checksum so one implementation guards both layers.
+pub(crate) fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The FNV-1a 64-bit offset basis — the seed for [`fnv1a`].
+pub(crate) const FNV_OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+
 enum Backing {
     Memory(Vec<Dist>),
     Disk { file: File, path: PathBuf },
@@ -97,6 +124,7 @@ pub struct TileStore {
     n: usize,
     backing: Backing,
     faults: Option<FaultState>,
+    crash: Option<CrashState>,
 }
 
 impl std::fmt::Debug for TileStore {
@@ -123,6 +151,7 @@ impl TileStore {
                     n,
                     backing: Backing::Memory(data),
                     faults: None,
+                    crash: None,
                 })
             }
             StorageBackend::Disk(dir) => {
@@ -138,6 +167,7 @@ impl TileStore {
                     n,
                     backing: Backing::Disk { file, path },
                     faults: None,
+                    crash: None,
                 };
                 // Materialize the INF + zero-diagonal initialization one
                 // row at a time so even huge matrices never need n² RAM.
@@ -181,6 +211,52 @@ impl TileStore {
         self.faults = None;
     }
 
+    /// Arm a crash point: the next `after_ops` row-granular operations
+    /// (a block access of `r` rows counts as `r`, matching the disk
+    /// backing's positional-I/O accounting) succeed, then every
+    /// subsequent operation fails with an "injected crash" I/O error —
+    /// the store behaves as if its process died mid-run. Works on both
+    /// backings; any previously armed crash point is replaced.
+    pub fn arm_crash(&mut self, after_ops: u64) {
+        self.crash = Some(CrashState {
+            after_ops,
+            ticks: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+        });
+    }
+
+    /// Remove an armed crash point, reviving a "dead" store.
+    pub fn disarm_crash(&mut self) {
+        self.crash = None;
+    }
+
+    /// Row-granular operations serviced since [`Self::arm_crash`]; 0
+    /// when none is armed. Arm with `u64::MAX` to count a full run
+    /// without crashing it.
+    pub fn crash_ops(&self) -> u64 {
+        self.crash
+            .as_ref()
+            .map(|c| c.ticks.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Count `ops` operations against the armed crash point, failing
+    /// once the budget is exhausted (and forever after).
+    fn crash_tick(&self, ops: u64) -> io::Result<()> {
+        let Some(crash) = &self.crash else {
+            return Ok(());
+        };
+        let before = crash.ticks.fetch_add(ops, Ordering::Relaxed);
+        if crash.fired.load(Ordering::Relaxed) || before.saturating_add(ops) > crash.after_ops {
+            crash.fired.store(true, Ordering::Relaxed);
+            return Err(io::Error::other(format!(
+                "injected crash after {} store ops: process terminated",
+                crash.after_ops
+            )));
+        }
+        Ok(())
+    }
+
     /// `(write, read)` positional-I/O ops issued since the plan was
     /// armed; `(0, 0)` when no plan is armed.
     pub fn io_ops(&self) -> (u64, u64) {
@@ -197,6 +273,7 @@ impl TileStore {
     pub fn write_row(&mut self, i: usize, row: &[Dist]) -> io::Result<()> {
         assert_eq!(row.len(), self.n, "row width mismatch");
         assert!(i < self.n, "row index out of range");
+        self.crash_tick(1)?;
         let n = self.n;
         if let Backing::Memory(data) = &mut self.backing {
             data[i * n..(i + 1) * n].copy_from_slice(row);
@@ -222,6 +299,7 @@ impl TileStore {
         assert_eq!(rows.len() % self.n, 0, "partial rows in write_rows");
         let count = rows.len() / self.n;
         assert!(row_start + count <= self.n, "rows out of range");
+        self.crash_tick(1)?; // one contiguous positional write
         match &mut self.backing {
             Backing::Memory(data) => {
                 data[row_start * self.n..row_start * self.n + rows.len()].copy_from_slice(rows);
@@ -245,6 +323,7 @@ impl TileStore {
         assert!(row_range.end <= self.n && col_range.end <= self.n);
         let width = col_range.len();
         assert_eq!(data.len(), row_range.len() * width, "block size mismatch");
+        self.crash_tick(row_range.len() as u64)?;
         match &mut self.backing {
             Backing::Memory(buf) => {
                 for (r, i) in row_range.enumerate() {
@@ -277,6 +356,7 @@ impl TileStore {
     ) -> io::Result<Vec<Dist>> {
         assert!(row_range.end <= self.n && col_range.end <= self.n);
         let width = col_range.len();
+        self.crash_tick(row_range.len() as u64)?;
         let mut out = Vec::with_capacity(row_range.len() * width);
         match &self.backing {
             Backing::Memory(data) => {
@@ -301,6 +381,7 @@ impl TileStore {
     /// Read full row `i`.
     pub fn read_row(&self, i: usize) -> io::Result<Vec<Dist>> {
         assert!(i < self.n);
+        self.crash_tick(1)?;
         match &self.backing {
             Backing::Memory(data) => Ok(data[i * self.n..(i + 1) * self.n].to_vec()),
             Backing::Disk { file, .. } => {
@@ -316,6 +397,7 @@ impl TileStore {
     /// for bulk access.
     pub fn get(&self, i: usize, j: usize) -> io::Result<Dist> {
         assert!(i < self.n && j < self.n);
+        self.crash_tick(1)?;
         match &self.backing {
             Backing::Memory(data) => Ok(data[i * self.n + j]),
             Backing::Disk { file, .. } => {
@@ -330,23 +412,91 @@ impl TileStore {
     /// Persist the matrix to `path` (raw little-endian row-major `u32`,
     /// the same layout the disk backing uses), so a computed result
     /// outlives the store. Readable again with [`TileStore::open`].
+    ///
+    /// The write is **atomic**: data lands in a temporary sibling file,
+    /// is `sync_all`ed, and only then renamed over `path` — a crash or
+    /// `ENOSPC` mid-persist can never leave a torn file at `path`
+    /// (either the old content or the new content is there, whole).
+    ///
+    /// A `Disk`-backed store refuses to persist into its own spill
+    /// directory: the target could collide with (or be cleaned up
+    /// alongside) live spill files, destroying the matrix it was meant
+    /// to save.
     pub fn persist<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
-        let mut out = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
-        use std::io::Write;
-        match &self.backing {
-            Backing::Memory(data) => out.write_all(cast_bytes(data))?,
-            Backing::Disk { .. } => {
-                for i in 0..self.n {
-                    let row = self.read_row(i)?;
-                    out.write_all(cast_bytes(&row))?;
+        let path = path.as_ref();
+        if let Backing::Disk { path: own, .. } = &self.backing {
+            if let Some(own_dir) = own.parent() {
+                if !own.as_os_str().is_empty() && same_dir(own_dir, parent_dir(path)) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "refusing to persist into the store's own spill directory {}",
+                            own_dir.display()
+                        ),
+                    ));
                 }
             }
         }
-        out.flush()
+        let dir = parent_dir(path);
+        let file_name = path.file_name().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "persist target has no file name",
+            )
+        })?;
+        let tmp = dir.join(format!(
+            ".{}.tmp.{}",
+            file_name.to_string_lossy(),
+            std::process::id()
+        ));
+        let result = (|| -> io::Result<()> {
+            let mut out = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            use std::io::Write;
+            match &self.backing {
+                Backing::Memory(data) => {
+                    self.crash_tick(self.n as u64)?; // parity with the disk backing's n row reads
+                    out.write_all(cast_bytes(data))?;
+                }
+                Backing::Disk { .. } => {
+                    for i in 0..self.n {
+                        let row = self.read_row(i)?;
+                        out.write_all(cast_bytes(&row))?;
+                    }
+                }
+            }
+            out.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    /// FNV-1a checksum of each consecutive panel of `panel_rows` rows
+    /// (the last panel may be shorter). On a `Disk` backing the rows are
+    /// read back from the file, so the checksums attest to what is
+    /// actually on disk, not what was last handed to `write_*`.
+    pub fn panel_checksums(&self, panel_rows: usize) -> io::Result<Vec<u64>> {
+        assert!(panel_rows >= 1, "panel_rows must be positive");
+        let mut out = Vec::with_capacity(self.n.div_ceil(panel_rows));
+        let mut hash = FNV_OFFSET_BASIS;
+        for i in 0..self.n {
+            let row = self.read_row(i)?;
+            hash = fnv1a(cast_bytes(&row), hash);
+            if (i + 1) % panel_rows == 0 {
+                out.push(hash);
+                hash = FNV_OFFSET_BASIS;
+            }
+        }
+        if !self.n.is_multiple_of(panel_rows) {
+            out.push(hash);
+        }
+        Ok(out)
     }
 
     /// Open a previously [`TileStore::persist`]ed matrix read-write in
@@ -358,7 +508,11 @@ impl TileStore {
         if actual != expect {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("file holds {actual} bytes, an {n}×{n} matrix needs {expect}"),
+                format!(
+                    "{} holds {actual} bytes, an {n}×{n} matrix needs {expect} — \
+                     truncated, or persisted at a different dimension",
+                    path.as_ref().display()
+                ),
             ));
         }
         Ok(TileStore {
@@ -368,6 +522,7 @@ impl TileStore {
                 path: PathBuf::new(), // empty ⇒ drop() removes nothing
             },
             faults: None,
+            crash: None,
         })
     }
 
@@ -395,6 +550,27 @@ impl Drop for TileStore {
                 let _ = std::fs::remove_file(path);
             }
         }
+    }
+}
+
+/// `path.parent()`, with a bare file name resolving to the current
+/// directory instead of the empty path.
+fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
+/// Whether two directory paths name the same directory, resolving
+/// symlinks/relative segments when both exist.
+fn same_dir(a: &Path, b: &Path) -> bool {
+    if a == b {
+        return true;
+    }
+    match (std::fs::canonicalize(a), std::fs::canonicalize(b)) {
+        (Ok(x), Ok(y)) => x == y,
+        _ => false,
     }
 }
 
@@ -570,7 +746,9 @@ mod tests {
 
     #[test]
     fn persist_and_open_roundtrip_both_backends() {
-        let dir = tmp_dir();
+        // Not tmp_dir() itself: that is the Disk backend's spill
+        // directory, and persisting into it is rejected by design.
+        let dir = tmp_dir().join("persist_roundtrip");
         std::fs::create_dir_all(&dir).unwrap();
         for (idx, backend) in backends().into_iter().enumerate() {
             let path = dir.join(format!("persist-{}.bin", idx));
@@ -756,6 +934,88 @@ mod tests {
             (0, 0),
             "memory backing issues no positional I/O"
         );
+    }
+
+    #[test]
+    fn persist_rejects_own_spill_directory() {
+        let dir = tmp_dir().join("own_dir_guard");
+        let s = TileStore::new(3, &StorageBackend::Disk(dir.clone())).unwrap();
+        let err = s.persist(dir.join("snapshot.bin")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // A sibling directory is fine.
+        let out = tmp_dir().join("own_dir_guard_out");
+        std::fs::create_dir_all(&out).unwrap();
+        s.persist(out.join("snapshot.bin")).unwrap();
+        assert!(out.join("snapshot.bin").exists());
+        std::fs::remove_file(out.join("snapshot.bin")).unwrap();
+    }
+
+    #[test]
+    fn persist_is_atomic_no_tmp_left_behind() {
+        let out = tmp_dir().join("atomic_persist");
+        std::fs::create_dir_all(&out).unwrap();
+        let target = out.join("m.bin");
+        let mut s = TileStore::new(3, &StorageBackend::Memory).unwrap();
+        s.write_row(0, &[0, 7, 8]).unwrap();
+        s.persist(&target).unwrap();
+        // Overwrite with new content; the file is replaced whole.
+        s.write_row(0, &[0, 9, 9]).unwrap();
+        s.persist(&target).unwrap();
+        let again = TileStore::open(&target, 3).unwrap();
+        assert_eq!(again.read_row(0).unwrap(), vec![0, 9, 9]);
+        drop(again);
+        let leftovers: Vec<_> = std::fs::read_dir(&out)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|f| f.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files leaked: {leftovers:?}");
+        std::fs::remove_file(&target).unwrap();
+    }
+
+    #[test]
+    fn panel_checksums_detect_any_mutation() {
+        for backend in backends() {
+            let mut s = TileStore::new(5, &backend).unwrap();
+            s.write_row(2, &[1, 2, 3, 4, 5]).unwrap();
+            let before = s.panel_checksums(2).unwrap();
+            assert_eq!(before.len(), 3); // panels of 2, 2, 1 rows
+            assert_eq!(before, s.panel_checksums(2).unwrap(), "deterministic");
+            s.write_row(4, &[9, 9, 9, 9, 0]).unwrap();
+            let after = s.panel_checksums(2).unwrap();
+            assert_eq!(before[0], after[0]);
+            assert_eq!(before[1], after[1]);
+            assert_ne!(before[2], after[2], "mutated panel must change");
+        }
+    }
+
+    #[test]
+    fn crash_point_kills_the_store_on_both_backends() {
+        for backend in backends() {
+            let mut s = TileStore::new(4, &backend).unwrap();
+            s.arm_crash(2);
+            s.write_row(0, &[1, 1, 1, 1]).unwrap(); // op 0
+            s.read_row(0).unwrap(); // op 1
+            let err = s.write_row(1, &[2, 2, 2, 2]).unwrap_err(); // op 2: dead
+            assert!(err.to_string().contains("injected crash"), "{err}");
+            // Every subsequent op fails too — the process is "dead".
+            assert!(s.read_row(0).is_err());
+            assert!(s.get(0, 0).is_err());
+            assert!(s.crash_ops() >= 3);
+            // Disarming revives it (the harness's post-mortem view).
+            s.disarm_crash();
+            assert_eq!(s.read_row(0).unwrap(), vec![1, 1, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn crash_counts_block_ops_at_row_granularity() {
+        let mut s = TileStore::new(4, &StorageBackend::Memory).unwrap();
+        s.arm_crash(u64::MAX);
+        s.write_block(0..3, 0..2, &[1, 2, 3, 4, 5, 6]).unwrap(); // 3 ops
+        s.read_block(1..3, 0..4).unwrap(); // 2 ops
+        s.write_rows(0, &[7, 7, 7, 7, 8, 8, 8, 8]).unwrap(); // 1 op
+        assert_eq!(s.crash_ops(), 6);
     }
 
     #[test]
