@@ -10,6 +10,12 @@
 //!   --checkpoint-dir <dir>   commit crash-safe progress to this directory
 //!   --resume                 continue from a checkpoint left in --checkpoint-dir
 //!   --scale <s>              apply reproduction scaling rules to the profile
+//!   --deadline-ms <n>        abort with a typed error once the simulated
+//!                            clock passes this wall-clock budget
+//!   --progress-budget-ms <n> declare a stall if no barrier commits within
+//!                            this budget (watchdog)
+//!   --fallback               on an unrecoverable algorithm failure, mask it
+//!                            and re-enter the selector instead of erroring
 //!   --sample <count>         print this many random distances (default 3)
 //!   --verify <rows>          re-derive this many random rows with Dijkstra
 //!   --trace                  print the device Gantt chart afterwards
@@ -20,7 +26,7 @@
 //! profiler report.
 
 use apsp_core::options::Algorithm;
-use apsp_core::{apsp, ApspOptions, CheckpointOptions, StorageBackend};
+use apsp_core::{apsp, ApspOptions, CheckpointOptions, StorageBackend, SupervisionOptions};
 use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_graph::io::{read_matrix_market, WeightMode};
 use apsp_graph::io_dimacs::read_dimacs;
@@ -36,6 +42,9 @@ struct Args {
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     scale: Option<usize>,
+    deadline_ms: Option<u64>,
+    progress_budget_ms: Option<u64>,
+    fallback: bool,
     sample: usize,
     verify: usize,
     trace: bool,
@@ -51,6 +60,9 @@ fn parse_args() -> Result<Args, String> {
         checkpoint_dir: None,
         resume: false,
         scale: None,
+        deadline_ms: None,
+        progress_budget_ms: None,
+        fallback: false,
         sample: 3,
         verify: 0,
         trace: false,
@@ -95,6 +107,23 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --scale")?,
                 )
             }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    it.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms")?,
+                )
+            }
+            "--progress-budget-ms" => {
+                args.progress_budget_ms = Some(
+                    it.next()
+                        .ok_or("--progress-budget-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --progress-budget-ms")?,
+                )
+            }
+            "--fallback" => args.fallback = true,
             "--sample" => {
                 args.sample = it
                     .next()
@@ -139,7 +168,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--sample n] [--trace]");
+            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--sample n] [--trace]");
             std::process::exit(2);
         }
     };
@@ -192,6 +221,12 @@ fn main() {
             dir: dir.clone(),
             resume: args.resume,
         }),
+        supervision: SupervisionOptions {
+            deadline_ms: args.deadline_ms,
+            progress_budget_ms: args.progress_budget_ms,
+            fallback: args.fallback,
+            ..Default::default()
+        },
         ..Default::default()
     };
     if let Some(dir) = &args.checkpoint_dir {
@@ -217,6 +252,12 @@ fn main() {
         for (alg, est) in &sel.estimates {
             println!("  estimate {alg}: {est:.6} s");
         }
+    }
+    for fb in &result.fallback_events {
+        println!(
+            "fallback: {} -> {} after {:?} ({}) at {:.6} s",
+            fb.from, fb.to, fb.error_kind, fb.detail, fb.sim_seconds
+        );
     }
     println!("simulated time: {:.6} s", result.sim_seconds);
     let r = &result.report;

@@ -31,17 +31,24 @@ pub enum Family {
     /// zero: the result is dominated by zero-weight edges, the worst case
     /// for bucket-based SSSP and for tie-breaking between algorithms.
     NearNegativeCycle,
+    /// One well-connected giant component plus isolated dust: the
+    /// partition-based boundary algorithm has nothing to partition (the
+    /// giant is one indivisible block), so it is structurally the wrong
+    /// choice — the family that exercises the supervision fallback chain
+    /// without any fault injection.
+    PathologicalPartition,
 }
 
 impl Family {
     /// Every family, in corpus order.
-    pub const ALL: [Family; 6] = [
+    pub const ALL: [Family; 7] = [
         Family::Rmat,
         Family::ErdosRenyi,
         Family::Grid,
         Family::Star,
         Family::Disconnected,
         Family::NearNegativeCycle,
+        Family::PathologicalPartition,
     ];
 }
 
@@ -54,6 +61,7 @@ impl std::fmt::Display for Family {
             Family::Star => "star",
             Family::Disconnected => "disconnected",
             Family::NearNegativeCycle => "near-negative-cycle",
+            Family::PathologicalPartition => "pathological-partition",
         };
         f.write_str(name)
     }
@@ -84,6 +92,7 @@ impl Case {
             Family::Star => star(100, 3, w, seed),
             Family::Disconnected => disconnected(88, seed),
             Family::NearNegativeCycle => near_negative_cycle(80, seed),
+            Family::PathologicalPartition => pathological_partition(96, seed),
         };
         Case {
             name: format!("{family}-{seed:#x}"),
@@ -178,6 +187,23 @@ fn near_negative_cycle(n: usize, seed: u64) -> CsrGraph {
         .graph
 }
 
+/// One dense-ish giant component holding ~85% of the vertices plus
+/// isolated dust. A component-based partitioner sees a single indivisible
+/// block whose working set is essentially the whole matrix — halving the
+/// component count never helps, so on a small device the boundary
+/// algorithm fails structurally (not through an injected fault) and only
+/// a fallback to another algorithm can finish the run.
+fn pathological_partition(n: usize, seed: u64) -> CsrGraph {
+    let giant = (n * 85) / 100;
+    let core = gnp(giant, 0.08, WeightRange::default(), seed ^ 0x6147);
+    let mut builder = GraphBuilder::with_capacity(n, core.num_edges());
+    for e in core.edges() {
+        builder.add_edge(e.src, e.dst, e.weight);
+    }
+    // Vertices giant..n stay isolated dust.
+    builder.build()
+}
+
 pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -244,6 +270,22 @@ mod tests {
             zeros * 4 >= case.graph.num_edges(),
             "only {zeros}/{} zero-weight edges",
             case.graph.num_edges()
+        );
+    }
+
+    #[test]
+    fn pathological_partition_is_one_giant_plus_dust() {
+        let case = Case::generate(Family::PathologicalPartition, 21);
+        let g = &case.graph;
+        let n = g.num_vertices();
+        assert!(n >= 80);
+        // Lots of isolated dust around a single real component.
+        let isolated = (0..n).filter(|&v| g.out_degree(v as VertexId) == 0).count();
+        assert!(isolated >= n / 10, "only {isolated} isolated vertices");
+        assert_eq!(
+            apsp_graph::stats::connected_components(g),
+            1 + isolated,
+            "the non-dust vertices must form one giant component"
         );
     }
 

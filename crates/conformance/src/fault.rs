@@ -53,6 +53,16 @@ pub enum Fault {
         /// Stall length.
         micros: u64,
     },
+    /// Positional write `op` hangs in *simulated* time: the op succeeds,
+    /// the host never sleeps, and the hang is observable only through an
+    /// attached supervisor's io-stall clock (deadline and progress
+    /// budgets both see it).
+    Hang {
+        /// 0-based write-op ordinal.
+        op: u64,
+        /// Simulated hang length.
+        micros: u64,
+    },
 }
 
 /// A deterministic schedule of faults derived from one seed.
@@ -81,6 +91,10 @@ impl FaultPlan {
                 op: draw(60, 40),
                 micros: draw(1, 200),
             },
+            Fault::Hang {
+                op: draw(100, 20),
+                micros: draw(1_000, 9_000),
+            },
         ];
         FaultPlan { seed, faults }
     }
@@ -95,7 +109,7 @@ impl FaultPlan {
 
     /// The distinct fault kinds scheduled (for coverage assertions).
     pub fn kinds(&self) -> usize {
-        let mut k = [false; 5];
+        let mut k = [false; 6];
         for f in &self.faults {
             k[match f {
                 Fault::AllocFail { .. } => 0,
@@ -103,6 +117,7 @@ impl FaultPlan {
                 Fault::ShortRead { .. } => 2,
                 Fault::Enospc { .. } => 3,
                 Fault::Latency { .. } => 4,
+                Fault::Hang { .. } => 5,
             }] = true;
         }
         k.iter().filter(|b| **b).count()
@@ -118,6 +133,9 @@ impl FaultPlan {
                 Fault::Latency { op, micros } => plan
                     .write_faults
                     .push((op, DiskFault::LatencyMicros(micros))),
+                Fault::Hang { op, micros } => {
+                    plan.write_faults.push((op, DiskFault::HangMicros(micros)))
+                }
                 Fault::ShortRead { op } => plan.read_faults.push((op, DiskFault::ShortRead)),
                 Fault::AllocFail { .. } => {}
             }
@@ -304,11 +322,13 @@ mod tests {
                 Fault::ShortRead { op: 5 },
                 Fault::Enospc { op: 7 },
                 Fault::Latency { op: 9, micros: 11 },
+                Fault::Hang { op: 13, micros: 17 },
                 Fault::AllocFail { kth: 1 },
             ],
         };
         let disk = plan.disk_plan();
-        assert_eq!(disk.write_faults.len(), 3);
+        assert_eq!(disk.write_faults.len(), 4);
+        assert!(disk.write_faults.contains(&(13, DiskFault::HangMicros(17))));
         assert_eq!(disk.read_faults, vec![(5, DiskFault::ShortRead)]);
     }
 }

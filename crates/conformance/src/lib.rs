@@ -20,7 +20,12 @@
 //! * [`crash`] — the kill–resume differential: every checkpointed
 //!   algorithm killed at a seed-chosen store operation and resumed in a
 //!   fresh device/store must reproduce the uninterrupted run's matrix
-//!   bit-for-bit.
+//!   bit-for-bit;
+//! * [`supervision`] — the runtime-supervision matrix: cancelled and
+//!   deadlined runs must fail typed and resume exactly, an injected
+//!   kernel hang must trip the watchdog and fall back to an algorithm
+//!   whose result is bit-identical to its clean run, and every event
+//!   sequence must replay deterministically from its seed.
 //!
 //! Every report carries the seed that reproduces it; see the repository
 //! README ("Testing & conformance") for the reproduction workflow.
@@ -29,8 +34,12 @@ pub mod corpus;
 pub mod crash;
 pub mod fault;
 pub mod runner;
+pub mod supervision;
 
 pub use corpus::{Case, Corpus, Family};
 pub use crash::{run_kill_resume, CrashCellOptions, CrashReport};
 pub use fault::{run_under_faults, Fault, FaultPlan, FaultRunOutcome};
 pub use runner::{all_variants, run_case, CaseReport, Divergence, RunnerConfig, Variant};
+pub use supervision::{
+    run_cancel_resume, run_deadline_abort, run_stall_fallback, CancelReport, StallFallbackReport,
+};

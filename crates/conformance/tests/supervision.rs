@@ -1,0 +1,159 @@
+//! The runtime-supervision matrix: every algorithm × {Memory, Disk}
+//! through the stall→fallback, cancel→resume and deadline-abort
+//! harnesses, plus the structural-fallback case that needs no fault
+//! injection at all.
+//!
+//! CI's `supervision` job runs this file on every push; nightly widens
+//! `APSP_STALL_POINTS` to sweep more injected hang positions per cell
+//! around the same fixed seed. A failure prints the seed that reproduces
+//! it in `run_stall_fallback`.
+
+use apsp_conformance::{
+    run_cancel_resume, run_deadline_abort, run_stall_fallback, Case, Family, RunnerConfig,
+};
+use apsp_core::options::Algorithm;
+use apsp_core::{apsp, ApspErrorKind, ApspOptions, SupervisionOptions};
+use apsp_cpu::bgl_plus_apsp;
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::FloydWarshall,
+    Algorithm::Johnson,
+    Algorithm::Boundary,
+];
+
+/// The fixed supervision-matrix seed; per-cell draws derive from it.
+const STALL_SEED: u64 = 0x57A1;
+
+fn stall_points() -> u64 {
+    std::env::var("APSP_STALL_POINTS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+#[test]
+fn stalled_runs_fall_back_to_a_bit_identical_result() {
+    let case = Case::generate(Family::ErdosRenyi, 0x5E1F1);
+    let cfg = RunnerConfig::default();
+    let points = stall_points();
+    for algorithm in ALGORITHMS {
+        for disk in [false, true] {
+            for point in 0..points {
+                let seed = STALL_SEED
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(point);
+                let report = run_stall_fallback(&case, algorithm, disk, seed, &cfg).unwrap_or_else(
+                    |detail| {
+                        panic!(
+                            "{algorithm:?}/{} stall point {point} (seed {seed:#x}): {detail}",
+                            if disk { "disk" } else { "memory" }
+                        )
+                    },
+                );
+                eprintln!(
+                    "{algorithm:?}/{}: {report}",
+                    if disk { "disk" } else { "memory" }
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stall_event_sequences_replay_deterministically() {
+    let case = Case::generate(Family::ErdosRenyi, 0x5E1F2);
+    let cfg = RunnerConfig::default();
+    for algorithm in ALGORITHMS {
+        let a = run_stall_fallback(&case, algorithm, false, STALL_SEED, &cfg)
+            .unwrap_or_else(|d| panic!("{algorithm:?} first run: {d}"));
+        let b = run_stall_fallback(&case, algorithm, false, STALL_SEED, &cfg)
+            .unwrap_or_else(|d| panic!("{algorithm:?} second run: {d}"));
+        assert_eq!(a, b, "{algorithm:?}: same seed, different event sequence");
+    }
+}
+
+#[test]
+fn cancelled_runs_resume_exactly() {
+    let case = Case::generate(Family::ErdosRenyi, 0x5E1F3);
+    let cfg = RunnerConfig::default();
+    for algorithm in ALGORITHMS {
+        for disk in [false, true] {
+            let report = run_cancel_resume(&case, algorithm, disk, STALL_SEED, &cfg)
+                .unwrap_or_else(|detail| {
+                    panic!(
+                        "{algorithm:?}/{}: {detail}",
+                        if disk { "disk" } else { "memory" }
+                    )
+                });
+            eprintln!(
+                "{algorithm:?}/{}: {report}",
+                if disk { "disk" } else { "memory" }
+            );
+        }
+    }
+}
+
+#[test]
+fn expired_deadlines_abort_typed() {
+    let case = Case::generate(Family::ErdosRenyi, 0x5E1F4);
+    let cfg = RunnerConfig::default();
+    for algorithm in ALGORITHMS {
+        run_deadline_abort(&case, algorithm, false, &cfg)
+            .unwrap_or_else(|detail| panic!("{algorithm:?}: {detail}"));
+    }
+}
+
+#[test]
+fn pathological_partition_falls_back_without_fault_injection() {
+    // One giant component plus dust on a device too small for the
+    // component's working set at any partition count: the boundary
+    // algorithm fails structurally, and only the fallback chain can
+    // finish the run. No fault is injected anywhere.
+    let case = Case::generate(Family::PathologicalPartition, 0x9A7B);
+    let g = &case.graph;
+    let reference = bgl_plus_apsp(g);
+    let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(16 << 10));
+    let opts = ApspOptions {
+        algorithm: Some(Algorithm::Boundary),
+        supervision: SupervisionOptions {
+            fallback: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let result = apsp(g, &mut dev, &opts).expect("the fallback chain must finish the run");
+    assert_eq!(
+        result.fallback_events.len(),
+        1,
+        "{:?}",
+        result.fallback_events
+    );
+    let fb = &result.fallback_events[0];
+    assert_eq!(fb.from, Algorithm::Boundary);
+    assert!(
+        matches!(
+            fb.error_kind,
+            ApspErrorKind::DeviceTooSmall | ApspErrorKind::OutOfDeviceMemory
+        ),
+        "{fb:?}"
+    );
+    assert_ne!(result.algorithm, Algorithm::Boundary);
+    assert_eq!(result.store.to_dist_matrix().unwrap(), reference);
+
+    // Without fallback the same run is a typed hard error.
+    let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(16 << 10));
+    let opts = ApspOptions {
+        algorithm: Some(Algorithm::Boundary),
+        ..Default::default()
+    };
+    let err = apsp(g, &mut dev, &opts).expect_err("boundary alone must fail on this device");
+    assert!(
+        matches!(
+            err.kind(),
+            ApspErrorKind::DeviceTooSmall | ApspErrorKind::OutOfDeviceMemory
+        ),
+        "{err}"
+    );
+}

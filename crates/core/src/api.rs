@@ -1,14 +1,20 @@
 //! Unified front-end: select (or accept) an algorithm and run it.
 
 use crate::checkpoint::{Checkpoint, Progress};
-use crate::error::ApspError;
-use crate::ooc_boundary::{ooc_boundary, ooc_boundary_checkpointed, BoundaryRunStats};
-use crate::ooc_fw::{
-    init_store_from_graph, ooc_floyd_warshall, ooc_floyd_warshall_checkpointed, FwRunStats,
+use crate::error::{ApspError, ApspErrorKind};
+use crate::ooc_boundary::{
+    ooc_boundary_checkpointed_supervised, ooc_boundary_supervised, BoundaryRunStats,
 };
-use crate::ooc_johnson::{ooc_johnson, ooc_johnson_checkpointed, JohnsonRunStats};
+use crate::ooc_fw::{
+    init_store_from_graph, ooc_floyd_warshall_checkpointed_supervised,
+    ooc_floyd_warshall_supervised, FwRunStats,
+};
+use crate::ooc_johnson::{
+    ooc_johnson_checkpointed_supervised, ooc_johnson_supervised, JohnsonRunStats,
+};
 use crate::options::{Algorithm, ApspOptions};
 use crate::selector::{CostModels, JohnsonModel, Selection};
+use crate::supervisor::{FallbackEvent, SupervisionEvent, Supervisor};
 use crate::tile_store::TileStore;
 use apsp_gpu_sim::{GpuDevice, SimReport};
 use apsp_graph::CsrGraph;
@@ -40,6 +46,12 @@ pub struct ApspResult {
     pub report: SimReport,
     /// Implementation-specific statistics.
     pub details: RunDetails,
+    /// Every algorithm switch the fallback chain performed (empty when
+    /// the first choice ran to completion, or fallback was off).
+    pub fallback_events: Vec<FallbackEvent>,
+    /// Supervision telemetry: retries, stalls and fallbacks in the order
+    /// they happened. Deterministic for a fixed seed and fault plan.
+    pub supervision_events: Vec<SupervisionEvent>,
 }
 
 /// Compute APSP for `g` on `dev`, choosing the implementation with the
@@ -103,34 +115,65 @@ pub fn apsp(
             (selection.algorithm, Some(selection))
         }
     };
+    let sup = Supervisor::new(&opts.supervision, dev.elapsed().seconds());
     let mut store = TileStore::new(n, &opts.storage)?;
-    let (sim_seconds, details) = match (algorithm, &ckpt) {
-        (Algorithm::FloydWarshall, Some(c)) => {
-            let stats = ooc_floyd_warshall_checkpointed(dev, g, &mut store, &opts.fw, c)?;
-            (stats.sim_seconds, RunDetails::FloydWarshall(stats))
+    store.set_supervision(sup.clone());
+    let mut algorithm = algorithm;
+    let mut selection = selection;
+    let mut masked: Vec<Algorithm> = Vec::new();
+    let mut fallback_events: Vec<FallbackEvent> = Vec::new();
+    let (sim_seconds, details) = loop {
+        let attempt = run_one(algorithm, g, dev, &mut store, opts, ckpt.as_ref(), &sup);
+        let err = match attempt {
+            Ok(ok) => break ok,
+            Err(e) => e,
+        };
+        // A failed algorithm is worth replacing only when the failure is
+        // about *this algorithm's* resource shape or liveness. Anything
+        // else (cancellation, deadline, corruption, bad input, storage)
+        // would fail the replacement just the same — propagate it.
+        let kind = err.kind();
+        let replaceable = matches!(
+            kind,
+            ApspErrorKind::DeviceTooSmall
+                | ApspErrorKind::OutOfDeviceMemory
+                | ApspErrorKind::Stalled
+        );
+        if !opts.supervision.fallback || !replaceable || fallback_events.len() >= 2 {
+            return Err(err);
         }
-        (Algorithm::FloydWarshall, None) => {
-            init_store_from_graph(g, &mut store)?;
-            let stats = ooc_floyd_warshall(dev, &mut store, &opts.fw)?;
-            (stats.sim_seconds, RunDetails::FloydWarshall(stats))
+        masked.push(algorithm);
+        let models = CostModels::calibrate_cached(dev.profile());
+        let johnson = JohnsonModel::probe(dev.profile(), g, &opts.selector, &opts.johnson)?;
+        let Some(next) = models.select_masked(g, &opts.selector, &johnson, &masked) else {
+            return Err(err); // every algorithm failed — surface the last error
+        };
+        // The failed attempt's checkpoint and partial matrix are that
+        // algorithm's state — discard both so the replacement starts
+        // clean and its output is bit-identical to a fresh run.
+        if let Some(c) = &ckpt {
+            c.clear()?;
         }
-        (Algorithm::Johnson, Some(c)) => {
-            let stats = ooc_johnson_checkpointed(dev, g, &mut store, &opts.johnson, c)?;
-            (stats.sim_seconds, RunDetails::Johnson(stats))
-        }
-        (Algorithm::Johnson, None) => {
-            let stats = ooc_johnson(dev, g, &mut store, &opts.johnson)?;
-            (stats.sim_seconds, RunDetails::Johnson(stats))
-        }
-        (Algorithm::Boundary, Some(c)) => {
-            let stats = ooc_boundary_checkpointed(dev, g, &mut store, &opts.boundary, c)?;
-            (stats.sim_seconds, RunDetails::Boundary(stats))
-        }
-        (Algorithm::Boundary, None) => {
-            let stats = ooc_boundary(dev, g, &mut store, &opts.boundary)?;
-            (stats.sim_seconds, RunDetails::Boundary(stats))
-        }
+        store = TileStore::new(n, &opts.storage)?;
+        store.set_supervision(sup.clone());
+        let now = dev.elapsed().seconds();
+        sup.record_event(SupervisionEvent::Fallback {
+            from: algorithm,
+            to: next.algorithm,
+            error_kind: kind,
+        });
+        fallback_events.push(FallbackEvent {
+            from: algorithm,
+            to: next.algorithm,
+            error_kind: kind,
+            detail: err.to_string(),
+            sim_seconds: now,
+        });
+        sup.reset_progress(now);
+        algorithm = next.algorithm;
+        selection = Some(next);
     };
+    store.clear_supervision(); // the result outlives the run's budgets
     Ok(ApspResult {
         store,
         algorithm,
@@ -138,6 +181,50 @@ pub fn apsp(
         sim_seconds,
         report: dev.report(),
         details,
+        fallback_events,
+        supervision_events: sup.events(),
+    })
+}
+
+/// One attempt of one algorithm (checkpointed when a checkpoint is
+/// configured), under `sup`'s budgets.
+fn run_one(
+    algorithm: Algorithm,
+    g: &CsrGraph,
+    dev: &mut GpuDevice,
+    store: &mut TileStore,
+    opts: &ApspOptions,
+    ckpt: Option<&Checkpoint>,
+    sup: &Supervisor,
+) -> Result<(f64, RunDetails), ApspError> {
+    Ok(match (algorithm, ckpt) {
+        (Algorithm::FloydWarshall, Some(c)) => {
+            let stats =
+                ooc_floyd_warshall_checkpointed_supervised(dev, g, store, &opts.fw, c, sup)?;
+            (stats.sim_seconds, RunDetails::FloydWarshall(stats))
+        }
+        (Algorithm::FloydWarshall, None) => {
+            init_store_from_graph(g, store)?;
+            let stats = ooc_floyd_warshall_supervised(dev, store, &opts.fw, sup)?;
+            (stats.sim_seconds, RunDetails::FloydWarshall(stats))
+        }
+        (Algorithm::Johnson, Some(c)) => {
+            let stats = ooc_johnson_checkpointed_supervised(dev, g, store, &opts.johnson, c, sup)?;
+            (stats.sim_seconds, RunDetails::Johnson(stats))
+        }
+        (Algorithm::Johnson, None) => {
+            let stats = ooc_johnson_supervised(dev, g, store, &opts.johnson, sup)?;
+            (stats.sim_seconds, RunDetails::Johnson(stats))
+        }
+        (Algorithm::Boundary, Some(c)) => {
+            let stats =
+                ooc_boundary_checkpointed_supervised(dev, g, store, &opts.boundary, c, sup)?;
+            (stats.sim_seconds, RunDetails::Boundary(stats))
+        }
+        (Algorithm::Boundary, None) => {
+            let stats = ooc_boundary_supervised(dev, g, store, &opts.boundary, sup)?;
+            (stats.sim_seconds, RunDetails::Boundary(stats))
+        }
     })
 }
 
@@ -304,6 +391,96 @@ mod tests {
         };
         let err = apsp(&g, &mut dev, &conflict).unwrap_err();
         assert_eq!(err.kind(), crate::ApspErrorKind::InvalidInput, "{err}");
+    }
+
+    #[test]
+    fn deadline_and_cancellation_return_typed_errors() {
+        use crate::supervisor::{CancelToken, SupervisionOptions};
+        let g = gnp(100, 0.05, WeightRange::default(), 3);
+        // An already-expired deadline trips at the first barrier.
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        let opts = ApspOptions {
+            algorithm: Some(Algorithm::FloydWarshall),
+            supervision: SupervisionOptions {
+                deadline_ms: Some(0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = apsp(&g, &mut dev, &opts).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::DeadlineExceeded, "{err}");
+        // A tripped cancel token surfaces as a typed cancellation, even
+        // when the trip happens inside the store's I/O loop.
+        let cancel = CancelToken::cancel_after_checks(1);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        let opts = ApspOptions {
+            algorithm: Some(Algorithm::Johnson),
+            supervision: SupervisionOptions {
+                cancel: Some(cancel),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = apsp(&g, &mut dev, &opts).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::Cancelled, "{err}");
+    }
+
+    #[test]
+    fn stall_triggers_fallback_to_an_equivalent_result() {
+        use crate::supervisor::SupervisionOptions;
+        let g = gnp(100, 0.05, WeightRange::default(), 3); // dense: Johnson vs FW
+        let reference = bgl_plus_apsp(&g);
+        // Clean run first, to learn the selector's first choice.
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(1 << 20));
+        let clean = apsp(&g, &mut dev, &ApspOptions::default()).unwrap();
+        assert!(clean.fallback_events.is_empty());
+        // Same setup, but the first kernel hangs for a simulated week.
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(1 << 20));
+        dev.inject_kernel_stall(1, 7.0 * 86_400.0);
+        let opts = ApspOptions {
+            supervision: SupervisionOptions {
+                progress_budget_ms: Some(60_000),
+                fallback: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &opts).unwrap();
+        assert_eq!(
+            result.fallback_events.len(),
+            1,
+            "{:?}",
+            result.fallback_events
+        );
+        let fb = &result.fallback_events[0];
+        assert_eq!(fb.from, clean.algorithm);
+        assert_eq!(fb.error_kind, crate::ApspErrorKind::Stalled);
+        assert_eq!(result.algorithm, fb.to);
+        assert_ne!(result.algorithm, fb.from);
+        assert!(result
+            .supervision_events
+            .iter()
+            .any(|e| matches!(e, crate::SupervisionEvent::Stall { .. })));
+        // The fallback's output is the real answer, not a best effort.
+        assert_eq!(result.store.to_dist_matrix().unwrap(), reference);
+    }
+
+    #[test]
+    fn without_fallback_a_stall_is_an_error() {
+        use crate::supervisor::SupervisionOptions;
+        let g = gnp(100, 0.05, WeightRange::default(), 3);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(1 << 20));
+        dev.inject_kernel_stall(1, 7.0 * 86_400.0);
+        let opts = ApspOptions {
+            supervision: SupervisionOptions {
+                progress_budget_ms: Some(60_000),
+                fallback: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = apsp(&g, &mut dev, &opts).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::Stalled, "{err}");
     }
 
     #[test]

@@ -30,6 +30,29 @@ pub enum ApspError {
         /// What failed validation and how.
         detail: String,
     },
+    /// The run's wall-clock deadline elapsed before it finished. The
+    /// checkpoint (if one was configured) holds the last committed
+    /// barrier, so the run is resumable.
+    DeadlineExceeded {
+        /// Where the budget ran out.
+        detail: String,
+    },
+    /// The run was cancelled through its [`crate::supervisor::CancelToken`].
+    /// Like a deadline, cancellation lands at a barrier or store
+    /// operation and leaves any configured checkpoint resumable.
+    Cancelled {
+        /// Where the cancellation was observed.
+        detail: String,
+    },
+    /// The watchdog declared a stall: no barrier committed within the
+    /// progress budget. Distinguished from [`ApspError::DeadlineExceeded`]
+    /// because a stall indicts the *algorithm* (a degenerate partition, a
+    /// hung kernel) rather than the overall budget, so the fallback chain
+    /// treats it as grounds to try a different algorithm.
+    Stalled {
+        /// Which barrier missed its budget and by how much.
+        detail: String,
+    },
 }
 
 /// Coarse classification of an [`ApspError`] — what conformance
@@ -41,6 +64,36 @@ pub enum ApspErrorKind {
     Storage,
     InvalidInput,
     Corruption,
+    DeadlineExceeded,
+    Cancelled,
+    Stalled,
+}
+
+impl ApspErrorKind {
+    /// Every kind, in declaration order — keeps classification tests
+    /// exhaustive when variants are added.
+    pub const ALL: [ApspErrorKind; 8] = [
+        ApspErrorKind::DeviceTooSmall,
+        ApspErrorKind::OutOfDeviceMemory,
+        ApspErrorKind::Storage,
+        ApspErrorKind::InvalidInput,
+        ApspErrorKind::Corruption,
+        ApspErrorKind::DeadlineExceeded,
+        ApspErrorKind::Cancelled,
+        ApspErrorKind::Stalled,
+    ];
+
+    /// Whether the retry machinery may re-attempt after this kind.
+    ///
+    /// Only device allocation failures are transient: the drivers shrink
+    /// their working set and try again. Everything else is fatal to the
+    /// current attempt — storage errors indict durable state, deadline /
+    /// cancellation are explicit orders to stop, and a stall means this
+    /// algorithm should not simply be re-run (the fallback chain may
+    /// still pick a *different* one).
+    pub fn is_transient(self) -> bool {
+        matches!(self, ApspErrorKind::OutOfDeviceMemory)
+    }
 }
 
 impl ApspError {
@@ -52,6 +105,9 @@ impl ApspError {
             ApspError::Storage(_) => ApspErrorKind::Storage,
             ApspError::InvalidInput(_) => ApspErrorKind::InvalidInput,
             ApspError::Corruption { .. } => ApspErrorKind::Corruption,
+            ApspError::DeadlineExceeded { .. } => ApspErrorKind::DeadlineExceeded,
+            ApspError::Cancelled { .. } => ApspErrorKind::Cancelled,
+            ApspError::Stalled { .. } => ApspErrorKind::Stalled,
         }
     }
 }
@@ -68,6 +124,11 @@ impl std::fmt::Display for ApspError {
             ApspError::Corruption { detail } => {
                 write!(f, "durable state corrupted: {detail}")
             }
+            ApspError::DeadlineExceeded { detail } => {
+                write!(f, "deadline exceeded: {detail}")
+            }
+            ApspError::Cancelled { detail } => write!(f, "run cancelled: {detail}"),
+            ApspError::Stalled { detail } => write!(f, "run stalled: {detail}"),
         }
     }
 }
@@ -90,6 +151,16 @@ impl From<OutOfDeviceMemory> for ApspError {
 
 impl From<std::io::Error> for ApspError {
     fn from(e: std::io::Error) -> Self {
+        // Cancellation observed inside the store's I/O loops travels as an
+        // `io::Error` wrapping a marker so it can surface through the same
+        // `?` plumbing as real storage failures, but typed correctly.
+        if e.get_ref()
+            .is_some_and(|inner| inner.is::<crate::supervisor::CancelledMark>())
+        {
+            return ApspError::Cancelled {
+                detail: e.to_string(),
+            };
+        }
         ApspError::Storage(e)
     }
 }
@@ -97,6 +168,7 @@ impl From<std::io::Error> for ApspError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervisor::CancelledMark;
 
     #[test]
     fn display_is_informative() {
@@ -112,5 +184,82 @@ mod tests {
         };
         assert_eq!(c.kind(), ApspErrorKind::Corruption);
         assert!(c.to_string().contains("manifest truncated"));
+        let d = ApspError::DeadlineExceeded {
+            detail: "budget of 5ms spent at round 3".into(),
+        };
+        assert!(d.to_string().contains("deadline"));
+        let s = ApspError::Stalled {
+            detail: "no barrier for 9s".into(),
+        };
+        assert!(s.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn cancelled_marker_io_errors_become_typed_cancellations() {
+        let io = std::io::Error::other(CancelledMark);
+        let e = ApspError::from(io);
+        assert_eq!(e.kind(), ApspErrorKind::Cancelled);
+        let plain = ApspError::from(std::io::Error::other("short write"));
+        assert_eq!(plain.kind(), ApspErrorKind::Storage);
+    }
+
+    /// Every variant maps to exactly one kind and one transient/fatal
+    /// class, so a new variant can't silently skip the retry classifier.
+    #[test]
+    fn classification_is_exhaustive() {
+        let oom = || OutOfDeviceMemory {
+            requested: 8,
+            available: 4,
+            capacity: 16,
+        };
+        let every_variant: Vec<ApspError> = vec![
+            ApspError::DeviceTooSmall {
+                algorithm: "fw",
+                detail: String::new(),
+            },
+            ApspError::OutOfDeviceMemory(oom()),
+            ApspError::Storage(std::io::Error::other("x")),
+            ApspError::InvalidInput(String::new()),
+            ApspError::Corruption {
+                detail: String::new(),
+            },
+            ApspError::DeadlineExceeded {
+                detail: String::new(),
+            },
+            ApspError::Cancelled {
+                detail: String::new(),
+            },
+            ApspError::Stalled {
+                detail: String::new(),
+            },
+        ];
+        // The list above must cover every variant exactly once. This match
+        // fails to compile if a variant is added without extending it.
+        for e in &every_variant {
+            match e {
+                ApspError::DeviceTooSmall { .. }
+                | ApspError::OutOfDeviceMemory(_)
+                | ApspError::Storage(_)
+                | ApspError::InvalidInput(_)
+                | ApspError::Corruption { .. }
+                | ApspError::DeadlineExceeded { .. }
+                | ApspError::Cancelled { .. }
+                | ApspError::Stalled { .. } => {}
+            }
+        }
+        let kinds: Vec<ApspErrorKind> = every_variant.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            ApspErrorKind::ALL.to_vec(),
+            "each variant must map to its own kind, in declaration order"
+        );
+        // Transient/fatal classes: only OOM is retryable in place.
+        for kind in ApspErrorKind::ALL {
+            assert_eq!(
+                kind.is_transient(),
+                kind == ApspErrorKind::OutOfDeviceMemory,
+                "{kind:?} has the wrong transient/fatal class"
+            );
+        }
     }
 }

@@ -34,6 +34,7 @@ pub mod ooc_johnson;
 pub mod options;
 pub mod paths;
 pub mod selector;
+pub mod supervisor;
 pub mod tile_store;
 pub mod verify;
 
@@ -42,4 +43,7 @@ pub use checkpoint::{graph_fingerprint, Checkpoint, Manifest, Progress};
 pub use error::{ApspError, ApspErrorKind};
 pub use options::{Algorithm, ApspOptions, BoundaryOptions, CheckpointOptions, JohnsonOptions};
 pub use selector::{CostModels, Selection, SelectorConfig};
+pub use supervisor::{
+    CancelToken, FallbackEvent, RetryPolicy, SupervisionEvent, SupervisionOptions, Supervisor,
+};
 pub use tile_store::{DiskFault, DiskFaultPlan, StorageBackend, TileStore};

@@ -19,6 +19,7 @@
 use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
 use crate::options::BoundaryOptions;
+use crate::supervisor::{RetryState, RetryStep, Supervisor};
 use crate::tile_store::TileStore;
 use apsp_gpu_sim::{DeviceBuffer, GpuDevice, KernelCost, LaunchConfig, Pinning, StreamId};
 use apsp_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
@@ -79,7 +80,20 @@ pub fn ooc_boundary(
     store: &mut TileStore,
     opts: &BoundaryOptions,
 ) -> Result<BoundaryRunStats, ApspError> {
-    boundary_driver(dev, g, store, opts, None, None)
+    boundary_driver(dev, g, store, opts, None, None, &Supervisor::unarmed())
+}
+
+/// [`ooc_boundary`] under a [`Supervisor`]: the deadline, progress
+/// watchdog, and cancellation token are checked at every component
+/// flush barrier, and retries follow the supervisor's policy.
+pub fn ooc_boundary_supervised(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &BoundaryOptions,
+    sup: &Supervisor,
+) -> Result<BoundaryRunStats, ApspError> {
+    boundary_driver(dev, g, store, opts, None, None, sup)
 }
 
 /// [`ooc_boundary`] with crash-safe durability: dist₄ progress commits
@@ -100,6 +114,21 @@ pub fn ooc_boundary_checkpointed(
     store: &mut TileStore,
     opts: &BoundaryOptions,
     ckpt: &Checkpoint,
+) -> Result<BoundaryRunStats, ApspError> {
+    ooc_boundary_checkpointed_supervised(dev, g, store, opts, ckpt, &Supervisor::unarmed())
+}
+
+/// [`ooc_boundary_checkpointed`] under a [`Supervisor`]. A run
+/// interrupted by a deadline, stall, or cancellation leaves its last
+/// committed component flush in `ckpt`, so a later call resumes instead
+/// of starting over.
+pub fn ooc_boundary_checkpointed_supervised(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &BoundaryOptions,
+    ckpt: &Checkpoint,
+    sup: &Supervisor,
 ) -> Result<BoundaryRunStats, ApspError> {
     let resume = match ckpt.load()? {
         Some(m) => {
@@ -129,7 +158,7 @@ pub fn ooc_boundary_checkpointed(
         }
         None => None,
     };
-    let stats = boundary_driver(dev, g, store, opts, resume, Some(ckpt))?;
+    let stats = boundary_driver(dev, g, store, opts, resume, Some(ckpt), sup)?;
     ckpt.clear()?;
     Ok(stats)
 }
@@ -144,53 +173,48 @@ fn boundary_driver(
     opts: &BoundaryOptions,
     mut resume: Option<(usize, usize)>,
     ckpt: Option<&Checkpoint>,
+    sup: &Supervisor,
 ) -> Result<BoundaryRunStats, ApspError> {
     let n = g.num_vertices();
     let mut opts_eff = *opts;
-    let mut retries = 0u32;
     let mut commits = 0u32;
-    let mut retried_same_k = false;
+    let mut retry = RetryState::new(sup.retry_policy(), "out-of-core boundary");
     loop {
-        let result = ooc_boundary_inner(dev, g, store, &opts_eff, resume, ckpt, &mut commits);
+        let result = ooc_boundary_inner(dev, g, store, &opts_eff, resume, ckpt, &mut commits, sup);
         // Restore the device's efficiency context on every exit path.
         dev.set_kernel_efficiency_divisor(1.0);
         match result {
             Ok(mut stats) => {
-                stats.retries = retries;
+                stats.retries = retry.retries();
                 stats.checkpoint_commits = commits;
                 return Ok(stats);
             }
-            Err(ApspError::OutOfDeviceMemory(oom)) => {
-                retries += 1;
+            Err(e) => {
+                let (step, oom) = retry.next_step(e, sup)?;
                 // Restarts recompute every panel, so any partition is
                 // valid again — drop the resume cursor.
                 resume = None;
-                if !retried_same_k {
-                    // A one-shot fault (fragmentation, competing
-                    // context) may clear: same geometry once more.
-                    retried_same_k = true;
-                    continue;
+                if step == RetryStep::Shrink {
+                    let cur = opts_eff
+                        .num_components
+                        .unwrap_or_else(|| default_num_components(n))
+                        .clamp(1, n.max(1));
+                    if cur <= 1 {
+                        return Err(ApspError::DeviceTooSmall {
+                            algorithm: "out-of-core boundary",
+                            detail: format!(
+                                "allocation kept failing even at a single component: {oom}"
+                            ),
+                        });
+                    }
+                    opts_eff.num_components = Some(cur / 2);
                 }
-                let cur = opts_eff
-                    .num_components
-                    .unwrap_or_else(|| default_num_components(n))
-                    .clamp(1, n.max(1));
-                if cur <= 1 {
-                    return Err(ApspError::DeviceTooSmall {
-                        algorithm: "out-of-core boundary",
-                        detail: format!(
-                            "allocation kept failing even at a single component: {oom}"
-                        ),
-                    });
-                }
-                opts_eff.num_components = Some(cur / 2);
-                retried_same_k = false;
             }
-            Err(e) => return Err(e),
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ooc_boundary_inner(
     dev: &mut GpuDevice,
     g: &CsrGraph,
@@ -199,6 +223,7 @@ fn ooc_boundary_inner(
     resume: Option<(usize, usize)>,
     ckpt: Option<&Checkpoint>,
     commits: &mut u32,
+    sup: &Supervisor,
 ) -> Result<BoundaryRunStats, ApspError> {
     let n = g.num_vertices();
     assert_eq!(store.n(), n);
@@ -499,6 +524,16 @@ fn ooc_boundary_inner(
             // Unbatched: the host panel for component i is complete.
             write_panel(store, &layout, i, &host_panel, &mut scatter_row)?;
             flushed = true;
+        }
+        // Supervision check at the natural barrier: a flushed panel
+        // group is a unit of progress. Reads the makespan clock
+        // (`elapsed`) — a `synchronize` here would serialize the
+        // overlap streams.
+        if flushed {
+            sup.check_barrier(
+                dev.elapsed().seconds(),
+                &format!("boundary component {i} flush barrier"),
+            )?;
         }
         // Natural commit point: every component below the cursor has its
         // dist₄ panel in the store. The final flush is not committed —

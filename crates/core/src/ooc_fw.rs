@@ -9,6 +9,7 @@
 use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
 use crate::options::FwOptions;
+use crate::supervisor::{RetryState, RetryStep, Supervisor};
 use crate::tile_store::TileStore;
 use apsp_gpu_sim::{GpuDevice, Pinning, StreamId};
 use apsp_graph::{CsrGraph, Dist, VertexId, INF};
@@ -77,7 +78,19 @@ pub fn ooc_floyd_warshall(
     store: &mut TileStore,
     opts: &FwOptions,
 ) -> Result<FwRunStats, ApspError> {
-    fw_driver(dev, store, opts, None, None)
+    fw_driver(dev, store, opts, None, None, &Supervisor::unarmed())
+}
+
+/// [`ooc_floyd_warshall`] under a [`Supervisor`]: the deadline, progress
+/// watchdog, and cancellation token are checked at every pivot-round
+/// barrier, and retries follow the supervisor's policy.
+pub fn ooc_floyd_warshall_supervised(
+    dev: &mut GpuDevice,
+    store: &mut TileStore,
+    opts: &FwOptions,
+    sup: &Supervisor,
+) -> Result<FwRunStats, ApspError> {
+    fw_driver(dev, store, opts, None, None, sup)
 }
 
 /// [`ooc_floyd_warshall`] with crash-safe durability: progress commits to
@@ -98,6 +111,21 @@ pub fn ooc_floyd_warshall_checkpointed(
     store: &mut TileStore,
     opts: &FwOptions,
     ckpt: &Checkpoint,
+) -> Result<FwRunStats, ApspError> {
+    ooc_floyd_warshall_checkpointed_supervised(dev, g, store, opts, ckpt, &Supervisor::unarmed())
+}
+
+/// [`ooc_floyd_warshall_checkpointed`] under a [`Supervisor`]. A run
+/// interrupted by a deadline, stall, or cancellation leaves its last
+/// committed round in `ckpt`, so a later call resumes instead of
+/// starting over.
+pub fn ooc_floyd_warshall_checkpointed_supervised(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &FwOptions,
+    ckpt: &Checkpoint,
+    sup: &Supervisor,
 ) -> Result<FwRunStats, ApspError> {
     let n = g.num_vertices();
     assert_eq!(store.n(), n);
@@ -128,7 +156,7 @@ pub fn ooc_floyd_warshall_checkpointed(
             None
         }
     };
-    let stats = fw_driver(dev, store, opts, resume, Some(ckpt))?;
+    let stats = fw_driver(dev, store, opts, resume, Some(ckpt), sup)?;
     ckpt.clear()?;
     Ok(stats)
 }
@@ -142,6 +170,7 @@ fn fw_driver(
     opts: &FwOptions,
     resume: Option<(usize, usize)>,
     ckpt: Option<&Checkpoint>,
+    sup: &Supervisor,
 ) -> Result<FwRunStats, ApspError> {
     let n = store.n();
     if n == 0 {
@@ -166,9 +195,8 @@ fn fw_driver(
             0,
         ),
     };
-    let mut retries = 0u32;
     let mut commits = 0u32;
-    let mut retried_same_block = false;
+    let mut retry = RetryState::new(sup.retry_policy(), "out-of-core Floyd-Warshall");
     loop {
         if block == 0 || (block as u64) * (block as u64) * 4 * buffers as u64 > dev.free_memory() {
             // Auto mode re-fits to whatever memory is left (it may have
@@ -191,37 +219,50 @@ fn fw_driver(
                 ),
             });
         }
-        match fw_rounds(dev, store, opts, block, start_round, ckpt, &mut commits) {
+        match fw_rounds(
+            dev,
+            store,
+            opts,
+            block,
+            start_round,
+            ckpt,
+            &mut commits,
+            sup,
+        ) {
             Ok(mut stats) => {
-                stats.retries = retries;
+                stats.retries = retry.retries();
                 stats.checkpoint_commits = commits;
                 return Ok(stats);
             }
-            Err(ApspError::OutOfDeviceMemory(oom)) if opts.block_size.is_none() => {
-                retries += 1;
+            // A caller-forced block size is a contract: never shrink it —
+            // the allocation failure propagates.
+            Err(e @ ApspError::OutOfDeviceMemory(_)) if opts.block_size.is_some() => return Err(e),
+            Err(e) => {
+                // Fatal kinds propagate out of `next_step` unchanged;
+                // transient ones retry the same geometry once (a one-shot
+                // fault may clear), then halve. Restarts replay all
+                // rounds — exact, by min-plus monotonicity.
+                let (step, oom) = retry.next_step(e, sup)?;
                 start_round = 0;
-                if !retried_same_block {
-                    // A one-shot fault (fragmentation, competing context)
-                    // may clear: try the same geometry once more.
-                    retried_same_block = true;
-                    continue;
+                if step == RetryStep::Shrink {
+                    if block <= 1 {
+                        return Err(ApspError::DeviceTooSmall {
+                            algorithm: "out-of-core Floyd-Warshall",
+                            detail: format!(
+                                "allocation kept failing at the minimum 1×1 block: {oom}"
+                            ),
+                        });
+                    }
+                    block /= 2;
                 }
-                if block <= 1 {
-                    return Err(ApspError::DeviceTooSmall {
-                        algorithm: "out-of-core Floyd-Warshall",
-                        detail: format!("allocation kept failing at the minimum 1×1 block: {oom}"),
-                    });
-                }
-                block /= 2;
-                retried_same_block = false;
             }
-            Err(e) => return Err(e),
         }
     }
 }
 
 /// The three-stage blocked-FW rounds `start_round..n_d` at a fixed
 /// block, committing to `ckpt` (when present) at each round barrier.
+#[allow(clippy::too_many_arguments)]
 fn fw_rounds(
     dev: &mut GpuDevice,
     store: &mut TileStore,
@@ -230,6 +271,7 @@ fn fw_rounds(
     start_round: usize,
     ckpt: Option<&Checkpoint>,
     commits: &mut u32,
+    sup: &Supervisor,
 ) -> Result<FwRunStats, ApspError> {
     let n = store.n();
     let n_d = n.div_ceil(block);
@@ -304,7 +346,11 @@ fn fw_rounds(
             }
         }
         // Round barrier: the next round's pivot depends on everything.
-        dev.synchronize();
+        let now = dev.synchronize().seconds();
+        // Supervision check at the natural barrier: a cancellation,
+        // blown deadline, or missed progress budget surfaces here, with
+        // everything committed so far still resumable.
+        sup.check_barrier(now, &format!("Floyd-Warshall round {kb} barrier"))?;
         // Natural commit point: every tile reflects rounds 0..=kb. The
         // final round is not committed — completion clears the
         // checkpoint, and a crash after the last barrier replays one

@@ -9,6 +9,7 @@
 use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
 use crate::options::{DynamicParallelism, JohnsonOptions};
+use crate::supervisor::{RetryState, RetryStep, Supervisor};
 use crate::tile_store::TileStore;
 use apsp_gpu_sim::{GpuDevice, Pinning};
 use apsp_graph::{CsrGraph, Dist, VertexId};
@@ -75,7 +76,29 @@ pub fn ooc_johnson(
     store: &mut TileStore,
     opts: &JohnsonOptions,
 ) -> Result<JohnsonRunStats, ApspError> {
-    ooc_johnson_impl(dev, g, store, None, opts, None, None)
+    ooc_johnson_impl(
+        dev,
+        g,
+        store,
+        None,
+        opts,
+        None,
+        None,
+        &Supervisor::unarmed(),
+    )
+}
+
+/// [`ooc_johnson`] under a [`Supervisor`]: the deadline, progress
+/// watchdog, and cancellation token are checked at every batch barrier,
+/// and retries follow the supervisor's policy.
+pub fn ooc_johnson_supervised(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &JohnsonOptions,
+    sup: &Supervisor,
+) -> Result<JohnsonRunStats, ApspError> {
+    ooc_johnson_impl(dev, g, store, None, opts, None, None, sup)
 }
 
 /// [`ooc_johnson`] with crash-safe durability: progress commits to
@@ -93,6 +116,21 @@ pub fn ooc_johnson_checkpointed(
     store: &mut TileStore,
     opts: &JohnsonOptions,
     ckpt: &Checkpoint,
+) -> Result<JohnsonRunStats, ApspError> {
+    ooc_johnson_checkpointed_supervised(dev, g, store, opts, ckpt, &Supervisor::unarmed())
+}
+
+/// [`ooc_johnson_checkpointed`] under a [`Supervisor`]. A run
+/// interrupted by a deadline, stall, or cancellation leaves its last
+/// committed batch in `ckpt`, so a later call resumes instead of
+/// starting over.
+pub fn ooc_johnson_checkpointed_supervised(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &JohnsonOptions,
+    ckpt: &Checkpoint,
+    sup: &Supervisor,
 ) -> Result<JohnsonRunStats, ApspError> {
     let resume = match ckpt.load()? {
         Some(m) => {
@@ -113,7 +151,7 @@ pub fn ooc_johnson_checkpointed(
         }
         None => None,
     };
-    let stats = ooc_johnson_impl(dev, g, store, None, opts, resume, Some(ckpt))?;
+    let stats = ooc_johnson_impl(dev, g, store, None, opts, resume, Some(ckpt), sup)?;
     ckpt.clear()?;
     Ok(stats)
 }
@@ -130,9 +168,19 @@ pub fn ooc_johnson_with_parents(
     parent_store: &mut TileStore,
     opts: &JohnsonOptions,
 ) -> Result<JohnsonRunStats, ApspError> {
-    ooc_johnson_impl(dev, g, store, Some(parent_store), opts, None, None)
+    ooc_johnson_impl(
+        dev,
+        g,
+        store,
+        Some(parent_store),
+        opts,
+        None,
+        None,
+        &Supervisor::unarmed(),
+    )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn ooc_johnson_impl(
     dev: &mut GpuDevice,
     g: &CsrGraph,
@@ -141,6 +189,7 @@ fn ooc_johnson_impl(
     opts: &JohnsonOptions,
     resume: Option<(usize, usize)>,
     ckpt: Option<&Checkpoint>,
+    sup: &Supervisor,
 ) -> Result<JohnsonRunStats, ApspError> {
     let n = g.num_vertices();
     assert_eq!(store.n(), n);
@@ -180,9 +229,8 @@ fn ooc_johnson_impl(
     // the same batch size (a transient fault clears), then at halved
     // batches. Restarts are exact — every batch writes complete rows
     // recomputed from the graph, so a retry simply overwrites them.
-    let mut retries = 0u32;
     let mut commits = 0u32;
-    let mut retried_same_bat = false;
+    let mut retry = RetryState::new(sup.retry_policy(), "out-of-core Johnson's");
     loop {
         match johnson_batches(
             dev,
@@ -194,31 +242,31 @@ fn ooc_johnson_impl(
             start_row,
             ckpt,
             &mut commits,
+            sup,
         ) {
             Ok(mut stats) => {
-                stats.retries = retries;
+                stats.retries = retry.retries();
                 stats.checkpoint_commits = commits;
                 return Ok(stats);
             }
-            Err(ApspError::OutOfDeviceMemory(oom)) => {
-                retries += 1;
-                if !retried_same_bat {
-                    retried_same_bat = true;
-                    continue;
+            Err(e) => {
+                let (step, oom) = retry.next_step(e, sup)?;
+                if step == RetryStep::Shrink {
+                    if bat <= 1 {
+                        return Err(ApspError::DeviceTooSmall {
+                            algorithm: "out-of-core Johnson's",
+                            detail: format!(
+                                "allocation kept failing at the minimum batch of 1: {oom}"
+                            ),
+                        });
+                    }
+                    // Re-fit against current free memory too — the device
+                    // may have shrunk since the batch was first sized (and
+                    // batch_size re-checks that the graph still fits at
+                    // all).
+                    bat = (bat / 2).min(batch_size(dev, g, opts.queue_words_per_edge)?);
                 }
-                if bat <= 1 {
-                    return Err(ApspError::DeviceTooSmall {
-                        algorithm: "out-of-core Johnson's",
-                        detail: format!("allocation kept failing at the minimum batch of 1: {oom}"),
-                    });
-                }
-                // Re-fit against current free memory too — the device may
-                // have shrunk since the batch was first sized (and
-                // batch_size re-checks that the graph still fits at all).
-                bat = (bat / 2).min(batch_size(dev, g, opts.queue_words_per_edge)?);
-                retried_same_bat = false;
             }
-            Err(e) => return Err(e),
         }
     }
 }
@@ -236,6 +284,7 @@ fn johnson_batches(
     start_row: usize,
     ckpt: Option<&Checkpoint>,
     commits: &mut u32,
+    sup: &Supervisor,
 ) -> Result<JohnsonRunStats, ApspError> {
     let n = g.num_vertices();
     let delta = opts
@@ -300,6 +349,14 @@ fn johnson_batches(
         let host = &mut host_panel[..chunk.len() * n];
         panel.download_rows(dev, stream, 0..chunk.len(), host, Pinning::Pinned);
         store.write_rows(chunk[0] as usize, host)?;
+        // Supervision check at the natural barrier: this batch's rows
+        // are down; everything committed so far stays resumable. Reads
+        // the makespan clock (`elapsed`), not `synchronize` — a real
+        // barrier would serialize the overlap streams.
+        sup.check_barrier(
+            dev.elapsed().seconds(),
+            &format!("Johnson batch {bi} barrier"),
+        )?;
         // Natural commit point: every row below the cursor is final.
         // The last batch is not committed — completion clears the
         // checkpoint, and a crash after it replays one batch (exact:

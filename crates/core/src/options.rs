@@ -1,6 +1,7 @@
 //! Configuration for the out-of-core implementations and the front-end.
 
 use crate::selector::SelectorConfig;
+use crate::supervisor::SupervisionOptions;
 use crate::tile_store::StorageBackend;
 use apsp_graph::Dist;
 
@@ -142,6 +143,9 @@ pub struct ApspOptions {
     pub selector: SelectorConfig,
     /// Checkpoint/resume; `None` runs without durability.
     pub checkpoint: Option<CheckpointOptions>,
+    /// Runtime supervision: deadline, progress watchdog, cancellation,
+    /// retry policy, and the algorithm fallback chain.
+    pub supervision: SupervisionOptions,
 }
 
 impl Default for ApspOptions {
@@ -154,6 +158,7 @@ impl Default for ApspOptions {
             fw: FwOptions::default(),
             selector: SelectorConfig::default(),
             checkpoint: None,
+            supervision: SupervisionOptions::default(),
         }
     }
 }

@@ -162,31 +162,65 @@ impl CostModels {
     /// `johnson_probe` must sample the requested batches on a scratch
     /// device; it is injected so callers control the sampling cost.
     pub fn select(&self, g: &CsrGraph, cfg: &SelectorConfig, johnson: &JohnsonModel) -> Selection {
+        self.select_masked(g, cfg, johnson, &[])
+            .expect("an empty mask always leaves a candidate")
+    }
+
+    /// [`CostModels::select`] with algorithms in `masked` excluded from
+    /// the candidate set — the re-entry point for the supervision
+    /// fallback chain, which masks an algorithm after it fails
+    /// unrecoverably.
+    ///
+    /// When the density filter's own candidates are all masked, the
+    /// remaining unmasked algorithms are ranked instead (a failed run is
+    /// worse than an off-class one). Returns `None` only when every
+    /// algorithm is masked.
+    pub fn select_masked(
+        &self,
+        g: &CsrGraph,
+        cfg: &SelectorConfig,
+        johnson: &JohnsonModel,
+        masked: &[Algorithm],
+    ) -> Option<Selection> {
         let class = cfg.classify(g);
-        let mut estimates: Vec<(Algorithm, f64)> = Vec::new();
-        match class {
-            DensityClass::Dense => {
-                estimates.push((Algorithm::Johnson, johnson.estimate_seconds(self, g)));
-                estimates.push((Algorithm::FloydWarshall, self.fw.estimate_seconds(self, g)));
+        let preferred: &[Algorithm] = match class {
+            DensityClass::Dense => &[Algorithm::Johnson, Algorithm::FloydWarshall],
+            DensityClass::VerySparse => &[Algorithm::Johnson, Algorithm::Boundary],
+            DensityClass::Sparse => &[Algorithm::Johnson],
+        };
+        let estimate = |a: Algorithm| -> f64 {
+            match a {
+                Algorithm::Johnson => johnson.estimate_seconds(self, g),
+                Algorithm::FloydWarshall => self.fw.estimate_seconds(self, g),
+                Algorithm::Boundary => self.boundary.estimate_seconds(self, g),
             }
-            DensityClass::VerySparse => {
-                estimates.push((Algorithm::Johnson, johnson.estimate_seconds(self, g)));
-                estimates.push((Algorithm::Boundary, self.boundary.estimate_seconds(self, g)));
-            }
-            DensityClass::Sparse => {
-                estimates.push((Algorithm::Johnson, johnson.estimate_seconds(self, g)));
-            }
+        };
+        let mut candidates: Vec<Algorithm> = preferred
+            .iter()
+            .copied()
+            .filter(|a| !masked.contains(a))
+            .collect();
+        if candidates.is_empty() {
+            candidates = [
+                Algorithm::Johnson,
+                Algorithm::FloydWarshall,
+                Algorithm::Boundary,
+            ]
+            .into_iter()
+            .filter(|a| !masked.contains(a))
+            .collect();
         }
+        let estimates: Vec<(Algorithm, f64)> =
+            candidates.into_iter().map(|a| (a, estimate(a))).collect();
         let algorithm = estimates
             .iter()
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .map(|&(a, _)| a)
-            .unwrap();
-        Selection {
+            .map(|&(a, _)| a)?;
+        Some(Selection {
             algorithm,
             estimates,
             class,
-        }
+        })
     }
 }
 
@@ -212,6 +246,52 @@ mod tests {
         let other = profile.with_memory_bytes(124 << 20);
         let c = CostModels::calibrate_cached(&other);
         assert!(!std::sync::Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn masking_reroutes_selection_and_exhausts_to_none() {
+        let profile = apsp_gpu_sim::DeviceProfile::v100();
+        let models = CostModels::calibrate_cached(&profile);
+        let cfg = SelectorConfig::default();
+        let g = gnp(100, 0.05, WeightRange::default(), 3); // dense class
+        let johnson = JohnsonModel::probe(
+            &profile,
+            &g,
+            &cfg,
+            &crate::options::JohnsonOptions::default(),
+        )
+        .unwrap();
+        let full = models.select(&g, &cfg, &johnson);
+        assert_eq!(full.class, DensityClass::Dense);
+        // Masking the winner reroutes to the other in-class candidate.
+        let rerouted = models
+            .select_masked(&g, &cfg, &johnson, &[full.algorithm])
+            .unwrap();
+        assert_ne!(rerouted.algorithm, full.algorithm);
+        // Masking the whole dense candidate set falls through to the
+        // off-class boundary algorithm rather than giving up.
+        let off_class = models
+            .select_masked(
+                &g,
+                &cfg,
+                &johnson,
+                &[Algorithm::Johnson, Algorithm::FloydWarshall],
+            )
+            .unwrap();
+        assert_eq!(off_class.algorithm, Algorithm::Boundary);
+        // Masking everything leaves nothing to run.
+        assert!(models
+            .select_masked(
+                &g,
+                &cfg,
+                &johnson,
+                &[
+                    Algorithm::Johnson,
+                    Algorithm::FloydWarshall,
+                    Algorithm::Boundary
+                ],
+            )
+            .is_none());
     }
 
     #[test]

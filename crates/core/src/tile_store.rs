@@ -7,6 +7,7 @@
 //! spills to a single file addressed with positional I/O — the same
 //! row-major layout either way.
 
+use crate::supervisor::Supervisor;
 use apsp_graph::{Dist, INF};
 use std::fs::{File, OpenOptions};
 use std::io;
@@ -19,6 +20,15 @@ use std::os::unix::fs::FileExt;
 
 /// `ENOSPC` — the errno a full filesystem raises on write.
 const ENOSPC_ERRNO: i32 = 28;
+
+/// Magic tag opening every [`TileStore::persist`]ed file.
+const PERSIST_MAGIC: u64 = u64::from_le_bytes(*b"APSPTILE");
+
+/// Persisted-file header: the magic tag plus the matrix dimension, both
+/// little-endian `u64`. [`TileStore::open`] validates the recorded
+/// geometry against the requested one — a wrong-dimension file is
+/// rejected even when its byte length happens to match.
+const PERSIST_HEADER_BYTES: u64 = 16;
 
 /// Where the result matrix lives.
 #[derive(Debug, Clone)]
@@ -46,6 +56,15 @@ pub enum DiskFault {
     /// The operation succeeds but stalls for this many microseconds
     /// first — a degraded spindle/network mount, not a failure.
     LatencyMicros(u64),
+    /// The operation succeeds but a *simulated* hang of this many
+    /// microseconds is charged to the attached [`Supervisor`]'s
+    /// disk-stall clock (see [`TileStore::set_supervision`]) — a disk
+    /// that goes slow instead of failing. Unlike
+    /// [`DiskFault::LatencyMicros`] no host thread actually sleeps, so
+    /// hangs of simulated minutes stay test-fast and deterministic;
+    /// without a supervisor attached the fault is unobservable by
+    /// design.
+    HangMicros(u64),
 }
 
 /// A deterministic schedule of disk faults, addressed by positional-I/O
@@ -116,7 +135,13 @@ pub(crate) const FNV_OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
 
 enum Backing {
     Memory(Vec<Dist>),
-    Disk { file: File, path: PathBuf },
+    Disk {
+        file: File,
+        path: PathBuf,
+        /// Byte offset of row 0 in the file: 0 for spill files, the
+        /// header length for files opened via [`TileStore::open`].
+        base: u64,
+    },
 }
 
 /// An `n × n` row-major distance matrix in RAM or on disk.
@@ -125,6 +150,7 @@ pub struct TileStore {
     backing: Backing,
     faults: Option<FaultState>,
     crash: Option<CrashState>,
+    supervision: Option<Supervisor>,
 }
 
 impl std::fmt::Debug for TileStore {
@@ -152,6 +178,7 @@ impl TileStore {
                     backing: Backing::Memory(data),
                     faults: None,
                     crash: None,
+                    supervision: None,
                 })
             }
             StorageBackend::Disk(dir) => {
@@ -165,9 +192,14 @@ impl TileStore {
                 file.set_len((n * n * std::mem::size_of::<Dist>()) as u64)?;
                 let store = TileStore {
                     n,
-                    backing: Backing::Disk { file, path },
+                    backing: Backing::Disk {
+                        file,
+                        path,
+                        base: 0,
+                    },
                     faults: None,
                     crash: None,
+                    supervision: None,
                 };
                 // Materialize the INF + zero-diagonal initialization one
                 // row at a time so even huge matrices never need n² RAM.
@@ -209,6 +241,28 @@ impl TileStore {
     /// Remove an armed fault plan.
     pub fn disarm_faults(&mut self) {
         self.faults = None;
+    }
+
+    /// Attach a [`Supervisor`]: every row-granular operation checks its
+    /// cancellation token (a trip surfaces as a typed
+    /// [`crate::ApspError::Cancelled`] through the store's error
+    /// plumbing), and [`DiskFault::HangMicros`] faults charge their
+    /// simulated stall to its disk-stall clock.
+    pub fn set_supervision(&mut self, sup: Supervisor) {
+        self.supervision = Some(sup);
+    }
+
+    /// Detach any attached [`Supervisor`].
+    pub fn clear_supervision(&mut self) {
+        self.supervision = None;
+    }
+
+    /// Cancellation check shared by every row-granular operation.
+    fn supervision_tick(&self, ops: u64) -> io::Result<()> {
+        match &self.supervision {
+            Some(sup) => sup.io_tick(ops),
+            None => Ok(()),
+        }
     }
 
     /// Arm a crash point: the next `after_ops` row-granular operations
@@ -274,6 +328,7 @@ impl TileStore {
         assert_eq!(row.len(), self.n, "row width mismatch");
         assert!(i < self.n, "row index out of range");
         self.crash_tick(1)?;
+        self.supervision_tick(1)?;
         let n = self.n;
         if let Backing::Memory(data) = &mut self.backing {
             data[i * n..(i + 1) * n].copy_from_slice(row);
@@ -287,9 +342,15 @@ impl TileStore {
     fn write_row_raw(&self, i: usize, row: &[Dist]) -> io::Result<()> {
         match &self.backing {
             Backing::Memory(_) => unreachable!("memory writes go through write_row"),
-            Backing::Disk { file, .. } => {
-                let offset = (i * self.n * std::mem::size_of::<Dist>()) as u64;
-                write_at(file, self.faults.as_ref(), cast_bytes(row), offset)
+            Backing::Disk { file, base, .. } => {
+                let offset = base + (i * self.n * std::mem::size_of::<Dist>()) as u64;
+                write_at(
+                    file,
+                    self.faults.as_ref(),
+                    self.supervision.as_ref(),
+                    cast_bytes(row),
+                    offset,
+                )
             }
         }
     }
@@ -300,14 +361,21 @@ impl TileStore {
         let count = rows.len() / self.n;
         assert!(row_start + count <= self.n, "rows out of range");
         self.crash_tick(1)?; // one contiguous positional write
+        self.supervision_tick(count as u64)?; // but cancellation stays row-granular
         match &mut self.backing {
             Backing::Memory(data) => {
                 data[row_start * self.n..row_start * self.n + rows.len()].copy_from_slice(rows);
                 Ok(())
             }
-            Backing::Disk { file, .. } => {
-                let offset = (row_start * self.n * std::mem::size_of::<Dist>()) as u64;
-                write_at(file, self.faults.as_ref(), cast_bytes(rows), offset)
+            Backing::Disk { file, base, .. } => {
+                let offset = *base + (row_start * self.n * std::mem::size_of::<Dist>()) as u64;
+                write_at(
+                    file,
+                    self.faults.as_ref(),
+                    self.supervision.as_ref(),
+                    cast_bytes(rows),
+                    offset,
+                )
             }
         }
     }
@@ -324,6 +392,7 @@ impl TileStore {
         let width = col_range.len();
         assert_eq!(data.len(), row_range.len() * width, "block size mismatch");
         self.crash_tick(row_range.len() as u64)?;
+        self.supervision_tick(row_range.len() as u64)?;
         match &mut self.backing {
             Backing::Memory(buf) => {
                 for (r, i) in row_range.enumerate() {
@@ -332,13 +401,14 @@ impl TileStore {
                 }
                 Ok(())
             }
-            Backing::Disk { file, .. } => {
+            Backing::Disk { file, base, .. } => {
                 for (r, i) in row_range.enumerate() {
-                    let offset =
-                        ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
+                    let offset = *base
+                        + ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
                     write_at(
                         file,
                         self.faults.as_ref(),
+                        self.supervision.as_ref(),
                         cast_bytes(&data[r * width..(r + 1) * width]),
                         offset,
                     )?;
@@ -357,6 +427,7 @@ impl TileStore {
         assert!(row_range.end <= self.n && col_range.end <= self.n);
         let width = col_range.len();
         self.crash_tick(row_range.len() as u64)?;
+        self.supervision_tick(row_range.len() as u64)?;
         let mut out = Vec::with_capacity(row_range.len() * width);
         match &self.backing {
             Backing::Memory(data) => {
@@ -365,12 +436,18 @@ impl TileStore {
                     out.extend_from_slice(&data[src..src + width]);
                 }
             }
-            Backing::Disk { file, .. } => {
+            Backing::Disk { file, base, .. } => {
                 let mut row = vec![0 as Dist; width];
                 for i in row_range {
-                    let offset =
-                        ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
-                    read_at(file, self.faults.as_ref(), cast_bytes_mut(&mut row), offset)?;
+                    let offset = base
+                        + ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
+                    read_at(
+                        file,
+                        self.faults.as_ref(),
+                        self.supervision.as_ref(),
+                        cast_bytes_mut(&mut row),
+                        offset,
+                    )?;
                     out.extend_from_slice(&row);
                 }
             }
@@ -382,12 +459,19 @@ impl TileStore {
     pub fn read_row(&self, i: usize) -> io::Result<Vec<Dist>> {
         assert!(i < self.n);
         self.crash_tick(1)?;
+        self.supervision_tick(1)?;
         match &self.backing {
             Backing::Memory(data) => Ok(data[i * self.n..(i + 1) * self.n].to_vec()),
-            Backing::Disk { file, .. } => {
+            Backing::Disk { file, base, .. } => {
                 let mut row = vec![0 as Dist; self.n];
-                let offset = (i * self.n * std::mem::size_of::<Dist>()) as u64;
-                read_at(file, self.faults.as_ref(), cast_bytes_mut(&mut row), offset)?;
+                let offset = base + (i * self.n * std::mem::size_of::<Dist>()) as u64;
+                read_at(
+                    file,
+                    self.faults.as_ref(),
+                    self.supervision.as_ref(),
+                    cast_bytes_mut(&mut row),
+                    offset,
+                )?;
                 Ok(row)
             }
         }
@@ -398,20 +482,29 @@ impl TileStore {
     pub fn get(&self, i: usize, j: usize) -> io::Result<Dist> {
         assert!(i < self.n && j < self.n);
         self.crash_tick(1)?;
+        self.supervision_tick(1)?;
         match &self.backing {
             Backing::Memory(data) => Ok(data[i * self.n + j]),
-            Backing::Disk { file, .. } => {
+            Backing::Disk { file, base, .. } => {
                 let mut one = [0 as Dist; 1];
-                let offset = ((i * self.n + j) * std::mem::size_of::<Dist>()) as u64;
-                read_at(file, self.faults.as_ref(), cast_bytes_mut(&mut one), offset)?;
+                let offset = base + ((i * self.n + j) * std::mem::size_of::<Dist>()) as u64;
+                read_at(
+                    file,
+                    self.faults.as_ref(),
+                    self.supervision.as_ref(),
+                    cast_bytes_mut(&mut one),
+                    offset,
+                )?;
                 Ok(one[0])
             }
         }
     }
 
-    /// Persist the matrix to `path` (raw little-endian row-major `u32`,
-    /// the same layout the disk backing uses), so a computed result
-    /// outlives the store. Readable again with [`TileStore::open`].
+    /// Persist the matrix to `path`: a 16-byte header (magic + the
+    /// dimension `n` as little-endian `u64`s) followed by the raw
+    /// little-endian row-major `u32` payload, so a computed result
+    /// outlives the store. Readable again with [`TileStore::open`],
+    /// which checks the header before trusting the payload.
     ///
     /// The write is **atomic**: data lands in a temporary sibling file,
     /// is `sync_all`ed, and only then renamed over `path` — a crash or
@@ -456,9 +549,12 @@ impl TileStore {
                 .truncate(true)
                 .open(&tmp)?;
             use std::io::Write;
+            out.write_all(&PERSIST_MAGIC.to_le_bytes())?;
+            out.write_all(&(self.n as u64).to_le_bytes())?;
             match &self.backing {
                 Backing::Memory(data) => {
                     self.crash_tick(self.n as u64)?; // parity with the disk backing's n row reads
+                    self.supervision_tick(self.n as u64)?;
                     out.write_all(cast_bytes(data))?;
                 }
                 Backing::Disk { .. } => {
@@ -501,28 +597,54 @@ impl TileStore {
 
     /// Open a previously [`TileStore::persist`]ed matrix read-write in
     /// place (the file is *not* deleted on drop — the caller owns it).
+    ///
+    /// The persisted header (magic + dimension) is validated against
+    /// the requested `n`, so a file persisted at a different dimension
+    /// is rejected even when its byte length happens to match.
     pub fn open<P: AsRef<Path>>(path: P, n: usize) -> io::Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
-        let expect = (n * n * std::mem::size_of::<Dist>()) as u64;
         let actual = file.metadata()?.len();
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        if actual < PERSIST_HEADER_BYTES {
+            return Err(bad(format!(
+                "{} holds {actual} bytes, too short for even the {PERSIST_HEADER_BYTES}-byte \
+                 tile-store header",
+                path.as_ref().display()
+            )));
+        }
+        let mut header = [0u8; PERSIST_HEADER_BYTES as usize];
+        file.read_exact_at(&mut header, 0)?;
+        let magic = u64::from_le_bytes(header[..8].try_into().unwrap());
+        if magic != PERSIST_MAGIC {
+            return Err(bad(format!(
+                "{} does not start with the tile-store magic — not a persisted matrix",
+                path.as_ref().display()
+            )));
+        }
+        let stored_n = u64::from_le_bytes(header[8..].try_into().unwrap());
+        if stored_n != n as u64 {
+            return Err(bad(format!(
+                "{} was persisted as a {stored_n}×{stored_n} matrix, caller asked for {n}×{n}",
+                path.as_ref().display()
+            )));
+        }
+        let expect = PERSIST_HEADER_BYTES + (n * n * std::mem::size_of::<Dist>()) as u64;
         if actual != expect {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "{} holds {actual} bytes, an {n}×{n} matrix needs {expect} — \
-                     truncated, or persisted at a different dimension",
-                    path.as_ref().display()
-                ),
-            ));
+            return Err(bad(format!(
+                "{} holds {actual} bytes, an {n}×{n} matrix needs {expect} — truncated?",
+                path.as_ref().display()
+            )));
         }
         Ok(TileStore {
             n,
             backing: Backing::Disk {
                 file,
                 path: PathBuf::new(), // empty ⇒ drop() removes nothing
+                base: PERSIST_HEADER_BYTES,
             },
             faults: None,
             crash: None,
+            supervision: None,
         })
     }
 
@@ -583,7 +705,18 @@ fn unique_file(dir: &Path) -> PathBuf {
 
 /// Positional write with fault application: counts the op against the
 /// armed plan and fires any scheduled write-direction fault.
-fn write_at(file: &File, faults: Option<&FaultState>, buf: &[u8], offset: u64) -> io::Result<()> {
+///
+/// A [`DiskFault::HangMicros`] fault succeeds but charges its duration
+/// to the attached supervisor's io-stall clock (simulated time — the
+/// host thread never sleeps), so a hung disk is only observable when a
+/// supervisor is watching.
+fn write_at(
+    file: &File,
+    faults: Option<&FaultState>,
+    sup: Option<&Supervisor>,
+    buf: &[u8],
+    offset: u64,
+) -> io::Result<()> {
     if let Some(state) = faults {
         let op = state.write_ops.fetch_add(1, Ordering::Relaxed);
         match state.plan.write_fault_at(op) {
@@ -602,6 +735,11 @@ fn write_at(file: &File, faults: Option<&FaultState>, buf: &[u8], offset: u64) -
                 ));
             }
             Some(DiskFault::LatencyMicros(us)) => std::thread::sleep(Duration::from_micros(us)),
+            Some(DiskFault::HangMicros(us)) => {
+                if let Some(sup) = sup {
+                    sup.charge_io_stall(us as f64 / 1e6);
+                }
+            }
             Some(DiskFault::ShortRead) | None => {}
         }
     }
@@ -612,6 +750,7 @@ fn write_at(file: &File, faults: Option<&FaultState>, buf: &[u8], offset: u64) -
 fn read_at(
     file: &File,
     faults: Option<&FaultState>,
+    sup: Option<&Supervisor>,
     buf: &mut [u8],
     offset: u64,
 ) -> io::Result<()> {
@@ -630,6 +769,11 @@ fn read_at(
                 ));
             }
             Some(DiskFault::LatencyMicros(us)) => std::thread::sleep(Duration::from_micros(us)),
+            Some(DiskFault::HangMicros(us)) => {
+                if let Some(sup) = sup {
+                    sup.charge_io_stall(us as f64 / 1e6);
+                }
+            }
             Some(DiskFault::ShortWrite) | Some(DiskFault::Enospc) | None => {}
         }
     }
@@ -775,6 +919,54 @@ mod tests {
         std::fs::write(&path, [0u8; 10]).unwrap();
         assert!(TileStore::open(&path, 3).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_wrong_geometry_despite_right_byte_length() {
+        // A tampered (or mismatched) header must be rejected even when
+        // the file's byte length is exactly what the caller's n needs.
+        let dir = tmp_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrong-geometry.bin");
+        TileStore::new(4, &StorageBackend::Memory)
+            .unwrap()
+            .persist(&path)
+            .unwrap();
+        // Rewrite the header's dimension field to claim 5×5; the file
+        // length still matches a persisted 4×4 matrix.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..16].copy_from_slice(&5u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = TileStore::open(&path, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("5×5"), "{err}");
+        // A file without the magic is rejected too, at any length.
+        let raw = vec![0u8; PERSIST_HEADER_BYTES as usize + 4 * 4 * 4];
+        std::fs::write(&path, &raw).unwrap();
+        let err = TileStore::open(&path, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hang_fault_charges_the_supervisor_and_succeeds() {
+        use crate::supervisor::{SupervisionOptions, Supervisor};
+        let mut s = TileStore::new(3, &StorageBackend::Disk(tmp_dir())).unwrap();
+        s.arm_faults(DiskFaultPlan {
+            write_faults: vec![(0, DiskFault::HangMicros(2_500_000))],
+            read_faults: vec![(1, DiskFault::HangMicros(500_000))],
+        });
+        let sup = Supervisor::new(&SupervisionOptions::default(), 0.0);
+        s.set_supervision(sup.clone());
+        // The hung ops still succeed — only the stall clock notices.
+        s.write_row(0, &[1, 2, 3]).unwrap();
+        assert_eq!(s.read_row(0).unwrap(), vec![1, 2, 3]);
+        assert_eq!(s.read_row(0).unwrap(), vec![1, 2, 3]);
+        assert!((sup.io_stall_seconds() - 3.0).abs() < 1e-9);
+        // Without a supervisor attached the hang is unobservable.
+        s.clear_supervision();
+        s.write_row(1, &[4, 5, 6]).unwrap();
+        assert!((sup.io_stall_seconds() - 3.0).abs() < 1e-9);
     }
 
     #[test]

@@ -95,6 +95,7 @@ pub struct GpuDevice {
     transfers_d2h: u64,
     efficiency_divisor: f64,
     trace: Option<Vec<crate::trace::TraceEvent>>,
+    kernel_stall: Option<(u64, f64)>,
 }
 
 impl GpuDevice {
@@ -112,6 +113,7 @@ impl GpuDevice {
             transfers_d2h: 0,
             efficiency_divisor: 1.0,
             trace: None,
+            kernel_stall: None,
         }
     }
 
@@ -187,6 +189,36 @@ impl GpuDevice {
     /// Disarm a pending [`Self::inject_alloc_failure`] fault.
     pub fn clear_alloc_failure(&self) {
         self.pool.clear_alloc_failure();
+    }
+
+    /// Fault injection: make the `kth` subsequent kernel launch (1 = the
+    /// very next one) take `extra_seconds` longer on the timeline, then
+    /// clear the fault. The kernel still runs and produces correct data —
+    /// only its modeled duration stretches, so a hung/slow kernel is
+    /// observable purely through the simulated clock (and thus through a
+    /// supervisor's progress budget).
+    pub fn inject_kernel_stall(&mut self, kth: u64, extra_seconds: f64) {
+        assert!(kth >= 1, "kth is 1-based");
+        assert!(extra_seconds >= 0.0, "a stall cannot shorten a kernel");
+        self.kernel_stall = Some((kth, extra_seconds));
+    }
+
+    /// Disarm a pending [`Self::inject_kernel_stall`] fault.
+    pub fn clear_kernel_stall(&mut self) {
+        self.kernel_stall = None;
+    }
+
+    /// Seconds of injected stall owed by the current launch (one-shot).
+    fn take_stall_penalty(&mut self) -> f64 {
+        if let Some((k, extra)) = &mut self.kernel_stall {
+            *k -= 1;
+            if *k == 0 {
+                let extra = *extra;
+                self.kernel_stall = None;
+                return extra;
+            }
+        }
+        0.0
     }
 
     /// Fault injection: change usable device memory at runtime. Shrinking
@@ -271,7 +303,8 @@ impl GpuDevice {
     /// actual host-side computation on its buffers; this accounts for the
     /// device time.
     pub fn launch(&mut self, stream: StreamId, name: &str, launch: LaunchConfig, cost: KernelCost) {
-        let dur = cost.duration(&self.profile, launch) * self.efficiency_divisor;
+        let dur = cost.duration(&self.profile, launch) * self.efficiency_divisor
+            + self.take_stall_penalty();
         let span = self.timeline.schedule(stream, Engine::Compute, dur);
         self.record_trace(name, Engine::Compute, stream, span);
         let entry = self.kernels.entry(name.to_string()).or_default();
@@ -290,7 +323,8 @@ impl GpuDevice {
         child_launches: u64,
     ) {
         let dur = cost.duration(&self.profile, launch) * self.efficiency_divisor
-            + child_launches as f64 * self.profile.dynamic_launch_overhead;
+            + child_launches as f64 * self.profile.dynamic_launch_overhead
+            + self.take_stall_penalty();
         let span = self.timeline.schedule(stream, Engine::Compute, dur);
         self.record_trace(name, Engine::Compute, stream, span);
         let entry = self.kernels.entry(name.to_string()).or_default();
@@ -460,6 +494,30 @@ mod tests {
         let err = d.alloc::<u32>(16).unwrap_err();
         assert_eq!(err.available, 0);
         assert!(d.alloc::<u32>(16).is_ok(), "fault must clear after firing");
+    }
+
+    #[test]
+    fn injected_kernel_stall_is_one_shot_and_timeline_only() {
+        let mut d = dev();
+        let s = d.default_stream();
+        let cost = KernelCost::regular(1.4e12, 0.0); // ~1 s
+        d.inject_kernel_stall(2, 5.0);
+        d.launch(s, "work", LaunchConfig::saturating(), cost);
+        let after_first = d.synchronize().seconds();
+        assert!(after_first < 1.5, "first launch unaffected: {after_first}");
+        d.launch(s, "work", LaunchConfig::saturating(), cost);
+        let after_second = d.synchronize().seconds();
+        assert!(
+            after_second - after_first > 5.0,
+            "second launch absorbs the stall: {after_second}"
+        );
+        d.launch(s, "work", LaunchConfig::saturating(), cost);
+        let after_third = d.synchronize().seconds();
+        assert!(
+            after_third - after_second < 1.5,
+            "fault must clear after firing: {after_third}"
+        );
+        assert_eq!(d.report().kernels["work"].launches, 3);
     }
 
     #[test]
