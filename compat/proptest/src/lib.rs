@@ -128,6 +128,23 @@ macro_rules! int_range_strategy {
 }
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! int_range_inclusive_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = ((end as i128).wrapping_sub(start as i128) as u128) + 1;
+                let v = (rng.next_u64() as u128) % span;
+                ((start as i128).wrapping_add(v as i128)) as $t
+            }
+        }
+    )*};
+}
+int_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
 macro_rules! float_range_strategy {
     ($($t:ty),* $(,)?) => {$(
         impl Strategy for Range<$t> {

@@ -16,6 +16,9 @@
 //!                            this budget (watchdog)
 //!   --fallback               on an unrecoverable algorithm failure, mask it
 //!                            and re-enter the selector instead of erroring
+//!   --backend scalar|parallel   host execution backend  (default parallel)
+//!   --threads <n>            thread count for the parallel backend
+//!                            (default: RAYON_NUM_THREADS or all cores)
 //!   --sample <count>         print this many random distances (default 3)
 //!   --verify <rows>          re-derive this many random rows with Dijkstra
 //!   --trace                  print the device Gantt chart afterwards
@@ -25,7 +28,7 @@
 //! runs the paper's full pipeline on it: selector, out-of-core execution,
 //! profiler report.
 
-use apsp_core::options::Algorithm;
+use apsp_core::options::{Algorithm, ExecBackend};
 use apsp_core::{apsp, ApspOptions, CheckpointOptions, StorageBackend, SupervisionOptions};
 use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_graph::io::{read_matrix_market, WeightMode};
@@ -45,6 +48,8 @@ struct Args {
     deadline_ms: Option<u64>,
     progress_budget_ms: Option<u64>,
     fallback: bool,
+    backend_scalar: bool,
+    threads: Option<usize>,
     sample: usize,
     verify: usize,
     trace: bool,
@@ -63,6 +68,8 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: None,
         progress_budget_ms: None,
         fallback: false,
+        backend_scalar: false,
+        threads: None,
         sample: 3,
         verify: 0,
         trace: false,
@@ -124,6 +131,19 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--fallback" => args.fallback = true,
+            "--backend" => match it.next().ok_or("--backend needs a value")?.as_str() {
+                "scalar" => args.backend_scalar = true,
+                "parallel" => args.backend_scalar = false,
+                other => return Err(format!("unknown backend '{other}'")),
+            },
+            "--threads" => {
+                args.threads = Some(
+                    it.next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --threads")?,
+                )
+            }
             "--sample" => {
                 args.sample = it
                     .next()
@@ -152,6 +172,9 @@ fn parse_args() -> Result<Args, String> {
     if args.resume && args.checkpoint_dir.is_none() {
         return Err("--resume needs --checkpoint-dir".into());
     }
+    if args.backend_scalar && args.threads.is_some() {
+        return Err("--threads only applies to --backend parallel".into());
+    }
     Ok(args)
 }
 
@@ -168,7 +191,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--sample n] [--trace]");
+            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--backend scalar|parallel] [--threads n] [--sample n] [--trace]");
             std::process::exit(2);
         }
     };
@@ -211,8 +234,16 @@ fn main() {
     if args.trace {
         dev.enable_trace();
     }
+    let exec = if args.backend_scalar {
+        ExecBackend::scalar()
+    } else {
+        ExecBackend::Parallel {
+            threads: args.threads,
+        }
+    };
     let opts = ApspOptions {
         algorithm: args.algorithm,
+        exec,
         storage: match &args.spill {
             Some(dir) => StorageBackend::Disk(dir.clone()),
             None => StorageBackend::Memory,
@@ -248,6 +279,7 @@ fn main() {
         }
     };
     println!("algorithm: {}", result.algorithm);
+    println!("backend: {exec} ({} thread(s))", exec.resolved_threads());
     if let Some(sel) = &result.selection {
         for (alg, est) in &sel.estimates {
             println!("  estimate {alg}: {est:.6} s");

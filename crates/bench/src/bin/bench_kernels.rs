@@ -1,0 +1,350 @@
+//! `bench_kernels` — wall-clock scalar-vs-parallel backend comparison.
+//!
+//! ```text
+//! bench_kernels [options]
+//!
+//!   --smoke        reduced sizes + CI gate: exit 1 unless the parallel
+//!                  backend beats scalar by >= 1.5x on the medium
+//!                  min-plus shape
+//!   --out <path>   where to write the JSON report
+//!                  (default BENCH_kernels.json in the current directory)
+//!   --reps <n>     timing repetitions per case, best-of (default 3)
+//! ```
+//!
+//! Two families of cases:
+//!
+//! * **min-plus GEMM** on square shapes — the tile kernel every
+//!   out-of-core driver spends its time in, timed directly against both
+//!   backends on identical operands;
+//! * **full out-of-core runs** — the three algorithms crossed with
+//!   `Memory`/`Disk` storage on a deliberately small simulated device,
+//!   so the host-side tile loops (what the backend accelerates)
+//!   dominate.
+//!
+//! Every case records wall-clock seconds for both backends, the
+//! speedup, the resolved thread count, and an FNV-1a checksum of the
+//! result — which must be bit-identical across backends or the binary
+//! exits non-zero.
+
+use apsp_core::options::Algorithm;
+use apsp_core::{apsp, ApspOptions, StorageBackend};
+use apsp_cpu::parallel::minplus_tile_exec;
+use apsp_cpu::ExecBackend;
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+use apsp_graph::generators::{gnp, WeightRange};
+use apsp_graph::{CsrGraph, Dist, INF};
+use std::time::Instant;
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a_u32s(values: &[Dist], mut hash: u64) -> u64 {
+    for v in values {
+        for b in v.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
+/// Deterministic operand matrix: mostly finite weights with INF holes,
+/// so the scalar kernel's INF fast path stays exercised.
+fn random_matrix(n: usize, seed: u64) -> Vec<Dist> {
+    let mut state = seed | 1;
+    let mut out = Vec::with_capacity(n * n);
+    for _ in 0..n * n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.push(if state.is_multiple_of(8) {
+            INF
+        } else {
+            (state % 10_000) as Dist
+        });
+    }
+    out
+}
+
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct CaseResult {
+    kind: &'static str,
+    name: String,
+    n: usize,
+    scalar_secs: f64,
+    parallel_secs: f64,
+    checksum: u64,
+    bit_identical: bool,
+}
+
+impl CaseResult {
+    fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.scalar_secs / self.parallel_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+fn bench_minplus(n: usize, reps: usize) -> CaseResult {
+    let a = random_matrix(n, 0x1234_5678 ^ n as u64);
+    let b = random_matrix(n, 0x9ABC_DEF0 ^ n as u64);
+    let c0 = random_matrix(n, 0x0F1E_2D3C ^ n as u64);
+
+    let mut c_scalar = c0.clone();
+    let scalar_secs = time_best(reps, || {
+        c_scalar.copy_from_slice(&c0);
+        minplus_tile_exec(
+            &mut c_scalar,
+            n,
+            &a,
+            n,
+            &b,
+            n,
+            n,
+            n,
+            n,
+            ExecBackend::scalar(),
+        );
+    });
+
+    let mut c_parallel = c0.clone();
+    let parallel_secs = time_best(reps, || {
+        c_parallel.copy_from_slice(&c0);
+        minplus_tile_exec(
+            &mut c_parallel,
+            n,
+            &a,
+            n,
+            &b,
+            n,
+            n,
+            n,
+            n,
+            ExecBackend::parallel(),
+        );
+    });
+
+    CaseResult {
+        kind: "minplus",
+        name: format!("minplus-{n}"),
+        n,
+        scalar_secs,
+        parallel_secs,
+        checksum: fnv1a_u32s(&c_scalar, FNV_OFFSET_BASIS),
+        bit_identical: c_scalar == c_parallel,
+    }
+}
+
+fn run_ooc(
+    graph: &CsrGraph,
+    algorithm: Algorithm,
+    storage: &StorageBackend,
+    exec: ExecBackend,
+) -> (f64, u64) {
+    let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+    let opts = ApspOptions {
+        algorithm: Some(algorithm),
+        storage: storage.clone(),
+        exec,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let result = apsp(graph, &mut dev, &opts).expect("ooc benchmark run failed");
+    let secs = t.elapsed().as_secs_f64();
+    let checksum = result
+        .store
+        .panel_checksums(graph.num_vertices().max(1))
+        .expect("checksum read failed")
+        .first()
+        .copied()
+        .unwrap_or(FNV_OFFSET_BASIS);
+    (secs, checksum)
+}
+
+fn bench_ooc(graph: &CsrGraph, algorithm: Algorithm, disk: bool, reps: usize) -> CaseResult {
+    let alg_name = match algorithm {
+        Algorithm::FloydWarshall => "fw",
+        Algorithm::Johnson => "johnson",
+        Algorithm::Boundary => "boundary",
+    };
+    let scratch = std::env::temp_dir().join("apsp-bench-kernels");
+    let storage = if disk {
+        StorageBackend::Disk(scratch)
+    } else {
+        StorageBackend::Memory
+    };
+
+    let mut scalar_secs = f64::INFINITY;
+    let mut parallel_secs = f64::INFINITY;
+    let mut scalar_sum = 0;
+    let mut parallel_sum = 0;
+    for _ in 0..reps.max(1) {
+        let (s, cs) = run_ooc(graph, algorithm, &storage, ExecBackend::scalar());
+        scalar_secs = scalar_secs.min(s);
+        scalar_sum = cs;
+        let (p, cp) = run_ooc(graph, algorithm, &storage, ExecBackend::parallel());
+        parallel_secs = parallel_secs.min(p);
+        parallel_sum = cp;
+    }
+
+    CaseResult {
+        kind: "ooc",
+        name: format!("{alg_name}-{}", if disk { "disk" } else { "memory" }),
+        n: graph.num_vertices(),
+        scalar_secs,
+        parallel_secs,
+        checksum: scalar_sum,
+        bit_identical: scalar_sum == parallel_sum,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_report(
+    path: &str,
+    smoke: bool,
+    reps: usize,
+    threads: usize,
+    cases: &[CaseResult],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"generated_by\": \"bench_kernels\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"name\": \"{}\", \"n\": {}, \
+             \"scalar_secs\": {:.6}, \"parallel_secs\": {:.6}, \
+             \"speedup\": {:.3}, \"checksum\": \"{:#018x}\", \
+             \"bit_identical\": {}}}{}\n",
+            json_escape(c.kind),
+            json_escape(&c.name),
+            c.n,
+            c.scalar_secs,
+            c.parallel_secs,
+            c.speedup(),
+            c.checksum,
+            c.bit_identical,
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_kernels.json".to_string();
+    let mut reps = 3usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().expect("--out needs a value"),
+            "--reps" => {
+                reps = it
+                    .next()
+                    .expect("--reps needs a value")
+                    .parse()
+                    .expect("bad --reps")
+            }
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                eprintln!("usage: bench_kernels [--smoke] [--out path] [--reps n]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let threads = ExecBackend::parallel().resolved_threads();
+    println!(
+        "bench_kernels: {} mode, {reps} rep(s), parallel backend uses {threads} thread(s)",
+        if smoke { "smoke" } else { "full" }
+    );
+
+    let minplus_shapes: &[usize] = if smoke {
+        &[64, 128, 192]
+    } else {
+        &[96, 256, 448]
+    };
+    let ooc_n = if smoke { 96 } else { 160 };
+
+    let mut cases = Vec::new();
+    for &n in minplus_shapes {
+        let c = bench_minplus(n, reps);
+        println!(
+            "  {:<16} scalar {:>9.4}s  parallel {:>9.4}s  speedup {:>5.2}x  {}",
+            c.name,
+            c.scalar_secs,
+            c.parallel_secs,
+            c.speedup(),
+            if c.bit_identical { "exact" } else { "MISMATCH" }
+        );
+        cases.push(c);
+    }
+
+    let graph = gnp(ooc_n, 0.06, WeightRange::default(), 0xBE7C);
+    for algorithm in [
+        Algorithm::FloydWarshall,
+        Algorithm::Johnson,
+        Algorithm::Boundary,
+    ] {
+        for disk in [false, true] {
+            let c = bench_ooc(&graph, algorithm, disk, reps.min(2));
+            println!(
+                "  {:<16} scalar {:>9.4}s  parallel {:>9.4}s  speedup {:>5.2}x  {}",
+                c.name,
+                c.scalar_secs,
+                c.parallel_secs,
+                c.speedup(),
+                if c.bit_identical { "exact" } else { "MISMATCH" }
+            );
+            cases.push(c);
+        }
+    }
+
+    if let Err(e) = write_report(&out_path, smoke, reps, threads, &cases) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if let Some(c) = cases.iter().find(|c| !c.bit_identical) {
+        eprintln!("FAIL: {} is not bit-identical across backends", c.name);
+        std::process::exit(1);
+    }
+    if smoke {
+        // CI gate: the medium min-plus shape is the contract the branchless
+        // backend must honour on a multi-core runner.
+        let medium = &cases[1];
+        if medium.speedup() < 1.5 {
+            eprintln!(
+                "FAIL: {} parallel speedup {:.2}x < 1.5x gate",
+                medium.name,
+                medium.speedup()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "smoke gate passed: {} at {:.2}x (>= 1.5x)",
+            medium.name,
+            medium.speedup()
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Backend parity: the `Scalar` and `Parallel` execution backends must
+//! produce bit-identical matrices everywhere they are offered.
+//!
+//! The parallel backend's claim is not "close enough" but *exact*: the
+//! branchless lowering computes the same `min`/saturating-add lattice
+//! operations, and every band split is placed on a loop whose
+//! iterations are independent. These tests hold that claim against the
+//! full algorithm × storage matrix, over multiple corpus families, at
+//! several thread counts — and through a kill–resume cycle, where a
+//! backend-dependent intermediate would surface as a divergent resumed
+//! matrix.
+
+use apsp_conformance::{run_kill_resume, Case, CrashCellOptions, Family, RunnerConfig};
+use apsp_core::options::{Algorithm, ExecBackend};
+use apsp_core::{apsp, ApspOptions, StorageBackend};
+use apsp_cpu::DistMatrix;
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::FloydWarshall,
+    Algorithm::Johnson,
+    Algorithm::Boundary,
+];
+
+fn run_with(case: &Case, algorithm: Algorithm, disk: bool, exec: ExecBackend) -> DistMatrix {
+    let cfg = RunnerConfig::default();
+    let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(cfg.device_bytes));
+    let opts = ApspOptions {
+        algorithm: Some(algorithm),
+        storage: if disk {
+            StorageBackend::Disk(cfg.scratch_dir.clone())
+        } else {
+            StorageBackend::Memory
+        },
+        exec,
+        ..Default::default()
+    };
+    let result = apsp(&case.graph, &mut dev, &opts)
+        .unwrap_or_else(|e| panic!("{algorithm:?}/{exec} failed on {}: {e}", case.name));
+    result
+        .store
+        .to_dist_matrix()
+        .unwrap_or_else(|e| panic!("store unreadable after {algorithm:?}/{exec}: {e}"))
+}
+
+/// Panic with the first diverging cell instead of dumping two n² Debug
+/// matrices.
+fn assert_bitwise(expected: &DistMatrix, got: &DistMatrix, label: &str) {
+    if expected == got {
+        return;
+    }
+    let n = expected.n();
+    let idx = (0..n * n)
+        .find(|&i| expected.as_slice()[i] != got.as_slice()[i])
+        .unwrap();
+    panic!(
+        "{label}: cell ({}, {}) = {}, scalar backend got {}",
+        idx / n,
+        idx % n,
+        got.as_slice()[idx],
+        expected.as_slice()[idx]
+    );
+}
+
+#[test]
+fn scalar_and_parallel_agree_bitwise_across_the_matrix() {
+    let cases = [
+        Case::generate(Family::ErdosRenyi, 0xBACC),
+        Case::generate(Family::Grid, 0xBACC),
+        Case::generate(Family::Disconnected, 0xBACC),
+    ];
+    // Auto-sized, single-threaded, and an odd explicit count: the band
+    // boundaries land differently in each, so a band-placement bug
+    // cannot hide behind one lucky split.
+    let parallel_execs = [
+        ExecBackend::parallel(),
+        ExecBackend::Parallel { threads: Some(1) },
+        ExecBackend::Parallel { threads: Some(3) },
+    ];
+    for case in &cases {
+        for algorithm in ALGORITHMS {
+            for disk in [false, true] {
+                let scalar = run_with(case, algorithm, disk, ExecBackend::scalar());
+                for exec in parallel_execs {
+                    let got = run_with(case, algorithm, disk, exec);
+                    assert_bitwise(
+                        &scalar,
+                        &got,
+                        &format!(
+                            "{}/{algorithm:?}/{}/{exec}",
+                            case.name,
+                            if disk { "disk" } else { "memory" }
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_backend_survives_kill_resume_bit_identically() {
+    // `run_kill_resume` checks the interrupted-and-resumed matrix
+    // bitwise against the CPU reference, so running its three-step
+    // differential with the parallel backend in every per-algorithm
+    // option block proves the backend through checkpoint commit,
+    // crash, and replay — not just through a clean run.
+    let case = Case::generate(Family::ErdosRenyi, 0x9D5E);
+    let exec = ExecBackend::Parallel { threads: Some(3) };
+    let mut cell = CrashCellOptions::default();
+    cell.fw.exec = exec;
+    cell.johnson.exec = exec;
+    cell.boundary.exec = exec;
+    // Same provisioning trick as `crash_resume`: Floyd-Warshall and
+    // Johnson get a tiny device so the 90-vertex run crosses several
+    // commit barriers (Johnson fits in one batch otherwise); the
+    // boundary algorithm keeps the default device and gets a fixed
+    // component count with per-component flushes.
+    cell.boundary.num_components = Some(6);
+    cell.boundary.batch_transfers = false;
+    for algorithm in ALGORITHMS {
+        let cfg = RunnerConfig {
+            device_bytes: match algorithm {
+                Algorithm::Boundary => RunnerConfig::default().device_bytes,
+                _ => 32 << 10,
+            },
+            ..Default::default()
+        };
+        for disk in [false, true] {
+            let report = run_kill_resume(&case, algorithm, disk, 0x51EE7, &cfg, &cell)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "kill–resume under the parallel backend broke for {algorithm:?}/{}: {e}",
+                        if disk { "disk" } else { "memory" }
+                    )
+                });
+            assert!(
+                report.crash_after_ops < report.total_ops,
+                "crash point must interrupt the run"
+            );
+        }
+    }
+}

@@ -78,6 +78,17 @@ pub fn apsp(
     if n == 0 {
         return Err(ApspError::InvalidInput("graph has no vertices".into()));
     }
+    // The front-end's `exec` is authoritative: push it into every
+    // per-algorithm option block so whatever the selector (or the
+    // fallback chain) ends up running uses the same backend.
+    let opts = {
+        let mut o = opts.clone();
+        o.fw.exec = o.exec;
+        o.johnson.exec = o.exec;
+        o.boundary.exec = o.exec;
+        o
+    };
+    let opts = &opts;
     // Durability first: with `resume`, an existing checkpoint pins the
     // algorithm (its committed state is algorithm-specific); without it,
     // any stale checkpoint is cleared before fresh work begins.
@@ -117,6 +128,7 @@ pub fn apsp(
     };
     let sup = Supervisor::new(&opts.supervision, dev.elapsed().seconds());
     let mut store = TileStore::new(n, &opts.storage)?;
+    store.set_exec_backend(opts.exec);
     store.set_supervision(sup.clone());
     let mut algorithm = algorithm;
     let mut selection = selection;
@@ -155,6 +167,7 @@ pub fn apsp(
             c.clear()?;
         }
         store = TileStore::new(n, &opts.storage)?;
+        store.set_exec_backend(opts.exec);
         store.set_supervision(sup.clone());
         let now = dev.elapsed().seconds();
         sup.record_event(SupervisionEvent::Fallback {

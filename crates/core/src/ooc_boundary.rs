@@ -23,8 +23,8 @@ use crate::supervisor::{RetryState, RetryStep, Supervisor};
 use crate::tile_store::TileStore;
 use apsp_gpu_sim::{DeviceBuffer, GpuDevice, KernelCost, LaunchConfig, Pinning, StreamId};
 use apsp_graph::{dist_add, CsrGraph, Dist, VertexId, INF};
-use apsp_kernels::fw_block::fw_device;
-use apsp_kernels::minplus::minplus_product;
+use apsp_kernels::fw_block::fw_device_exec;
+use apsp_kernels::minplus::minplus_product_exec;
 use apsp_kernels::DeviceMatrix;
 use apsp_partition::{kway_partition, PartitionConfig, PartitionLayout};
 
@@ -332,7 +332,7 @@ fn ooc_boundary_inner(
         let mut tile = DeviceMatrix::alloc_inf(dev, sz, sz)?;
         if sz > 0 {
             tile.upload_rows(dev, s0, 0, &block, Pinning::Pinned);
-            fw_device(dev, s0, &mut tile);
+            fw_device_exec(dev, s0, &mut tile, opts.exec);
             tile.download_rows(dev, s0, 0..sz, &mut block, Pinning::Pinned);
         }
         dist2.push(block);
@@ -393,7 +393,7 @@ fn ooc_boundary_inner(
     let mut bound = DeviceMatrix::alloc_inf(dev, nb_total, nb_total)?;
     if nb_total > 0 {
         bound.upload_rows(dev, s0, 0, &bound_host, Pinning::Pinned);
-        fw_device(dev, s0, &mut bound);
+        fw_device_exec(dev, s0, &mut bound, opts.exec);
     }
     drop(bound_host);
 
@@ -459,9 +459,9 @@ fn ooc_boundary_inner(
 
             // tmp₁ = C2B[i] ⊗ bound(i,j);  block = tmp₁ ⊗ B2C[j].
             let mut tmp1 = DeviceMatrix::alloc_inf(dev, sz_i, nb_j)?;
-            minplus_product(dev, stream, &mut tmp1, &c2b, &bound_ij);
+            minplus_product_exec(dev, stream, &mut tmp1, &c2b, &bound_ij, opts.exec);
             let mut block = DeviceMatrix::alloc_inf(dev, sz_i, sz_j)?;
-            minplus_product(dev, stream, &mut block, &tmp1, &b2c);
+            minplus_product_exec(dev, stream, &mut block, &tmp1, &b2c, opts.exec);
             if i == j {
                 // Same-component pairs also have the all-interior paths of
                 // dist₂; elementwise min (one fused kernel in the real

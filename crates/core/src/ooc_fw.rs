@@ -13,8 +13,10 @@ use crate::supervisor::{RetryState, RetryStep, Supervisor};
 use crate::tile_store::TileStore;
 use apsp_gpu_sim::{GpuDevice, Pinning, StreamId};
 use apsp_graph::{CsrGraph, Dist, VertexId, INF};
-use apsp_kernels::fw_block::fw_device;
-use apsp_kernels::minplus::{minplus_kernel, minplus_left_inplace, minplus_right_inplace};
+use apsp_kernels::fw_block::fw_device_exec;
+use apsp_kernels::minplus::{
+    minplus_kernel_exec, minplus_left_inplace_exec, minplus_right_inplace_exec,
+};
 use apsp_kernels::DeviceMatrix;
 
 /// Outcome statistics of one out-of-core Floyd-Warshall run.
@@ -289,7 +291,7 @@ fn fw_rounds(
         let kr = extent(kb);
         // ---- Stage 1: diagonal tile.
         let mut diag = upload_tile(dev, s0, store, kr.clone(), kr.clone())?;
-        fw_device(dev, s0, &mut diag);
+        fw_device_exec(dev, s0, &mut diag, opts.exec);
         download_tile(dev, s0, store, &diag, kr.clone(), kr.clone())?;
 
         // ---- Stage 2: pivot row and pivot column.
@@ -300,11 +302,11 @@ fn fw_rounds(
             let ir = extent(ib);
             // A(k, i) = min(A(k, i), A(k, k) ⊗ A(k, i)).
             let mut row_tile = upload_tile(dev, s0, store, kr.clone(), ir.clone())?;
-            minplus_left_inplace(dev, s0, &mut row_tile, &diag);
+            minplus_left_inplace_exec(dev, s0, &mut row_tile, &diag, opts.exec);
             download_tile(dev, s0, store, &row_tile, kr.clone(), ir.clone())?;
             // A(i, k) = min(A(i, k), A(i, k) ⊗ A(k, k)).
             let mut col_tile = upload_tile(dev, s0, store, ir.clone(), kr.clone())?;
-            minplus_right_inplace(dev, s0, &mut col_tile, &diag);
+            minplus_right_inplace_exec(dev, s0, &mut col_tile, &diag, opts.exec);
             download_tile(dev, s0, store, &col_tile, ir.clone(), kr.clone())?;
         }
         drop(diag);
@@ -341,7 +343,7 @@ fn fw_rounds(
                 };
                 let b_tile = upload_tile(dev, stream, store, kr.clone(), jr.clone())?;
                 let mut c_tile = upload_tile(dev, stream, store, ir.clone(), jr.clone())?;
-                minplus_kernel(dev, stream, &mut c_tile, &a_tile, &b_tile);
+                minplus_kernel_exec(dev, stream, &mut c_tile, &a_tile, &b_tile, opts.exec);
                 download_tile(dev, stream, store, &c_tile, ir.clone(), jr.clone())?;
             }
         }
@@ -459,6 +461,7 @@ mod tests {
             &FwOptions {
                 overlap_transfers: true,
                 block_size: Some(40),
+                ..FwOptions::default()
             },
         );
         let off = run_fw(
@@ -467,6 +470,7 @@ mod tests {
             &FwOptions {
                 overlap_transfers: false,
                 block_size: Some(40),
+                ..FwOptions::default()
             },
         );
         assert_eq!(on, off);

@@ -301,6 +301,7 @@ fn johnson_batches(
         delta,
         dynamic_parallelism: dynamic,
         heavy_degree_threshold: opts.heavy_degree_threshold,
+        exec: opts.exec,
     };
 
     // Graph occupies the device for the entire run (the `S` term).

@@ -3,6 +3,7 @@
 use crate::selector::SelectorConfig;
 use crate::supervisor::SupervisionOptions;
 use crate::tile_store::StorageBackend;
+pub use apsp_cpu::ExecBackend;
 use apsp_graph::Dist;
 
 /// The three implementations of the paper (Section III).
@@ -53,6 +54,8 @@ pub struct JohnsonOptions {
     pub heavy_degree_threshold: usize,
     /// Double-buffer the result panels so D2H overlaps the next batch.
     pub overlap_transfers: bool,
+    /// Host execution backend for the MSSP batches.
+    pub exec: ExecBackend,
 }
 
 impl Default for JohnsonOptions {
@@ -63,6 +66,7 @@ impl Default for JohnsonOptions {
             queue_words_per_edge: 1.0,
             heavy_degree_threshold: 256,
             overlap_transfers: true,
+            exec: ExecBackend::default(),
         }
     }
 }
@@ -81,6 +85,8 @@ pub struct BoundaryOptions {
     pub overlap_transfers: bool,
     /// Partitioner seed (determinism).
     pub partition_seed: u64,
+    /// Host execution backend for the FW blocks and chained multiplies.
+    pub exec: ExecBackend,
 }
 
 impl Default for BoundaryOptions {
@@ -90,6 +96,7 @@ impl Default for BoundaryOptions {
             batch_transfers: true,
             overlap_transfers: true,
             partition_seed: 0x9A17,
+            exec: ExecBackend::default(),
         }
     }
 }
@@ -102,6 +109,8 @@ pub struct FwOptions {
     /// Double-buffer stage-3 tiles so the D2H of one tile overlaps the
     /// compute of the next.
     pub overlap_transfers: bool,
+    /// Host execution backend for the tile kernels.
+    pub exec: ExecBackend,
 }
 
 impl Default for FwOptions {
@@ -109,6 +118,7 @@ impl Default for FwOptions {
         FwOptions {
             block_size: None,
             overlap_transfers: true,
+            exec: ExecBackend::default(),
         }
     }
 }
@@ -146,6 +156,10 @@ pub struct ApspOptions {
     /// Runtime supervision: deadline, progress watchdog, cancellation,
     /// retry policy, and the algorithm fallback chain.
     pub supervision: SupervisionOptions,
+    /// Host execution backend, applied to every algorithm and the tile
+    /// store (overrides the per-algorithm `exec` fields when set through
+    /// [`crate::api::apsp`]).
+    pub exec: ExecBackend,
 }
 
 impl Default for ApspOptions {
@@ -159,6 +173,7 @@ impl Default for ApspOptions {
             selector: SelectorConfig::default(),
             checkpoint: None,
             supervision: SupervisionOptions::default(),
+            exec: ExecBackend::default(),
         }
     }
 }

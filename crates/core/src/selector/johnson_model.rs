@@ -65,6 +65,7 @@ impl JohnsonModel {
             delta,
             dynamic_parallelism: dynamic,
             heavy_degree_threshold: opts.heavy_degree_threshold,
+            exec: opts.exec,
         };
 
         // Randomly choose which batches to sample.

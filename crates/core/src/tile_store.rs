@@ -8,6 +8,7 @@
 //! row-major layout either way.
 
 use crate::supervisor::Supervisor;
+use apsp_cpu::parallel::{par_bands, ExecBackend, SharedSliceMut};
 use apsp_graph::{Dist, INF};
 use std::fs::{File, OpenOptions};
 use std::io;
@@ -151,7 +152,12 @@ pub struct TileStore {
     faults: Option<FaultState>,
     crash: Option<CrashState>,
     supervision: Option<Supervisor>,
+    exec: ExecBackend,
 }
+
+/// Minimum rows per band for the store's staging copies — below this a
+/// band is cheaper to run inline than to hand to a thread.
+const STORE_MIN_ROWS_PER_BAND: usize = 64;
 
 impl std::fmt::Debug for TileStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -179,6 +185,7 @@ impl TileStore {
                     faults: None,
                     crash: None,
                     supervision: None,
+                    exec: ExecBackend::default(),
                 })
             }
             StorageBackend::Disk(dir) => {
@@ -200,6 +207,7 @@ impl TileStore {
                     faults: None,
                     crash: None,
                     supervision: None,
+                    exec: ExecBackend::default(),
                 };
                 // Materialize the INF + zero-diagonal initialization one
                 // row at a time so even huge matrices never need n² RAM.
@@ -323,6 +331,14 @@ impl TileStore {
         }
     }
 
+    /// Choose the host execution backend for bulk staging copies and
+    /// checksum computation on the `Memory` backing. `Disk` I/O always
+    /// stays sequential: fault-injection ordinals and crash-tick
+    /// determinism depend on the positional-I/O order.
+    pub fn set_exec_backend(&mut self, exec: ExecBackend) {
+        self.exec = exec;
+    }
+
     /// Overwrite full row `i`.
     pub fn write_row(&mut self, i: usize, row: &[Dist]) -> io::Result<()> {
         assert_eq!(row.len(), self.n, "row width mismatch");
@@ -393,12 +409,22 @@ impl TileStore {
         assert_eq!(data.len(), row_range.len() * width, "block size mismatch");
         self.crash_tick(row_range.len() as u64)?;
         self.supervision_tick(row_range.len() as u64)?;
+        let n = self.n;
+        let threads = self.exec.resolved_threads();
         match &mut self.backing {
             Backing::Memory(buf) => {
-                for (r, i) in row_range.enumerate() {
-                    let dst = i * self.n + col_range.start;
-                    buf[dst..dst + width].copy_from_slice(&data[r * width..(r + 1) * width]);
-                }
+                let rows = row_range.len();
+                let row_start = row_range.start;
+                let col_start = col_range.start;
+                let shared = SharedSliceMut::new(buf.as_mut_slice());
+                par_bands(rows, threads, STORE_MIN_ROWS_PER_BAND, |band| {
+                    // SAFETY: bands write disjoint row ranges of the backing.
+                    let buf = unsafe { shared.slice() };
+                    for r in band {
+                        let dst = (row_start + r) * n + col_start;
+                        buf[dst..dst + width].copy_from_slice(&data[r * width..(r + 1) * width]);
+                    }
+                });
                 Ok(())
             }
             Backing::Disk { file, base, .. } => {
@@ -428,27 +454,35 @@ impl TileStore {
         let width = col_range.len();
         self.crash_tick(row_range.len() as u64)?;
         self.supervision_tick(row_range.len() as u64)?;
-        let mut out = Vec::with_capacity(row_range.len() * width);
+        let rows = row_range.len();
+        let mut out = vec![0 as Dist; rows * width];
         match &self.backing {
             Backing::Memory(data) => {
-                for i in row_range {
-                    let src = i * self.n + col_range.start;
-                    out.extend_from_slice(&data[src..src + width]);
-                }
+                let n = self.n;
+                let row_start = row_range.start;
+                let col_start = col_range.start;
+                let threads = self.exec.resolved_threads();
+                let shared = SharedSliceMut::new(out.as_mut_slice());
+                par_bands(rows, threads, STORE_MIN_ROWS_PER_BAND, |band| {
+                    // SAFETY: bands write disjoint row ranges of `out`.
+                    let out = unsafe { shared.slice() };
+                    for r in band {
+                        let src = (row_start + r) * n + col_start;
+                        out[r * width..(r + 1) * width].copy_from_slice(&data[src..src + width]);
+                    }
+                });
             }
             Backing::Disk { file, base, .. } => {
-                let mut row = vec![0 as Dist; width];
-                for i in row_range {
+                for (r, i) in row_range.enumerate() {
                     let offset = base
                         + ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
                     read_at(
                         file,
                         self.faults.as_ref(),
                         self.supervision.as_ref(),
-                        cast_bytes_mut(&mut row),
+                        cast_bytes_mut(&mut out[r * width..(r + 1) * width]),
                         offset,
                     )?;
-                    out.extend_from_slice(&row);
                 }
             }
         }
@@ -579,6 +613,32 @@ impl TileStore {
     /// actually on disk, not what was last handed to `write_*`.
     pub fn panel_checksums(&self, panel_rows: usize) -> io::Result<Vec<u64>> {
         assert!(panel_rows >= 1, "panel_rows must be positive");
+        // Each panel's FNV chain starts fresh from the offset basis, so
+        // the panels are independent and can be hashed in parallel on
+        // the memory backing. Crash/supervision ticks are charged in
+        // bulk up front (same totals as the row-at-a-time path).
+        let threads = self.exec.resolved_threads();
+        if threads > 1 {
+            if let Backing::Memory(data) = &self.backing {
+                let n = self.n;
+                self.crash_tick(n as u64)?;
+                self.supervision_tick(n as u64)?;
+                let num_panels = n.div_ceil(panel_rows);
+                let mut out = vec![0u64; num_panels];
+                let shared = SharedSliceMut::new(&mut out);
+                par_bands(num_panels, threads, 1, |band| {
+                    // SAFETY: each band writes a disjoint range of `out`.
+                    let out = unsafe { shared.slice() };
+                    for p in band {
+                        let lo = p * panel_rows;
+                        let hi = ((p + 1) * panel_rows).min(n);
+                        // A memory-backed panel is one contiguous slice.
+                        out[p] = fnv1a(cast_bytes(&data[lo * n..hi * n]), FNV_OFFSET_BASIS);
+                    }
+                });
+                return Ok(out);
+            }
+        }
         let mut out = Vec::with_capacity(self.n.div_ceil(panel_rows));
         let mut hash = FNV_OFFSET_BASIS;
         for i in 0..self.n {
@@ -645,6 +705,7 @@ impl TileStore {
             faults: None,
             crash: None,
             supervision: None,
+            exec: ExecBackend::default(),
         })
     }
 

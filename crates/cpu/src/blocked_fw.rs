@@ -2,6 +2,9 @@
 //! reference the out-of-core variants are checked against.
 
 use crate::dense::DistMatrix;
+use crate::parallel::{
+    branchless_add, par_bands, relax_row_branchless, ExecBackend, SharedSliceMut,
+};
 use apsp_graph::{dist_add, Dist};
 use rayon::prelude::*;
 
@@ -11,17 +14,18 @@ pub fn floyd_warshall(m: &mut DistMatrix) {
     let data = m.as_mut_slice();
     for k in 0..n {
         for i in 0..n {
+            // Row k relaxed against itself is a no-op (dist_add(dik, dkj)
+            // >= dkj with dkk >= 0), so skip it before touching the data —
+            // one intentional skip, not a side effect of the INF guard.
+            if i == k {
+                continue;
+            }
             let dik = data[i * n + k];
             if dik >= apsp_graph::INF {
                 continue;
             }
-            // Split borrows: row k is read, row i is written. When i == k
-            // the update is a no-op (dist_add(dik, dkj) >= dkj), so copy
-            // row k cheaply only when needed.
+            // Split borrows: row k is read, row i is written.
             let (row_k_start, row_i_start) = (k * n, i * n);
-            if i == k {
-                continue;
-            }
             let (lo, hi) = if row_k_start < row_i_start {
                 let (a, b) = data.split_at_mut(row_i_start);
                 (&a[row_k_start..row_k_start + n], &mut b[..n])
@@ -82,8 +86,21 @@ pub fn minplus_tile(
 /// Blocked Floyd-Warshall: `num_b × num_b` tiles of side `b`, three stages
 /// per round (diagonal, pivot row+column, remainder), with the remainder
 /// stage parallelized across tiles — the structure SuperFW and the GPU
-/// versions share.
+/// versions share. Runs under the default execution backend; see
+/// [`blocked_floyd_warshall_exec`] to choose one explicitly.
 pub fn blocked_floyd_warshall(m: &mut DistMatrix, block: usize) {
+    blocked_floyd_warshall_exec(m, block, ExecBackend::default());
+}
+
+/// [`blocked_floyd_warshall`] under an explicit execution backend.
+///
+/// The Parallel backend bands stage 2 and stage 3 across threads with
+/// branchless inner loops; both are bit-identical to the scalar stages
+/// because with a fixed pivot order each stage-2 tile depends only on
+/// itself plus the (finalized, unwritten) diagonal tile, and each
+/// stage-3 tile depends only on itself plus the stage-2 pivot row and
+/// column panels — so tile results cannot observe each other.
+pub fn blocked_floyd_warshall_exec(m: &mut DistMatrix, block: usize, exec: ExecBackend) {
     let n = m.n();
     if n == 0 {
         return;
@@ -91,9 +108,10 @@ pub fn blocked_floyd_warshall(m: &mut DistMatrix, block: usize) {
     let block = block.max(1).min(n);
     let num_b = n.div_ceil(block);
     if num_b == 1 {
-        floyd_warshall(m);
+        crate::parallel::floyd_warshall_exec(m, exec);
         return;
     }
+    let threads = exec.resolved_threads();
     let extent = |b_idx: usize| -> (usize, usize) {
         let start = b_idx * block;
         (start, (start + block).min(n) - start)
@@ -101,45 +119,133 @@ pub fn blocked_floyd_warshall(m: &mut DistMatrix, block: usize) {
     for kb in 0..num_b {
         let (ks, kl) = extent(kb);
         // Stage 1: diagonal tile — plain FW restricted to the tile.
-        fw_tile(m.as_mut_slice(), n, ks, kl);
-        // Stage 2: pivot row and pivot column tiles.
-        for ib in 0..num_b {
-            if ib == kb {
-                continue;
-            }
-            let (is, il) = extent(ib);
-            let data = m.as_mut_slice();
-            // A(k, i) = min(A(k, i), A(k, k) ⊗ A(k, i)) — in-place on the
-            // B operand, the standard (and correct) blocked-FW idiom.
-            minplus_tile_raw(data, n, ks * n + is, ks * n + ks, ks * n + is, kl, kl, il);
-            // A(i, k) = min(A(i, k), A(i, k) ⊗ A(k, k)) — in-place on A.
-            minplus_tile_raw(data, n, is * n + ks, is * n + ks, ks * n + ks, il, kl, kl);
+        if exec.is_scalar() {
+            fw_tile(m.as_mut_slice(), n, ks, kl);
+        } else {
+            fw_tile_branchless(m.as_mut_slice(), n, ks, kl);
         }
-        // Stage 3: remainder tiles, parallel — each (i, j) tile touches
-        // disjoint output. Rayon splits rows of tiles.
-        let data_ptr = SendPtr(m.as_mut_slice().as_mut_ptr());
-        (0..num_b)
-            .into_par_iter()
-            .filter(|&ib| ib != kb)
-            .for_each(|ib| {
+        // Stage 2: pivot row and pivot column tiles. Each `ib` updates
+        // tiles (kb, ib) and (ib, kb) in place, reading only those tiles
+        // and the diagonal tile (which stage 2 never writes), so distinct
+        // `ib` are independent and can band across threads.
+        if exec.is_scalar() || threads <= 1 {
+            for ib in 0..num_b {
+                if ib == kb {
+                    continue;
+                }
                 let (is, il) = extent(ib);
-                for jb in 0..num_b {
-                    if jb == kb {
+                let data = m.as_mut_slice();
+                if exec.is_scalar() {
+                    // A(k, i) = min(A(k, i), A(k, k) ⊗ A(k, i)) — in-place
+                    // on the B operand, the standard blocked-FW idiom.
+                    minplus_tile_raw(data, n, ks * n + is, ks * n + ks, ks * n + is, kl, kl, il);
+                    // A(i, k) = min(A(i, k), A(i, k) ⊗ A(k, k)) — in-place on A.
+                    minplus_tile_raw(data, n, is * n + ks, is * n + ks, ks * n + ks, il, kl, kl);
+                } else {
+                    minplus_tile_raw_branchless(
+                        data,
+                        n,
+                        ks * n + is,
+                        ks * n + ks,
+                        ks * n + is,
+                        kl,
+                        kl,
+                        il,
+                    );
+                    minplus_tile_raw_branchless(
+                        data,
+                        n,
+                        is * n + ks,
+                        is * n + ks,
+                        ks * n + ks,
+                        il,
+                        kl,
+                        kl,
+                    );
+                }
+            }
+        } else {
+            let shared = SharedSliceMut::new(m.as_mut_slice());
+            par_bands(num_b, threads, 1, |band| {
+                for ib in band {
+                    if ib == kb {
                         continue;
                     }
-                    let (js, jl) = extent(jb);
-                    // SAFETY: tiles (ib, jb) for distinct ib write disjoint
-                    // row ranges; reads touch the pivot row/column tiles,
-                    // which stage 2 finalized and stage 3 never writes
-                    // (ib != kb, jb != kb).
-                    let data = unsafe { std::slice::from_raw_parts_mut(data_ptr.get(), n * n) };
-                    let (a_base, b_base, c_base) = (is * n + ks, ks * n + js, is * n + js);
-                    // Borrow-split manually via raw indexing within the
-                    // single mutable slice: use minplus_tile on copies of
-                    // the read panels to stay within safe aliasing rules.
-                    minplus_tile_raw(data, n, c_base, a_base, b_base, il, kl, jl);
+                    let (is, il) = extent(ib);
+                    // SAFETY: tile pair (kb, ib)/(ib, kb) is written only
+                    // by the band owning `ib`; shared reads touch only the
+                    // diagonal tile, which no stage-2 writer modifies.
+                    let data = unsafe { shared.slice() };
+                    minplus_tile_raw_branchless(
+                        data,
+                        n,
+                        ks * n + is,
+                        ks * n + ks,
+                        ks * n + is,
+                        kl,
+                        kl,
+                        il,
+                    );
+                    minplus_tile_raw_branchless(
+                        data,
+                        n,
+                        is * n + ks,
+                        is * n + ks,
+                        ks * n + ks,
+                        il,
+                        kl,
+                        kl,
+                    );
                 }
             });
+        }
+        // Stage 3: remainder tiles — each (i, j) tile touches disjoint
+        // output; reads go to the pivot row/column panels stage 2
+        // finalized and stage 3 never writes (ib != kb, jb != kb).
+        if exec.is_scalar() {
+            let data_ptr = SendPtr(m.as_mut_slice().as_mut_ptr());
+            (0..num_b)
+                .into_par_iter()
+                .filter(|&ib| ib != kb)
+                .for_each(|ib| {
+                    let (is, il) = extent(ib);
+                    for jb in 0..num_b {
+                        if jb == kb {
+                            continue;
+                        }
+                        let (js, jl) = extent(jb);
+                        // SAFETY: tiles (ib, jb) for distinct ib write
+                        // disjoint row ranges; reads touch the pivot
+                        // row/column tiles, which stage 2 finalized and
+                        // stage 3 never writes (ib != kb, jb != kb).
+                        let data = unsafe { std::slice::from_raw_parts_mut(data_ptr.get(), n * n) };
+                        let (a_base, b_base, c_base) = (is * n + ks, ks * n + js, is * n + js);
+                        minplus_tile_raw(data, n, c_base, a_base, b_base, il, kl, jl);
+                    }
+                });
+        } else {
+            let shared = SharedSliceMut::new(m.as_mut_slice());
+            par_bands(num_b, threads, 1, |band| {
+                for ib in band {
+                    if ib == kb {
+                        continue;
+                    }
+                    let (is, il) = extent(ib);
+                    // SAFETY: as in the scalar stage 3 — distinct ib bands
+                    // write disjoint row ranges, shared reads are to the
+                    // pivot panels stage 3 never writes.
+                    let data = unsafe { shared.slice() };
+                    for jb in 0..num_b {
+                        if jb == kb {
+                            continue;
+                        }
+                        let (js, jl) = extent(jb);
+                        let (a_base, b_base, c_base) = (is * n + ks, ks * n + js, is * n + js);
+                        minplus_tile_raw_disjoint(data, n, c_base, a_base, b_base, il, kl, jl);
+                    }
+                }
+            });
+        }
     }
 }
 
@@ -169,6 +275,96 @@ fn minplus_tile_raw(
                     *c = via;
                 }
             }
+        }
+    }
+}
+
+/// Branchless variant of [`minplus_tile_raw`], element-wise identical
+/// (same read/write order, [`branchless_add`] == `dist_add`, `min` ==
+/// the guarded store), so it tolerates the same in-place aliasing the
+/// stage-2 idiom relies on.
+#[allow(clippy::too_many_arguments)]
+fn minplus_tile_raw_branchless(
+    data: &mut [Dist],
+    stride: usize,
+    c_base: usize,
+    a_base: usize,
+    b_base: usize,
+    rows: usize,
+    inner: usize,
+    cols: usize,
+) {
+    for i in 0..rows {
+        for k in 0..inner {
+            let aik = data[a_base + i * stride + k];
+            if aik >= apsp_graph::INF {
+                continue;
+            }
+            for j in 0..cols {
+                let via = branchless_add(aik, data[b_base + k * stride + j]);
+                let c = &mut data[c_base + i * stride + j];
+                *c = (*c).min(via);
+            }
+        }
+    }
+}
+
+/// Branchless [`minplus_tile_raw`] for the stage-3 shape, where the C
+/// tile is disjoint from A and B: rows materialize as split slices so
+/// the inner loop vectorizes without the compiler having to prove
+/// non-aliasing through one shared buffer.
+///
+/// Callers must guarantee the C tile overlaps neither the A nor the B
+/// tile (stage 3 has `ib != kb` and `jb != kb`, which does exactly that).
+#[allow(clippy::too_many_arguments)]
+fn minplus_tile_raw_disjoint(
+    data: &mut [Dist],
+    stride: usize,
+    c_base: usize,
+    a_base: usize,
+    b_base: usize,
+    rows: usize,
+    inner: usize,
+    cols: usize,
+) {
+    let ptr = data.as_mut_ptr();
+    for i in 0..rows {
+        // SAFETY: the caller guarantees C is disjoint from A and B, so
+        // this row never overlaps the element/row reads below.
+        let c_row = unsafe { std::slice::from_raw_parts_mut(ptr.add(c_base + i * stride), cols) };
+        for k in 0..inner {
+            let aik = unsafe { *ptr.add(a_base + i * stride + k) };
+            if aik >= apsp_graph::INF {
+                continue;
+            }
+            let b_row = unsafe { std::slice::from_raw_parts(ptr.add(b_base + k * stride), cols) };
+            relax_row_branchless(c_row, b_row, aik);
+        }
+    }
+}
+
+/// Branchless [`fw_tile`]: for a fixed pivot `k`, row `k` of the tile is
+/// invariant (`i == k` skipped), so rows `i != k` relax against it with
+/// the vectorizable row kernel — bit-identical to the scalar tile.
+fn fw_tile_branchless(data: &mut [Dist], stride: usize, start: usize, len: usize) {
+    let ptr = data.as_mut_ptr();
+    for k in 0..len {
+        for i in 0..len {
+            if i == k {
+                continue;
+            }
+            let dik = unsafe { *ptr.add((start + i) * stride + start + k) };
+            if dik >= apsp_graph::INF {
+                continue;
+            }
+            // SAFETY: rows i and k are distinct rows of the tile, so the
+            // mutable and shared row views never overlap.
+            let c_row = unsafe {
+                std::slice::from_raw_parts_mut(ptr.add((start + i) * stride + start), len)
+            };
+            let b_row =
+                unsafe { std::slice::from_raw_parts(ptr.add((start + k) * stride + start), len) };
+            relax_row_branchless(c_row, b_row, dik);
         }
     }
 }
@@ -267,6 +463,26 @@ mod tests {
         let mut c = vec![INF; 4];
         minplus_tile(&mut c, 2, &a, 2, &b, 2, 2, 2, 2);
         assert_eq!(c, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn blocked_exec_backends_bit_identical() {
+        let g = gnp(53, 0.1, WeightRange::default(), 11); // prime n: ragged tiles
+        for block in [7, 16, 53] {
+            let mut scalar = DistMatrix::from_graph(&g);
+            blocked_floyd_warshall_exec(&mut scalar, block, ExecBackend::Scalar);
+            for threads in [1usize, 3] {
+                let mut fast = DistMatrix::from_graph(&g);
+                blocked_floyd_warshall_exec(
+                    &mut fast,
+                    block,
+                    ExecBackend::Parallel {
+                        threads: Some(threads),
+                    },
+                );
+                assert_eq!(fast, scalar, "block {block}, {threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub mod delta_stepping;
 pub mod dense;
 pub mod dijkstra;
 pub mod johnson_reweight;
+pub mod parallel;
 
 pub use bgl_plus::bgl_plus_apsp;
-pub use blocked_fw::blocked_floyd_warshall;
+pub use blocked_fw::{blocked_floyd_warshall, blocked_floyd_warshall_exec};
 pub use dense::DistMatrix;
 pub use dijkstra::dijkstra_sssp;
+pub use parallel::ExecBackend;

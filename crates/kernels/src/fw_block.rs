@@ -12,8 +12,8 @@
 
 use crate::minplus::{minplus_cost, minplus_launch};
 use crate::model::THREADS_PER_BLOCK;
-use apsp_cpu::blocked_fw::blocked_floyd_warshall;
-use apsp_cpu::DistMatrix;
+use apsp_cpu::blocked_fw::blocked_floyd_warshall_exec;
+use apsp_cpu::{DistMatrix, ExecBackend};
 use apsp_gpu_sim::{GpuDevice, KernelCost, LaunchConfig, StreamId};
 
 use crate::matrix::DeviceMatrix;
@@ -25,7 +25,20 @@ pub const FW_TILE: usize = 64;
 /// Run APSP over the whole square matrix `m` in device memory, charging
 /// the kernel schedule of the blocked GPU formulation: per round, one
 /// diagonal-tile kernel, two pivot-panel kernels, one remainder kernel.
+/// Runs under the default execution backend; see [`fw_device_exec`].
 pub fn fw_device(dev: &mut GpuDevice, stream: StreamId, m: &mut DeviceMatrix) {
+    fw_device_exec(dev, stream, m, ExecBackend::default());
+}
+
+/// [`fw_device`] under an explicit execution backend. The backend only
+/// changes host wall-clock (band-parallel branchless tiles vs. the
+/// scalar reference); results and charged device time are identical.
+pub fn fw_device_exec(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    m: &mut DeviceMatrix,
+    exec: ExecBackend,
+) {
     assert_eq!(m.rows(), m.cols(), "Floyd-Warshall needs a square matrix");
     let n = m.rows();
     if n == 0 {
@@ -33,7 +46,7 @@ pub fn fw_device(dev: &mut GpuDevice, stream: StreamId, m: &mut DeviceMatrix) {
     }
     // Host-side exact computation.
     let mut host = DistMatrix::from_raw(n, m.as_slice().to_vec());
-    blocked_floyd_warshall(&mut host, FW_TILE);
+    blocked_floyd_warshall_exec(&mut host, FW_TILE, exec);
     m.as_mut_slice().copy_from_slice(host.as_slice());
 
     // Device-time accounting.

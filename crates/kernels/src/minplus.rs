@@ -9,7 +9,9 @@
 
 use crate::matrix::DeviceMatrix;
 use crate::model::{MINPLUS_TILE, THREADS_PER_BLOCK};
-use apsp_cpu::blocked_fw::minplus_tile;
+use apsp_cpu::parallel::{
+    minplus_tile_exec, par_bands, relax_row_branchless, ExecBackend, SharedSliceMut,
+};
 use apsp_gpu_sim::{GpuDevice, KernelCost, LaunchConfig, StreamId};
 
 /// Modeled cost of one min-plus multiply of shape `rows × inner × cols`.
@@ -30,7 +32,8 @@ pub fn minplus_launch(rows: usize, cols: usize) -> LaunchConfig {
     LaunchConfig::new((tiles as u32).max(1), THREADS_PER_BLOCK)
 }
 
-/// `C = min(C, A ⊗ B)` between three distinct device matrices.
+/// `C = min(C, A ⊗ B)` between three distinct device matrices, under the
+/// default execution backend.
 ///
 /// # Panics
 ///
@@ -42,11 +45,25 @@ pub fn minplus_kernel(
     a: &DeviceMatrix,
     b: &DeviceMatrix,
 ) {
+    minplus_kernel_exec(dev, stream, c, a, b, ExecBackend::default());
+}
+
+/// [`minplus_kernel`] under an explicit execution backend. The three
+/// matrices are distinct device allocations, so the parallel backend
+/// bands output rows freely; results are bit-identical across backends.
+pub fn minplus_kernel_exec(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    c: &mut DeviceMatrix,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    exec: ExecBackend,
+) {
     assert_eq!(a.cols(), b.rows(), "inner dimension mismatch");
     assert_eq!(c.rows(), a.rows(), "C row mismatch");
     assert_eq!(c.cols(), b.cols(), "C column mismatch");
     let (rows, inner, cols) = (a.rows(), a.cols(), b.cols());
-    minplus_tile(
+    minplus_tile_exec(
         c.as_mut_slice(),
         cols,
         a.as_slice(),
@@ -56,6 +73,7 @@ pub fn minplus_kernel(
         rows,
         inner,
         cols,
+        exec,
     );
     dev.launch(
         stream,
@@ -75,10 +93,24 @@ pub fn minplus_left_inplace(
     c: &mut DeviceMatrix,
     a: &DeviceMatrix,
 ) {
+    minplus_left_inplace_exec(dev, stream, c, a, ExecBackend::default());
+}
+
+/// [`minplus_left_inplace`] under an explicit execution backend. The
+/// update chains through rows of C (row i reads rows k that earlier
+/// iterations improved), so even the parallel backend keeps the row loop
+/// sequential — only the inner relaxation goes branchless.
+pub fn minplus_left_inplace_exec(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    c: &mut DeviceMatrix,
+    a: &DeviceMatrix,
+    exec: ExecBackend,
+) {
     assert_eq!(a.rows(), a.cols(), "pivot operand must be square");
     assert_eq!(a.cols(), c.rows(), "inner dimension mismatch");
     let (rows, cols) = (c.rows(), c.cols());
-    inplace_update(c.as_mut_slice(), a.as_slice(), rows, cols, true);
+    inplace_update(c.as_mut_slice(), a.as_slice(), rows, cols, true, exec);
     dev.launch(
         stream,
         "minplus_pivot",
@@ -95,10 +127,24 @@ pub fn minplus_right_inplace(
     c: &mut DeviceMatrix,
     b: &DeviceMatrix,
 ) {
+    minplus_right_inplace_exec(dev, stream, c, b, ExecBackend::default());
+}
+
+/// [`minplus_right_inplace`] under an explicit execution backend. Each
+/// row of C reads only itself plus the (read-only) pivot operand, so the
+/// parallel backend bands rows across threads — bit-identical to scalar
+/// because the per-row k order is unchanged.
+pub fn minplus_right_inplace_exec(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    c: &mut DeviceMatrix,
+    b: &DeviceMatrix,
+    exec: ExecBackend,
+) {
     assert_eq!(b.rows(), b.cols(), "pivot operand must be square");
     assert_eq!(c.cols(), b.rows(), "inner dimension mismatch");
     let (rows, cols) = (c.rows(), c.cols());
-    inplace_update(c.as_mut_slice(), b.as_slice(), rows, cols, false);
+    inplace_update(c.as_mut_slice(), b.as_slice(), rows, cols, false, exec);
     dev.launch(
         stream,
         "minplus_pivot",
@@ -110,41 +156,92 @@ pub fn minplus_right_inplace(
 /// Shared host loop for the two in-place variants. `left` selects
 /// `C = min(C, P ⊗ C)` (P square of side `rows`); otherwise
 /// `C = min(C, C ⊗ P)` (P square of side `cols`).
-fn inplace_update(c: &mut [u32], p: &[u32], rows: usize, cols: usize, left: bool) {
+fn inplace_update(
+    c: &mut [u32],
+    p: &[u32],
+    rows: usize,
+    cols: usize,
+    left: bool,
+    exec: ExecBackend,
+) {
     use apsp_graph::{dist_add, INF};
+    if exec.is_scalar() {
+        if left {
+            for i in 0..rows {
+                for k in 0..rows {
+                    let pik = p[i * rows + k];
+                    if pik >= INF || i == k {
+                        continue;
+                    }
+                    for j in 0..cols {
+                        let via = dist_add(pik, c[k * cols + j]);
+                        if via < c[i * cols + j] {
+                            c[i * cols + j] = via;
+                        }
+                    }
+                }
+            }
+        } else {
+            for i in 0..rows {
+                for k in 0..cols {
+                    let cik = c[i * cols + k];
+                    if cik >= INF {
+                        continue;
+                    }
+                    for j in 0..cols {
+                        if j == k {
+                            continue;
+                        }
+                        let via = dist_add(cik, p[k * cols + j]);
+                        if via < c[i * cols + j] {
+                            c[i * cols + j] = via;
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
     if left {
+        // Order-dependent across rows (row i reads rows k that earlier i
+        // iterations improved) — sequential rows, branchless relaxation.
+        // Rows i and k are distinct (i == k skipped), so the mutable and
+        // shared row views never overlap.
+        let ptr = c.as_mut_ptr();
         for i in 0..rows {
             for k in 0..rows {
                 let pik = p[i * rows + k];
                 if pik >= INF || i == k {
                     continue;
                 }
-                for j in 0..cols {
-                    let via = dist_add(pik, c[k * cols + j]);
-                    if via < c[i * cols + j] {
-                        c[i * cols + j] = via;
-                    }
-                }
+                // SAFETY: i != k ⇒ disjoint rows of the same buffer.
+                let row_i = unsafe { std::slice::from_raw_parts_mut(ptr.add(i * cols), cols) };
+                let row_k = unsafe { std::slice::from_raw_parts(ptr.add(k * cols), cols) };
+                relax_row_branchless(row_i, row_k, pik);
             }
         }
     } else {
-        for i in 0..rows {
-            for k in 0..cols {
-                let cik = c[i * cols + k];
-                if cik >= INF {
-                    continue;
-                }
-                for j in 0..cols {
-                    if j == k {
+        // Each row depends only on itself and the read-only pivot:
+        // band-parallel over rows, with the scalar `j == k` skip kept by
+        // splitting the relaxation around column k.
+        let threads = exec.resolved_threads();
+        let shared = SharedSliceMut::new(c);
+        par_bands(rows, threads, 4, |band| {
+            // SAFETY: bands own disjoint rows; `p` is a separate buffer.
+            let c = unsafe { shared.slice() };
+            for i in band {
+                for k in 0..cols {
+                    let cik = c[i * cols + k];
+                    if cik >= INF {
                         continue;
                     }
-                    let via = dist_add(cik, p[k * cols + j]);
-                    if via < c[i * cols + j] {
-                        c[i * cols + j] = via;
-                    }
+                    let row = &mut c[i * cols..(i + 1) * cols];
+                    let (head, tail) = row.split_at_mut(k);
+                    relax_row_branchless(head, &p[k * cols..k * cols + k], cik);
+                    relax_row_branchless(&mut tail[1..], &p[k * cols + k + 1..(k + 1) * cols], cik);
                 }
             }
-        }
+        });
     }
 }
 
@@ -158,6 +255,18 @@ pub fn minplus_product(
     b: &DeviceMatrix,
 ) {
     minplus_kernel(dev, stream, c, a, b);
+}
+
+/// [`minplus_product`] under an explicit execution backend.
+pub fn minplus_product_exec(
+    dev: &mut GpuDevice,
+    stream: StreamId,
+    c: &mut DeviceMatrix,
+    a: &DeviceMatrix,
+    b: &DeviceMatrix,
+    exec: ExecBackend,
+) {
+    minplus_kernel_exec(dev, stream, c, a, b, exec);
 }
 
 #[cfg(test)]
@@ -279,6 +388,68 @@ mod tests {
         assert_eq!(c.as_slice(), &after_one[..], "second pass changed data");
         // Row 0 must have picked up row 1's cheap entry through P[0][1]=1.
         assert_eq!(c.get(0, 0), 3);
+    }
+
+    #[test]
+    fn exec_backends_bit_identical_all_variants() {
+        // Random-ish operands with INF sprinkled in, ragged shapes.
+        let vals = |len: usize, salt: u32| -> Vec<u32> {
+            (0..len as u32)
+                .map(|x| {
+                    let v = x.wrapping_mul(2654435761).wrapping_add(salt);
+                    if v % 6 == 0 {
+                        INF
+                    } else {
+                        v % 997
+                    }
+                })
+                .collect()
+        };
+        let backends = [
+            ExecBackend::Parallel { threads: Some(1) },
+            ExecBackend::Parallel { threads: Some(3) },
+        ];
+        let (rows, inner, cols) = (19usize, 23usize, 17usize);
+        // Three-operand kernel.
+        let run_kernel = |exec: ExecBackend| {
+            let mut d = dev();
+            let s = d.default_stream();
+            let a = mat(&d, rows, inner, &vals(rows * inner, 1));
+            let b = mat(&d, inner, cols, &vals(inner * cols, 2));
+            let mut c = mat(&d, rows, cols, &vals(rows * cols, 3));
+            minplus_kernel_exec(&mut d, s, &mut c, &a, &b, exec);
+            (c.as_slice().to_vec(), d.synchronize().seconds())
+        };
+        let scalar = run_kernel(ExecBackend::Scalar);
+        for &e in &backends {
+            assert_eq!(run_kernel(e), scalar, "kernel {e}");
+        }
+        // Left in-place.
+        let run_left = |exec: ExecBackend| {
+            let mut d = dev();
+            let s = d.default_stream();
+            let p = mat(&d, rows, rows, &vals(rows * rows, 4));
+            let mut c = mat(&d, rows, cols, &vals(rows * cols, 5));
+            minplus_left_inplace_exec(&mut d, s, &mut c, &p, exec);
+            (c.as_slice().to_vec(), d.synchronize().seconds())
+        };
+        let scalar = run_left(ExecBackend::Scalar);
+        for &e in &backends {
+            assert_eq!(run_left(e), scalar, "left {e}");
+        }
+        // Right in-place.
+        let run_right = |exec: ExecBackend| {
+            let mut d = dev();
+            let s = d.default_stream();
+            let p = mat(&d, cols, cols, &vals(cols * cols, 6));
+            let mut c = mat(&d, rows, cols, &vals(rows * cols, 7));
+            minplus_right_inplace_exec(&mut d, s, &mut c, &p, exec);
+            (c.as_slice().to_vec(), d.synchronize().seconds())
+        };
+        let scalar = run_right(ExecBackend::Scalar);
+        for &e in &backends {
+            assert_eq!(run_right(e), scalar, "right {e}");
+        }
     }
 
     #[test]

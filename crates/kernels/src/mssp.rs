@@ -13,6 +13,7 @@ use crate::model::{
     BYTES_PER_RELAXATION, FRONTIER_IRREGULARITY, OPS_PER_RELAXATION, THREADS_PER_BLOCK,
 };
 use crate::nearfar::{near_far_sssp, NearFarStats};
+use apsp_cpu::parallel::{par_bands, ExecBackend, SharedSliceMut};
 use apsp_gpu_sim::{GpuDevice, KernelCost, LaunchConfig, StreamId};
 use apsp_graph::{CsrGraph, Dist, VertexId};
 
@@ -26,6 +27,10 @@ pub struct MsspOptions {
     /// Out-degree above which a vertex's edge list is processed by a
     /// child kernel (ignored unless `dynamic_parallelism`).
     pub heavy_degree_threshold: usize,
+    /// Host execution backend: the per-source SSSP instances are
+    /// independent, so the parallel backend runs them across threads
+    /// (each writes its own output row) — bit-identical to sequential.
+    pub exec: ExecBackend,
 }
 
 impl MsspOptions {
@@ -36,6 +41,7 @@ impl MsspOptions {
             delta,
             dynamic_parallelism: false,
             heavy_degree_threshold: 1024,
+            exec: ExecBackend::default(),
         }
     }
 }
@@ -109,19 +115,64 @@ fn mssp_kernel_impl(
     } else {
         usize::MAX
     };
-    for (i, &src) in sources.iter().enumerate() {
-        if let Some(pm) = parents.as_deref_mut() {
-            let (dist, par, s) =
-                crate::nearfar::near_far_sssp_with_parents(g, src, opts.delta, heavy_threshold);
+    let threads = opts.exec.resolved_threads();
+    if opts.exec.is_scalar() || threads <= 1 || bat == 1 {
+        for (i, &src) in sources.iter().enumerate() {
+            if let Some(pm) = parents.as_deref_mut() {
+                let (dist, par, s) =
+                    crate::nearfar::near_far_sssp_with_parents(g, src, opts.delta, heavy_threshold);
+                max_iterations = max_iterations.max(s.near_iterations);
+                stats.merge(&s);
+                out.as_mut_slice()[i * n..(i + 1) * n].copy_from_slice(&dist);
+                pm.as_mut_slice()[i * n..(i + 1) * n].copy_from_slice(&par);
+            } else {
+                let (dist, s) = near_far_sssp(g, src, opts.delta, heavy_threshold);
+                max_iterations = max_iterations.max(s.near_iterations);
+                stats.merge(&s);
+                out.as_mut_slice()[i * n..(i + 1) * n].copy_from_slice(&dist);
+            }
+        }
+    } else {
+        // The SSSP instances are independent: band sources across
+        // threads, each writing its own row of `out`/`parents` and its
+        // own per-source stats slot, then merge the stats in source
+        // order so the aggregate matches the sequential loop exactly.
+        let mut per_source = vec![NearFarStats::default(); bat];
+        {
+            let out_shared = SharedSliceMut::new(out.as_mut_slice());
+            let parents_shared = parents
+                .as_deref_mut()
+                .map(|p| SharedSliceMut::new(p.as_mut_slice()));
+            let stats_shared = SharedSliceMut::new(&mut per_source);
+            par_bands(bat, threads, 1, |band| {
+                // SAFETY: bands own disjoint source indices, hence
+                // disjoint output rows and stats slots.
+                let out = unsafe { out_shared.slice() };
+                let per = unsafe { stats_shared.slice() };
+                for i in band {
+                    let src = sources[i];
+                    if let Some(ps) = parents_shared {
+                        let pm = unsafe { ps.slice() };
+                        let (dist, par, s) = crate::nearfar::near_far_sssp_with_parents(
+                            g,
+                            src,
+                            opts.delta,
+                            heavy_threshold,
+                        );
+                        per[i] = s;
+                        out[i * n..(i + 1) * n].copy_from_slice(&dist);
+                        pm[i * n..(i + 1) * n].copy_from_slice(&par);
+                    } else {
+                        let (dist, s) = near_far_sssp(g, src, opts.delta, heavy_threshold);
+                        per[i] = s;
+                        out[i * n..(i + 1) * n].copy_from_slice(&dist);
+                    }
+                }
+            });
+        }
+        for s in &per_source {
             max_iterations = max_iterations.max(s.near_iterations);
-            stats.merge(&s);
-            out.as_mut_slice()[i * n..(i + 1) * n].copy_from_slice(&dist);
-            pm.as_mut_slice()[i * n..(i + 1) * n].copy_from_slice(&par);
-        } else {
-            let (dist, s) = near_far_sssp(g, src, opts.delta, heavy_threshold);
-            max_iterations = max_iterations.max(s.near_iterations);
-            stats.merge(&s);
-            out.as_mut_slice()[i * n..(i + 1) * n].copy_from_slice(&dist);
+            stats.merge(s);
         }
     }
 
@@ -292,9 +343,9 @@ mod tests {
             let s = d.default_stream();
             let mut out = DeviceMatrix::alloc_inf(&d, 8, 2048).unwrap();
             let opts = MsspOptions {
-                delta: 25,
                 dynamic_parallelism: dynamic,
                 heavy_degree_threshold: 64,
+                ..MsspOptions::new(25)
             };
             let outcome = mssp_kernel(&mut d, s, &g, &sources, &mut out, opts);
             (d.synchronize().seconds(), outcome)
@@ -306,6 +357,37 @@ mod tests {
             dynpar < plain,
             "dynamic parallelism {dynpar} should beat plain {plain}"
         );
+    }
+
+    #[test]
+    fn exec_backends_bit_identical_with_parents() {
+        let g = gnp(150, 0.05, WeightRange::default(), 13);
+        let sources: Vec<u32> = vec![0, 7, 77, 149];
+        let run = |exec: ExecBackend| {
+            let mut d = dev();
+            let s = d.default_stream();
+            let mut out = DeviceMatrix::alloc_inf(&d, 4, 150).unwrap();
+            let mut parents = DeviceMatrix::alloc_inf(&d, 4, 150).unwrap();
+            let opts = MsspOptions {
+                exec,
+                ..MsspOptions::new(25)
+            };
+            let outcome =
+                mssp_kernel_with_parents(&mut d, s, &g, &sources, &mut out, &mut parents, opts);
+            (
+                out.as_slice().to_vec(),
+                parents.as_slice().to_vec(),
+                outcome.stats.total_relaxations(),
+                d.synchronize().seconds(),
+            )
+        };
+        let scalar = run(ExecBackend::Scalar);
+        for threads in [1usize, 3] {
+            let fast = run(ExecBackend::Parallel {
+                threads: Some(threads),
+            });
+            assert_eq!(fast, scalar, "{threads} threads");
+        }
     }
 
     #[test]
