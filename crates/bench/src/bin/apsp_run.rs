@@ -22,6 +22,10 @@
 //!   --sample <count>         print this many random distances (default 3)
 //!   --verify <rows>          re-derive this many random rows with Dijkstra
 //!   --trace                  print the device Gantt chart afterwards
+//!   --gantt                  alias for --trace
+//!   --metrics-out <path>     enable run telemetry and write the JSONL
+//!                            report (phase spans, transfer counters,
+//!                            selector calibration) to this file
 //! ```
 //!
 //! Drop in a SuiteSparse `.mtx` or a DIMACS `.gr` road network and this
@@ -53,6 +57,7 @@ struct Args {
     sample: usize,
     verify: usize,
     trace: bool,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         sample: 3,
         verify: 0,
         trace: false,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     let mut got_path = false;
@@ -158,7 +164,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --verify")?
             }
-            "--trace" => args.trace = true,
+            "--trace" | "--gantt" => args.trace = true,
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a value")?,
+                ))
+            }
             other if !got_path && !other.starts_with("--") => {
                 args.path = PathBuf::from(other);
                 got_path = true;
@@ -191,7 +202,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--backend scalar|parallel] [--threads n] [--sample n] [--trace]");
+            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--backend scalar|parallel] [--threads n] [--sample n] [--trace|--gantt] [--metrics-out path]");
             std::process::exit(2);
         }
     };
@@ -258,6 +269,7 @@ fn main() {
             fallback: args.fallback,
             ..Default::default()
         },
+        telemetry: args.metrics_out.is_some(),
         ..Default::default()
     };
     if let Some(dir) = &args.checkpoint_dir {
@@ -281,8 +293,12 @@ fn main() {
     println!("algorithm: {}", result.algorithm);
     println!("backend: {exec} ({} thread(s))", exec.resolved_threads());
     if let Some(sel) = &result.selection {
-        for (alg, est) in &sel.estimates {
-            println!("  estimate {alg}: {est:.6} s");
+        for c in &sel.candidates {
+            match (c.estimate, &c.filter_reason) {
+                (Some(est), _) => println!("  estimate {}: {est:.6} s", c.algorithm),
+                (None, Some(reason)) => println!("  estimate {}: filtered ({reason})", c.algorithm),
+                (None, None) => println!("  estimate {}: unavailable", c.algorithm),
+            }
         }
     }
     for fb in &result.fallback_events {
@@ -329,6 +345,21 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    if let Some(path) = &args.metrics_out {
+        let report = result
+            .telemetry
+            .as_ref()
+            .expect("telemetry was enabled for --metrics-out");
+        if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "metrics: {} record(s) written to {}",
+            report.to_jsonl().lines().count(),
+            path.display()
+        );
     }
     if args.trace {
         println!("\ndevice timeline:");

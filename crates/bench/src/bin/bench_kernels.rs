@@ -9,6 +9,8 @@
 //!   --out <path>   where to write the JSON report
 //!                  (default BENCH_kernels.json in the current directory)
 //!   --reps <n>     timing repetitions per case, best-of (default 3)
+//!   --metrics-out <path>   also write the per-case telemetry JSONL
+//!                  (one run report per out-of-core case, concatenated)
 //! ```
 //!
 //! Two families of cases:
@@ -27,7 +29,7 @@
 //! exits non-zero.
 
 use apsp_core::options::Algorithm;
-use apsp_core::{apsp, ApspOptions, StorageBackend};
+use apsp_core::{apsp, ApspOptions, RunReport, StorageBackend};
 use apsp_cpu::parallel::minplus_tile_exec;
 use apsp_cpu::ExecBackend;
 use apsp_gpu_sim::{DeviceProfile, GpuDevice};
@@ -84,6 +86,8 @@ struct CaseResult {
     parallel_secs: f64,
     checksum: u64,
     bit_identical: bool,
+    /// Run telemetry from the parallel-backend rep (ooc cases only).
+    telemetry: Option<RunReport>,
 }
 
 impl CaseResult {
@@ -143,6 +147,7 @@ fn bench_minplus(n: usize, reps: usize) -> CaseResult {
         parallel_secs,
         checksum: fnv1a_u32s(&c_scalar, FNV_OFFSET_BASIS),
         bit_identical: c_scalar == c_parallel,
+        telemetry: None,
     }
 }
 
@@ -151,12 +156,15 @@ fn run_ooc(
     algorithm: Algorithm,
     storage: &StorageBackend,
     exec: ExecBackend,
-) -> (f64, u64) {
+) -> (f64, u64, Option<RunReport>) {
     let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
     let opts = ApspOptions {
         algorithm: Some(algorithm),
         storage: storage.clone(),
         exec,
+        // Both backends run with telemetry on, so the wall-clock
+        // comparison stays apples-to-apples and the report rides along.
+        telemetry: true,
         ..Default::default()
     };
     let t = Instant::now();
@@ -169,7 +177,7 @@ fn run_ooc(
         .first()
         .copied()
         .unwrap_or(FNV_OFFSET_BASIS);
-    (secs, checksum)
+    (secs, checksum, result.telemetry)
 }
 
 fn bench_ooc(graph: &CsrGraph, algorithm: Algorithm, disk: bool, reps: usize) -> CaseResult {
@@ -189,13 +197,15 @@ fn bench_ooc(graph: &CsrGraph, algorithm: Algorithm, disk: bool, reps: usize) ->
     let mut parallel_secs = f64::INFINITY;
     let mut scalar_sum = 0;
     let mut parallel_sum = 0;
+    let mut telemetry = None;
     for _ in 0..reps.max(1) {
-        let (s, cs) = run_ooc(graph, algorithm, &storage, ExecBackend::scalar());
+        let (s, cs, _) = run_ooc(graph, algorithm, &storage, ExecBackend::scalar());
         scalar_secs = scalar_secs.min(s);
         scalar_sum = cs;
-        let (p, cp) = run_ooc(graph, algorithm, &storage, ExecBackend::parallel());
+        let (p, cp, tel) = run_ooc(graph, algorithm, &storage, ExecBackend::parallel());
         parallel_secs = parallel_secs.min(p);
         parallel_sum = cp;
+        telemetry = tel;
     }
 
     CaseResult {
@@ -206,11 +216,55 @@ fn bench_ooc(graph: &CsrGraph, algorithm: Algorithm, disk: bool, reps: usize) ->
         parallel_secs,
         checksum: scalar_sum,
         bit_identical: scalar_sum == parallel_sum,
+        telemetry,
     }
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json_opt_secs(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.6}"),
+        None => "null".into(),
+    }
+}
+
+/// The compact telemetry object embedded per out-of-core case:
+/// aggregated phase spans plus the selector calibration records.
+fn telemetry_json(t: &RunReport) -> String {
+    let phases = t
+        .aggregated_phases()
+        .iter()
+        .map(|(name, count, seconds)| {
+            format!(
+                "{{\"name\": \"{}\", \"count\": {count}, \"seconds\": {seconds:.6}}}",
+                json_escape(name)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let calibration = t
+        .calibration
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"algorithm\": \"{}\", \"predicted_s\": {}, \"selected\": {}, \"realized_s\": {}}}",
+                c.algorithm,
+                json_opt_secs(c.predicted_s),
+                c.selected,
+                json_opt_secs(c.realized_s),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"sim_seconds\": {:.6}, \"bytes_h2d\": {}, \"bytes_d2h\": {}, \
+         \"kernel_launches\": {}, \"overlap_efficiency\": {:.6}, \
+         \"phases\": [{phases}], \"calibration\": [{calibration}]}}",
+        t.sim_seconds, t.bytes_h2d, t.bytes_d2h, t.kernel_launches, t.overlap_efficiency,
+    )
 }
 
 fn write_report(
@@ -228,11 +282,15 @@ fn write_report(
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
+        let telemetry = match &c.telemetry {
+            Some(t) => format!(", \"telemetry\": {}", telemetry_json(t)),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{\"kind\": \"{}\", \"name\": \"{}\", \"n\": {}, \
              \"scalar_secs\": {:.6}, \"parallel_secs\": {:.6}, \
              \"speedup\": {:.3}, \"checksum\": \"{:#018x}\", \
-             \"bit_identical\": {}}}{}\n",
+             \"bit_identical\": {}{}}}{}\n",
             json_escape(c.kind),
             json_escape(&c.name),
             c.n,
@@ -241,6 +299,7 @@ fn write_report(
             c.speedup(),
             c.checksum,
             c.bit_identical,
+            telemetry,
             if i + 1 < cases.len() { "," } else { "" }
         ));
     }
@@ -251,12 +310,14 @@ fn write_report(
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_kernels.json".to_string();
+    let mut metrics_out: Option<String> = None;
     let mut reps = 3usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = it.next().expect("--out needs a value"),
+            "--metrics-out" => metrics_out = Some(it.next().expect("--metrics-out needs a value")),
             "--reps" => {
                 reps = it
                     .next()
@@ -266,7 +327,9 @@ fn main() {
             }
             other => {
                 eprintln!("unexpected argument '{other}'");
-                eprintln!("usage: bench_kernels [--smoke] [--out path] [--reps n]");
+                eprintln!(
+                    "usage: bench_kernels [--smoke] [--out path] [--reps n] [--metrics-out path]"
+                );
                 std::process::exit(2);
             }
         }
@@ -324,6 +387,19 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+
+    if let Some(path) = &metrics_out {
+        let jsonl: String = cases
+            .iter()
+            .filter_map(|c| c.telemetry.as_ref())
+            .map(RunReport::to_jsonl)
+            .collect();
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
 
     if let Some(c) = cases.iter().find(|c| !c.bit_identical) {
         eprintln!("FAIL: {} is not bit-identical across backends", c.name);

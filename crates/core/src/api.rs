@@ -15,6 +15,7 @@ use crate::ooc_johnson::{
 use crate::options::{Algorithm, ApspOptions};
 use crate::selector::{CostModels, JohnsonModel, Selection};
 use crate::supervisor::{FallbackEvent, SupervisionEvent, Supervisor};
+use crate::telemetry::{CalibrationRecord, RunReport, Telemetry};
 use crate::tile_store::TileStore;
 use apsp_gpu_sim::{GpuDevice, SimReport};
 use apsp_graph::CsrGraph;
@@ -52,6 +53,33 @@ pub struct ApspResult {
     /// Supervision telemetry: retries, stalls and fallbacks in the order
     /// they happened. Deterministic for a fixed seed and fault plan.
     pub supervision_events: Vec<SupervisionEvent>,
+    /// The structured run report (`None` unless `opts.telemetry` is on).
+    /// Render it with [`RunReport::to_jsonl`].
+    pub telemetry: Option<RunReport>,
+}
+
+/// The short tag telemetry artifacts use for an algorithm.
+fn algorithm_tag(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::FloydWarshall => "fw",
+        Algorithm::Johnson => "johnson",
+        Algorithm::Boundary => "boundary",
+    }
+}
+
+/// One calibration batch from a selection: every candidate, costed or
+/// filtered, with `chosen` marked as the one that will run.
+fn calibration_records(sel: &Selection, chosen: Algorithm) -> Vec<CalibrationRecord> {
+    sel.candidates
+        .iter()
+        .map(|c| CalibrationRecord {
+            algorithm: algorithm_tag(c.algorithm),
+            predicted_s: c.estimate,
+            filter_reason: c.filter_reason.clone(),
+            selected: c.algorithm == chosen,
+            realized_s: None,
+        })
+        .collect()
 }
 
 /// Compute APSP for `g` on `dev`, choosing the implementation with the
@@ -77,6 +105,17 @@ pub fn apsp(
     let n = g.num_vertices();
     if n == 0 {
         return Err(ApspError::InvalidInput("graph has no vertices".into()));
+    }
+    let telemetry = if opts.telemetry {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    if telemetry.is_enabled() {
+        // Overlap efficiency is computed from the event trace. Recording
+        // it only appends to a host-side vector — the simulated timeline
+        // is untouched, so the distances stay bit-identical.
+        dev.enable_trace();
     }
     // The front-end's `exec` is authoritative: push it into every
     // per-algorithm option block so whatever the selector (or the
@@ -126,7 +165,30 @@ pub fn apsp(
             (selection.algorithm, Some(selection))
         }
     };
-    let sup = Supervisor::new(&opts.supervision, dev.elapsed().seconds());
+    if telemetry.is_enabled() {
+        match &selection {
+            Some(sel) => telemetry.record_calibration(calibration_records(sel, algorithm)),
+            None => {
+                // Forced or resumed runs bypass the selector, but the
+                // calibration artifact is still wanted: cost every
+                // candidate on scratch probes (the run's device clock is
+                // untouched) without changing `result.selection`.
+                let models = CostModels::calibrate_cached(dev.profile());
+                if let Ok(johnson) =
+                    JohnsonModel::probe(dev.profile(), g, &opts.selector, &opts.johnson)
+                {
+                    if let Some(sel) = models.select_masked(g, &opts.selector, &johnson, &[]) {
+                        telemetry.record_calibration(calibration_records(&sel, algorithm));
+                    }
+                }
+            }
+        }
+    }
+    let sup = Supervisor::with_telemetry(
+        &opts.supervision,
+        dev.elapsed().seconds(),
+        telemetry.clone(),
+    );
     let mut store = TileStore::new(n, &opts.storage)?;
     store.set_exec_backend(opts.exec);
     store.set_supervision(sup.clone());
@@ -135,10 +197,28 @@ pub fn apsp(
     let mut masked: Vec<Algorithm> = Vec::new();
     let mut fallback_events: Vec<FallbackEvent> = Vec::new();
     let (sim_seconds, details) = loop {
+        let span = telemetry.phase_start(dev);
         let attempt = run_one(algorithm, g, dev, &mut store, opts, ckpt.as_ref(), &sup);
         let err = match attempt {
-            Ok(ok) => break ok,
-            Err(e) => e,
+            Ok(ok) => {
+                telemetry.phase_end(dev, span, &format!("attempt.{}", algorithm_tag(algorithm)));
+                // The realized time the cost model is judged by is the
+                // driver's own measure, matching what it predicted.
+                telemetry.set_realized(ok.0);
+                break ok;
+            }
+            Err(e) => {
+                // A failed attempt has no driver stats — its span
+                // duration is the realized cost of having tried it.
+                if let Some(wasted) = telemetry.phase_end(
+                    dev,
+                    span,
+                    &format!("attempt.{}.failed", algorithm_tag(algorithm)),
+                ) {
+                    telemetry.set_realized(wasted);
+                }
+                e
+            }
         };
         // A failed algorithm is worth replacing only when the failure is
         // about *this algorithm's* resource shape or liveness. Anything
@@ -184,18 +264,36 @@ pub fn apsp(
         });
         sup.reset_progress(now);
         algorithm = next.algorithm;
+        telemetry.record_calibration(calibration_records(&next, next.algorithm));
         selection = Some(next);
     };
     store.clear_supervision(); // the result outlives the run's budgets
+    let (retries, checkpoint_commits) = match &details {
+        RunDetails::FloydWarshall(s) => (s.retries as u64, s.checkpoint_commits as u64),
+        RunDetails::Johnson(s) => (s.retries as u64, s.checkpoint_commits as u64),
+        RunDetails::Boundary(s) => (s.retries as u64, s.checkpoint_commits as u64),
+    };
+    let report = dev.report();
+    let supervision_events = sup.events();
+    let telemetry = telemetry.build_report(
+        algorithm_tag(algorithm),
+        sim_seconds,
+        &report,
+        dev.trace(),
+        &supervision_events,
+        retries,
+        checkpoint_commits,
+    );
     Ok(ApspResult {
         store,
         algorithm,
         selection,
         sim_seconds,
-        report: dev.report(),
+        report,
         details,
         fallback_events,
-        supervision_events: sup.events(),
+        supervision_events,
+        telemetry,
     })
 }
 
@@ -289,7 +387,7 @@ mod tests {
         };
         let result = apsp(&g, &mut dev, &opts).unwrap();
         let selection = result.selection.as_ref().unwrap();
-        assert!(!selection.estimates.is_empty());
+        assert!(!selection.estimates().is_empty());
         assert_eq!(result.algorithm, selection.algorithm);
         assert_eq!(result.store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
     }
@@ -314,13 +412,26 @@ mod tests {
         };
         let result = apsp(&g, &mut dev, &opts).unwrap();
         let sel = result.selection.as_ref().unwrap();
-        let algos: Vec<Algorithm> = sel.estimates.iter().map(|&(a, _)| a).collect();
+        let ests = sel.estimates();
+        let algos: Vec<Algorithm> = ests.iter().map(|&(a, _)| a).collect();
         assert!(algos.contains(&Algorithm::Boundary), "{algos:?}");
         assert!(algos.contains(&Algorithm::Johnson), "{algos:?}");
         assert!(!algos.contains(&Algorithm::FloydWarshall), "{algos:?}");
+        // Floyd-Warshall is filtered, not silently dropped: its
+        // candidate entry survives with the reason attached.
+        let fw = sel
+            .candidates
+            .iter()
+            .find(|c| c.algorithm == Algorithm::FloydWarshall)
+            .unwrap();
+        assert!(fw.estimate.is_none());
+        assert!(
+            fw.filter_reason.as_deref().unwrap().contains("density"),
+            "{:?}",
+            fw.filter_reason
+        );
         // The winner is the argmin of the estimates.
-        let best = sel
-            .estimates
+        let best = ests
             .iter()
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap()
@@ -494,6 +605,45 @@ mod tests {
         };
         let err = apsp(&g, &mut dev, &opts).unwrap_err();
         assert_eq!(err.kind(), crate::ApspErrorKind::Stalled, "{err}");
+    }
+
+    #[test]
+    fn telemetry_report_rides_along_when_enabled() {
+        let g = gnp(90, 0.06, WeightRange::default(), 51);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let opts = ApspOptions {
+            telemetry: true,
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &opts).unwrap();
+        let tel = result.telemetry.as_ref().unwrap();
+        assert!(!tel.spans.is_empty(), "phase spans must be recorded");
+        assert!(
+            tel.spans.iter().any(|s| s.name.starts_with("attempt.")),
+            "{:?}",
+            tel.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+        assert_eq!(tel.calibration.len(), 3, "{:?}", tel.calibration);
+        for rec in &tel.calibration {
+            // Every costed candidate carries both a prediction and the
+            // realized seconds of the attempt its batch fed.
+            assert_eq!(rec.predicted_s.is_none(), rec.filter_reason.is_some());
+            if rec.filter_reason.is_none() {
+                assert!(rec.realized_s.is_some(), "{rec:?}");
+            }
+        }
+        assert!(tel.bytes_h2d > 0 && tel.bytes_d2h > 0);
+        assert!(tel.overlap_efficiency >= 0.0 && tel.overlap_efficiency <= 1.0);
+        // Telemetry must not perturb the run: an identical run with it
+        // off produces the identical matrix and clock.
+        let mut dev2 = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let off = apsp(&g, &mut dev2, &ApspOptions::default()).unwrap();
+        assert!(off.telemetry.is_none());
+        assert_eq!(off.sim_seconds, result.sim_seconds);
+        assert_eq!(
+            off.store.to_dist_matrix().unwrap(),
+            result.store.to_dist_matrix().unwrap()
+        );
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod options;
 pub mod paths;
 pub mod selector;
 pub mod supervisor;
+pub mod telemetry;
 pub mod tile_store;
 pub mod verify;
 
@@ -42,8 +43,9 @@ pub use api::{apsp, ApspResult};
 pub use checkpoint::{graph_fingerprint, Checkpoint, Manifest, Progress};
 pub use error::{ApspError, ApspErrorKind};
 pub use options::{Algorithm, ApspOptions, BoundaryOptions, CheckpointOptions, JohnsonOptions};
-pub use selector::{CostModels, Selection, SelectorConfig};
+pub use selector::{Candidate, CostModels, Selection, SelectorConfig};
 pub use supervisor::{
     CancelToken, FallbackEvent, RetryPolicy, SupervisionEvent, SupervisionOptions, Supervisor,
 };
+pub use telemetry::{CalibrationRecord, PhaseSpan, RunReport, Telemetry};
 pub use tile_store::{DiskFault, DiskFaultPlan, StorageBackend, TileStore};

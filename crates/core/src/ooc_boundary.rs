@@ -324,6 +324,8 @@ fn ooc_boundary_inner(
     };
 
     // ---- Step 2: dist₂ on each diagonal block.
+    let tel = sup.telemetry().clone();
+    let ph = tel.phase_start(dev);
     let mut dist2: Vec<Vec<Dist>> = Vec::with_capacity(k);
     for i in 0..k {
         let range = layout.component_range(i);
@@ -337,8 +339,10 @@ fn ooc_boundary_inner(
         }
         dist2.push(block);
     }
+    tel.phase_end(dev, ph, "boundary.dist2");
 
     // ---- Step 3: the boundary graph and dist₃.
+    let ph = tel.phase_start(dev);
     let bofs: Vec<usize> = {
         let mut v = Vec::with_capacity(k + 1);
         let mut acc = 0usize;
@@ -396,6 +400,7 @@ fn ooc_boundary_inner(
         fw_device_exec(dev, s0, &mut bound, opts.exec);
     }
     drop(bound_host);
+    tel.phase_end(dev, ph, "boundary.dist3");
 
     // ---- Step 4: dist₄, streamed to the host.
     // Staging capacity: after the resident boundary matrix and the peak
@@ -434,6 +439,7 @@ fn ooc_boundary_inner(
     let mut scatter_row = vec![0 as Dist; n];
 
     for i in start_component..k {
+        let ph = tel.phase_start(dev);
         let irange = layout.component_range(i);
         let sz_i = irange.len();
         let nb_i = layout.boundary_count(i);
@@ -499,7 +505,10 @@ fn ooc_boundary_inner(
             }
         }
 
+        tel.phase_end(dev, ph, "boundary.dist4");
+
         let mut flushed = false;
+        let ph = tel.phase_start(dev);
         if batching {
             staged.push(i);
             let last = i + 1 == k;
@@ -524,6 +533,9 @@ fn ooc_boundary_inner(
             // Unbatched: the host panel for component i is complete.
             write_panel(store, &layout, i, &host_panel, &mut scatter_row)?;
             flushed = true;
+        }
+        if flushed {
+            tel.phase_end(dev, ph, "boundary.flush");
         }
         // Supervision check at the natural barrier: a flushed panel
         // group is a unit of progress. Reads the makespan clock

@@ -287,14 +287,18 @@ fn fw_rounds(
         s0
     };
 
+    let tel = sup.telemetry().clone();
     for kb in start_round..n_d {
         let kr = extent(kb);
         // ---- Stage 1: diagonal tile.
+        let ph = tel.phase_start(dev);
         let mut diag = upload_tile(dev, s0, store, kr.clone(), kr.clone())?;
         fw_device_exec(dev, s0, &mut diag, opts.exec);
         download_tile(dev, s0, store, &diag, kr.clone(), kr.clone())?;
+        tel.phase_end(dev, ph, "fw.diagonal");
 
         // ---- Stage 2: pivot row and pivot column.
+        let ph = tel.phase_start(dev);
         for ib in 0..n_d {
             if ib == kb {
                 continue;
@@ -310,9 +314,11 @@ fn fw_rounds(
             download_tile(dev, s0, store, &col_tile, ir.clone(), kr.clone())?;
         }
         drop(diag);
+        tel.phase_end(dev, ph, "fw.pivot");
 
         // ---- Stage 3: remainder tiles, double-buffered across streams.
         // The overlap stream must not start before stage 2 finished.
+        let ph = tel.phase_start(dev);
         if opts.overlap_transfers {
             let stage2_done = dev.record_event(s0);
             dev.wait_event(s1, stage2_done);
@@ -347,6 +353,7 @@ fn fw_rounds(
                 download_tile(dev, stream, store, &c_tile, ir.clone(), jr.clone())?;
             }
         }
+        tel.phase_end(dev, ph, "fw.remainder");
         // Round barrier: the next round's pivot depends on everything.
         let now = dev.synchronize().seconds();
         // Supervision check at the natural barrier: a cancellation,

@@ -314,12 +314,14 @@ fn johnson_batches(
     } else {
         s0
     };
+    let tel = sup.telemetry().clone();
     let mut work = NearFarStats::default();
     let mut num_batches = 0usize;
     let mut host_panel = vec![0 as Dist; bat * n];
     let sources: Vec<VertexId> = (start_row as VertexId..n as VertexId).collect();
     for (bi, chunk) in sources.chunks(bat).enumerate() {
         num_batches += 1;
+        let ph = tel.phase_start(dev);
         // Alternate streams so the previous panel's D2H overlaps this
         // batch's kernel.
         let stream = if opts.overlap_transfers && bi % 2 == 1 {
@@ -350,6 +352,7 @@ fn johnson_batches(
         let host = &mut host_panel[..chunk.len() * n];
         panel.download_rows(dev, stream, 0..chunk.len(), host, Pinning::Pinned);
         store.write_rows(chunk[0] as usize, host)?;
+        tel.phase_end(dev, ph, "johnson.batch");
         // Supervision check at the natural barrier: this batch's rows
         // are down; everything committed so far stays resumable. Reads
         // the makespan clock (`elapsed`), not `synchronize` — a real

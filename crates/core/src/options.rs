@@ -160,6 +160,11 @@ pub struct ApspOptions {
     /// store (overrides the per-algorithm `exec` fields when set through
     /// [`crate::api::apsp`]).
     pub exec: ExecBackend,
+    /// Record run telemetry (phase spans, calibration records, byte and
+    /// launch counters) and attach a [`crate::telemetry::RunReport`] to
+    /// the result. Off by default; enabling it never changes the
+    /// computed distances or the simulated clock.
+    pub telemetry: bool,
 }
 
 impl Default for ApspOptions {
@@ -174,6 +179,7 @@ impl Default for ApspOptions {
             checkpoint: None,
             supervision: SupervisionOptions::default(),
             exec: ExecBackend::default(),
+            telemetry: false,
         }
     }
 }

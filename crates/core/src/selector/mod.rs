@@ -86,15 +86,44 @@ impl SelectorConfig {
     }
 }
 
+/// One algorithm's fate during selection: either it survived filtering
+/// and was costed, or it was excluded and the reason is recorded. Every
+/// selection covers all three algorithms, so downstream artifacts
+/// (calibration records, `--metrics-out`) never show a silent gap.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The algorithm this entry describes.
+    pub algorithm: Algorithm,
+    /// Estimated execution time in simulated seconds; `None` when the
+    /// candidate was filtered out before costing.
+    pub estimate: Option<f64>,
+    /// Why the candidate was excluded (`None` for costed survivors).
+    pub filter_reason: Option<String>,
+}
+
 /// Estimated execution times (simulated seconds) per candidate.
 #[derive(Debug, Clone)]
 pub struct Selection {
     /// The winning algorithm.
     pub algorithm: Algorithm,
-    /// Every candidate's estimate (filtered-out candidates absent).
-    pub estimates: Vec<(Algorithm, f64)>,
+    /// Every algorithm's fate, in the fixed order Johnson,
+    /// Floyd-Warshall, boundary: an estimate for survivors, a filter
+    /// reason for the rest. Nothing is silently dropped.
+    pub candidates: Vec<Candidate>,
     /// The density class that drove the filtering.
     pub class: DensityClass,
+}
+
+impl Selection {
+    /// The costed survivors as `(algorithm, estimated seconds)` pairs —
+    /// the pre-refactor shape of this report, for callers that only care
+    /// about ranked estimates.
+    pub fn estimates(&self) -> Vec<(Algorithm, f64)> {
+        self.candidates
+            .iter()
+            .filter_map(|c| c.estimate.map(|e| (c.algorithm, e)))
+            .collect()
+    }
 }
 
 /// Calibrated cost models for one device profile.
@@ -195,30 +224,55 @@ impl CostModels {
                 Algorithm::Boundary => self.boundary.estimate_seconds(self, g),
             }
         };
-        let mut candidates: Vec<Algorithm> = preferred
+        const ALL: [Algorithm; 3] = [
+            Algorithm::Johnson,
+            Algorithm::FloydWarshall,
+            Algorithm::Boundary,
+        ];
+        let mut ranked: Vec<Algorithm> = preferred
             .iter()
             .copied()
             .filter(|a| !masked.contains(a))
             .collect();
-        if candidates.is_empty() {
-            candidates = [
-                Algorithm::Johnson,
-                Algorithm::FloydWarshall,
-                Algorithm::Boundary,
-            ]
-            .into_iter()
-            .filter(|a| !masked.contains(a))
-            .collect();
+        if ranked.is_empty() {
+            ranked = ALL.into_iter().filter(|a| !masked.contains(a)).collect();
         }
-        let estimates: Vec<(Algorithm, f64)> =
-            candidates.into_iter().map(|a| (a, estimate(a))).collect();
-        let algorithm = estimates
+        // Every algorithm gets a candidate entry: survivors carry an
+        // estimate, the rest carry the reason they were excluded.
+        let candidates: Vec<Candidate> = ALL
+            .into_iter()
+            .map(|a| {
+                if ranked.contains(&a) {
+                    Candidate {
+                        algorithm: a,
+                        estimate: Some(estimate(a)),
+                        filter_reason: None,
+                    }
+                } else if masked.contains(&a) {
+                    Candidate {
+                        algorithm: a,
+                        estimate: None,
+                        filter_reason: Some("masked after an unrecoverable failure".into()),
+                    }
+                } else {
+                    Candidate {
+                        algorithm: a,
+                        estimate: None,
+                        filter_reason: Some(format!(
+                            "excluded by the density filter ({class:?} class)"
+                        )),
+                    }
+                }
+            })
+            .collect();
+        let algorithm = candidates
             .iter()
+            .filter_map(|c| c.estimate.map(|e| (c.algorithm, e)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .map(|&(a, _)| a)?;
+            .map(|(a, _)| a)?;
         Some(Selection {
             algorithm,
-            estimates,
+            candidates,
             class,
         })
     }
@@ -292,6 +346,48 @@ mod tests {
                 ],
             )
             .is_none());
+    }
+
+    #[test]
+    fn every_candidate_carries_estimate_or_filter_reason() {
+        let profile = apsp_gpu_sim::DeviceProfile::v100();
+        let models = CostModels::calibrate_cached(&profile);
+        let cfg = SelectorConfig::default();
+        let g = gnp(100, 0.05, WeightRange::default(), 3); // dense class
+        let johnson = JohnsonModel::probe(
+            &profile,
+            &g,
+            &cfg,
+            &crate::options::JohnsonOptions::default(),
+        )
+        .unwrap();
+        let sel = models.select(&g, &cfg, &johnson);
+        assert_eq!(sel.candidates.len(), 3, "no candidate may be dropped");
+        for c in &sel.candidates {
+            assert!(
+                c.estimate.is_some() != c.filter_reason.is_some(),
+                "{:?} must have exactly one of estimate / filter reason",
+                c.algorithm
+            );
+        }
+        // Dense class: boundary is density-filtered with a recorded reason.
+        let boundary = sel
+            .candidates
+            .iter()
+            .find(|c| c.algorithm == Algorithm::Boundary)
+            .unwrap();
+        assert!(boundary.filter_reason.as_ref().unwrap().contains("density"));
+        assert_eq!(sel.estimates().len(), 2);
+        // Masked algorithms record the mask as their reason.
+        let masked = models
+            .select_masked(&g, &cfg, &johnson, &[Algorithm::Johnson])
+            .unwrap();
+        let j = masked
+            .candidates
+            .iter()
+            .find(|c| c.algorithm == Algorithm::Johnson)
+            .unwrap();
+        assert!(j.filter_reason.as_ref().unwrap().contains("masked"));
     }
 
     #[test]

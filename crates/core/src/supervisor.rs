@@ -29,6 +29,7 @@
 
 use crate::error::{ApspError, ApspErrorKind};
 use crate::options::Algorithm;
+use crate::telemetry::Telemetry;
 use apsp_gpu_sim::OutOfDeviceMemory;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -355,6 +356,10 @@ struct SupervisorInner {
     budget_s: Option<f64>,
     cancel: Option<CancelToken>,
     retry: RetryPolicy,
+    /// Metrics handle the drivers and the tile store reach through the
+    /// supervisor, so their signatures stay unchanged. Disabled unless
+    /// the front-end armed it via [`Supervisor::with_telemetry`].
+    telemetry: Telemetry,
     state: Mutex<SupervisorState>,
 }
 
@@ -371,14 +376,25 @@ struct SupervisorState {
 
 impl Supervisor {
     /// Arm a supervisor at simulated time `start_s` (the device clock at
-    /// run start).
+    /// run start), with telemetry disabled.
     pub fn new(opts: &SupervisionOptions, start_s: f64) -> Supervisor {
+        Supervisor::with_telemetry(opts, start_s, Telemetry::disabled())
+    }
+
+    /// [`Supervisor::new`] with a metrics handle attached; the drivers
+    /// and the tile store reach it through [`Supervisor::telemetry`].
+    pub fn with_telemetry(
+        opts: &SupervisionOptions,
+        start_s: f64,
+        telemetry: Telemetry,
+    ) -> Supervisor {
         Supervisor {
             inner: Arc::new(SupervisorInner {
                 deadline_s: opts.deadline_ms.map(|ms| start_s + ms as f64 / 1e3),
                 budget_s: opts.progress_budget_ms.map(|ms| ms as f64 / 1e3),
                 cancel: opts.cancel.clone(),
                 retry: opts.retry,
+                telemetry,
                 state: Mutex::new(SupervisorState {
                     last_progress_s: start_s,
                     io_stall_s: 0.0,
@@ -386,6 +402,12 @@ impl Supervisor {
                 }),
             }),
         }
+    }
+
+    /// The metrics handle this run records into (disabled unless the
+    /// front-end enabled telemetry).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
     }
 
     /// A supervisor with no budgets and no token: every check passes.

@@ -273,6 +273,14 @@ impl TileStore {
         }
     }
 
+    /// Telemetry row accounting, reached through the attached
+    /// [`Supervisor`]; a no-op when supervision or telemetry is off.
+    fn count_rows(&self, reads: u64, writes: u64) {
+        if let Some(sup) = &self.supervision {
+            sup.telemetry().count_store_rows(reads, writes);
+        }
+    }
+
     /// Arm a crash point: the next `after_ops` row-granular operations
     /// (a block access of `r` rows counts as `r`, matching the disk
     /// backing's positional-I/O accounting) succeed, then every
@@ -345,6 +353,7 @@ impl TileStore {
         assert!(i < self.n, "row index out of range");
         self.crash_tick(1)?;
         self.supervision_tick(1)?;
+        self.count_rows(0, 1);
         let n = self.n;
         if let Backing::Memory(data) = &mut self.backing {
             data[i * n..(i + 1) * n].copy_from_slice(row);
@@ -378,6 +387,7 @@ impl TileStore {
         assert!(row_start + count <= self.n, "rows out of range");
         self.crash_tick(1)?; // one contiguous positional write
         self.supervision_tick(count as u64)?; // but cancellation stays row-granular
+        self.count_rows(0, count as u64);
         match &mut self.backing {
             Backing::Memory(data) => {
                 data[row_start * self.n..row_start * self.n + rows.len()].copy_from_slice(rows);
@@ -409,6 +419,7 @@ impl TileStore {
         assert_eq!(data.len(), row_range.len() * width, "block size mismatch");
         self.crash_tick(row_range.len() as u64)?;
         self.supervision_tick(row_range.len() as u64)?;
+        self.count_rows(0, row_range.len() as u64);
         let n = self.n;
         let threads = self.exec.resolved_threads();
         match &mut self.backing {
@@ -454,6 +465,7 @@ impl TileStore {
         let width = col_range.len();
         self.crash_tick(row_range.len() as u64)?;
         self.supervision_tick(row_range.len() as u64)?;
+        self.count_rows(row_range.len() as u64, 0);
         let rows = row_range.len();
         let mut out = vec![0 as Dist; rows * width];
         match &self.backing {
@@ -494,6 +506,7 @@ impl TileStore {
         assert!(i < self.n);
         self.crash_tick(1)?;
         self.supervision_tick(1)?;
+        self.count_rows(1, 0);
         match &self.backing {
             Backing::Memory(data) => Ok(data[i * self.n..(i + 1) * self.n].to_vec()),
             Backing::Disk { file, base, .. } => {
@@ -517,6 +530,7 @@ impl TileStore {
         assert!(i < self.n && j < self.n);
         self.crash_tick(1)?;
         self.supervision_tick(1)?;
+        self.count_rows(1, 0);
         match &self.backing {
             Backing::Memory(data) => Ok(data[i * self.n + j]),
             Backing::Disk { file, base, .. } => {

@@ -38,8 +38,9 @@ pub mod profile;
 pub mod timeline;
 pub mod trace;
 
-pub use device::{GpuDevice, SimReport};
+pub use device::{DeviceCounters, GpuDevice, SimReport};
 pub use kernel::{KernelCost, LaunchConfig};
 pub use memory::{DeviceBuffer, OutOfDeviceMemory, Pinning};
 pub use profile::DeviceProfile;
 pub use timeline::{Engine, Event, SimTime, StreamId, Timeline};
+pub use trace::TraceEvent;

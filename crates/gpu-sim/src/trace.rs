@@ -29,14 +29,21 @@ impl TraceEvent {
     }
 }
 
+/// Marker for a timeline with no recorded operations. Shared by
+/// [`render_gantt`] and the telemetry JSONL report's empty-span encoding
+/// so the two artifacts stay textually consistent.
+pub const EMPTY_TIMELINE: &str = "(empty timeline)";
+
 /// Render events as an ASCII Gantt chart, one row per engine, `width`
 /// character cells across the full makespan. Concurrent operations on one
 /// engine cannot exist (engines serialize), so each row is unambiguous.
+/// Widths below 10 columns are clamped up to 10 rather than rejected, so
+/// a narrow terminal degrades the chart instead of panicking the caller.
 pub fn render_gantt(events: &[TraceEvent], width: usize) -> String {
-    assert!(width >= 10, "chart needs at least 10 columns");
+    let width = width.max(10);
     let makespan = events.iter().map(|e| e.end).fold(0.0f64, f64::max);
     if makespan <= 0.0 || events.is_empty() {
-        return "(empty trace)\n".to_string();
+        return format!("{EMPTY_TIMELINE}\n");
     }
     let mut out = String::new();
     out.push_str(&format!(
@@ -63,6 +70,21 @@ pub fn render_gantt(events: &[TraceEvent], width: usize) -> String {
         out.push_str("|\n");
     }
     out
+}
+
+/// Overlap efficiency of a trace: the fraction of total engine-busy
+/// seconds that was *hidden* by running concurrently with other work,
+/// `(Σ busy − makespan) / Σ busy`, clamped to `[0, 1]`. A fully serial
+/// timeline scores 0; perfect three-engine overlap approaches 2/3. An
+/// empty trace scores 0.
+pub fn overlap_efficiency(events: &[TraceEvent]) -> f64 {
+    let busy: f64 = events.iter().map(|e| e.duration()).sum();
+    if busy <= 0.0 {
+        return 0.0;
+    }
+    let lo = events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+    let hi = events.iter().map(|e| e.end).fold(0.0f64, f64::max);
+    ((busy - (hi - lo)) / busy).clamp(0.0, 1.0)
 }
 
 /// Utilization summary per engine from a trace: busy seconds / makespan.
@@ -118,7 +140,39 @@ mod tests {
 
     #[test]
     fn empty_trace_is_graceful() {
-        assert_eq!(render_gantt(&[], 20), "(empty trace)\n");
+        assert_eq!(render_gantt(&[], 20), format!("{EMPTY_TIMELINE}\n"));
+    }
+
+    #[test]
+    fn narrow_width_is_clamped_not_panicking() {
+        let events = vec![
+            ev("minplus", Engine::Compute, 0.0, 1.0),
+            ev("d2h", Engine::CopyD2H, 1.0, 2.0),
+        ];
+        for width in [0, 1, 3, 9] {
+            let chart = render_gantt(&events, width);
+            let row = chart.lines().find(|l| l.starts_with("compute")).unwrap();
+            // Clamped to the 10-column minimum: the cell area between the
+            // pipes is exactly 10 wide.
+            let cells = row.split('|').nth(1).unwrap();
+            assert_eq!(cells.len(), 10, "width {width} produced: {chart}");
+        }
+    }
+
+    #[test]
+    fn overlap_efficiency_spans_serial_to_concurrent() {
+        assert_eq!(overlap_efficiency(&[]), 0.0);
+        let serial = vec![
+            ev("k", Engine::Compute, 0.0, 1.0),
+            ev("d2h", Engine::CopyD2H, 1.0, 2.0),
+        ];
+        assert!(overlap_efficiency(&serial).abs() < 1e-12);
+        let concurrent = vec![
+            ev("k", Engine::Compute, 0.0, 2.0),
+            ev("d2h", Engine::CopyD2H, 0.0, 2.0),
+        ];
+        // 4 busy seconds in a 2-second window: half the work was hidden.
+        assert!((overlap_efficiency(&concurrent) - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn main() {
             Ok(result) => {
                 let sel = result.selection.expect("auto mode");
                 let ests: Vec<String> = sel
-                    .estimates
+                    .estimates()
                     .iter()
                     .map(|(a, t)| format!("{a}={t:.5}"))
                     .collect();

@@ -34,8 +34,14 @@ fn main() {
     let result = apsp(&graph, &mut device, &ApspOptions::default()).expect("apsp failed");
     println!("selected algorithm : {}", result.algorithm);
     if let Some(sel) = &result.selection {
-        for (alg, est) in &sel.estimates {
-            println!("  estimated {alg}: {est:.6} simulated seconds");
+        for c in &sel.candidates {
+            match (c.estimate, &c.filter_reason) {
+                (Some(est), _) => {
+                    println!("  estimated {}: {est:.6} simulated seconds", c.algorithm)
+                }
+                (_, Some(reason)) => println!("  estimated {}: filtered ({reason})", c.algorithm),
+                _ => {}
+            }
         }
     }
     println!("simulated time     : {:.6} s", result.sim_seconds);

@@ -24,7 +24,7 @@ fn density_filter_controls_candidates() {
     let dense = gnp(90, 0.2, WeightRange::default(), 1);
     let sel = run(&dense, SelectorConfig::default());
     assert_eq!(sel.class, DensityClass::Dense);
-    let algos: Vec<_> = sel.estimates.iter().map(|&(a, _)| a).collect();
+    let algos: Vec<_> = sel.estimates().iter().map(|&(a, _)| a).collect();
     assert!(algos.contains(&Algorithm::FloydWarshall));
     assert!(!algos.contains(&Algorithm::Boundary));
 
@@ -38,7 +38,7 @@ fn density_filter_controls_candidates() {
     let sel = run(&grid, mid_cfg);
     assert_eq!(sel.class, DensityClass::Sparse);
     assert_eq!(sel.algorithm, Algorithm::Johnson);
-    assert_eq!(sel.estimates.len(), 1);
+    assert_eq!(sel.estimates().len(), 1);
 
     // Very sparse: Johnson vs boundary; FW excluded.
     let vs_cfg = SelectorConfig {
@@ -48,7 +48,7 @@ fn density_filter_controls_candidates() {
     };
     let sel = run(&grid, vs_cfg);
     assert_eq!(sel.class, DensityClass::VerySparse);
-    let algos: Vec<_> = sel.estimates.iter().map(|&(a, _)| a).collect();
+    let algos: Vec<_> = sel.estimates().iter().map(|&(a, _)| a).collect();
     assert!(algos.contains(&Algorithm::Boundary));
     assert!(!algos.contains(&Algorithm::FloydWarshall));
 }

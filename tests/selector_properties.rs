@@ -35,7 +35,7 @@ proptest! {
         let sel = select_for(&g);
         prop_assert!(sel.algorithm != Algorithm::Boundary);
         prop_assert!(
-            sel.estimates.iter().all(|&(a, _)| a != Algorithm::Boundary),
+            sel.estimates().iter().all(|&(a, _)| a != Algorithm::Boundary),
             "boundary survived the density filter at density {}",
             g.density()
         );
@@ -54,7 +54,7 @@ proptest! {
         let sel = select_for(&g);
         prop_assert!(sel.algorithm != Algorithm::FloydWarshall);
         prop_assert!(
-            sel.estimates.iter().all(|&(a, _)| a != Algorithm::FloydWarshall),
+            sel.estimates().iter().all(|&(a, _)| a != Algorithm::FloydWarshall),
             "Floyd-Warshall survived the density filter at density {}",
             g.density()
         );
@@ -72,6 +72,6 @@ proptest! {
         prop_assert!(g.density() > 1e-4 && g.density() < 1e-2);
         let sel = select_for(&g);
         prop_assert!(sel.algorithm == Algorithm::Johnson);
-        prop_assert!(sel.estimates.len() == 1);
+        prop_assert!(sel.estimates().len() == 1);
     }
 }
