@@ -26,6 +26,13 @@
 //!   --metrics-out <path>     enable run telemetry and write the JSONL
 //!                            report (phase spans, transfer counters,
 //!                            selector calibration) to this file
+//!   --calibration-dir <dir>  persist per-device-profile selector
+//!                            calibration in this directory: the run
+//!                            consults the learned coefficients and folds
+//!                            its realized seconds back in at the end
+//!   --calibration-report     after the run, print the calibration
+//!                            store's per-coefficient summary
+//!                            (needs --calibration-dir)
 //! ```
 //!
 //! Drop in a SuiteSparse `.mtx` or a DIMACS `.gr` road network and this
@@ -58,6 +65,8 @@ struct Args {
     verify: usize,
     trace: bool,
     metrics_out: Option<PathBuf>,
+    calibration_dir: Option<PathBuf>,
+    calibration_report: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -79,6 +88,8 @@ fn parse_args() -> Result<Args, String> {
         verify: 0,
         trace: false,
         metrics_out: None,
+        calibration_dir: None,
+        calibration_report: false,
     };
     let mut it = std::env::args().skip(1);
     let mut got_path = false;
@@ -170,6 +181,12 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or("--metrics-out needs a value")?,
                 ))
             }
+            "--calibration-dir" => {
+                args.calibration_dir = Some(PathBuf::from(
+                    it.next().ok_or("--calibration-dir needs a value")?,
+                ))
+            }
+            "--calibration-report" => args.calibration_report = true,
             other if !got_path && !other.starts_with("--") => {
                 args.path = PathBuf::from(other);
                 got_path = true;
@@ -185,6 +202,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.backend_scalar && args.threads.is_some() {
         return Err("--threads only applies to --backend parallel".into());
+    }
+    if args.calibration_report && args.calibration_dir.is_none() {
+        return Err("--calibration-report needs --calibration-dir".into());
     }
     Ok(args)
 }
@@ -202,7 +222,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--backend scalar|parallel] [--threads n] [--sample n] [--trace|--gantt] [--metrics-out path]");
+            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--backend scalar|parallel] [--threads n] [--sample n] [--trace|--gantt] [--metrics-out path] [--calibration-dir dir] [--calibration-report]");
             std::process::exit(2);
         }
     };
@@ -270,8 +290,12 @@ fn main() {
             ..Default::default()
         },
         telemetry: args.metrics_out.is_some(),
+        calibration_dir: args.calibration_dir.clone(),
         ..Default::default()
     };
+    if let Some(dir) = &args.calibration_dir {
+        println!("calibrating selector against {}", dir.display());
+    }
     if let Some(dir) = &args.checkpoint_dir {
         println!(
             "checkpointing to {} ({})",
@@ -360,6 +384,16 @@ fn main() {
             report.to_jsonl().lines().count(),
             path.display()
         );
+    }
+    if args.calibration_report {
+        let dir = args.calibration_dir.as_ref().unwrap();
+        match apsp_core::CalibrationStore::open(dir, dev.profile()) {
+            Ok(store) => print!("{}", store.report()),
+            Err(e) => {
+                eprintln!("failed to read calibration store: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     if args.trace {
         println!("\ndevice timeline:");

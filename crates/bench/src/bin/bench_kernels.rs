@@ -11,6 +11,9 @@
 //!   --reps <n>     timing repetitions per case, best-of (default 3)
 //!   --metrics-out <path>   also write the per-case telemetry JSONL
 //!                  (one run report per out-of-core case, concatenated)
+//!   --calibration-dir <dir>   persist selector calibration across the
+//!                  out-of-core cases: each run folds its realized
+//!                  seconds back into the per-device-profile store
 //! ```
 //!
 //! Two families of cases:
@@ -156,6 +159,7 @@ fn run_ooc(
     algorithm: Algorithm,
     storage: &StorageBackend,
     exec: ExecBackend,
+    calibration_dir: Option<&std::path::Path>,
 ) -> (f64, u64, Option<RunReport>) {
     let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
     let opts = ApspOptions {
@@ -165,6 +169,7 @@ fn run_ooc(
         // Both backends run with telemetry on, so the wall-clock
         // comparison stays apples-to-apples and the report rides along.
         telemetry: true,
+        calibration_dir: calibration_dir.map(|d| d.to_path_buf()),
         ..Default::default()
     };
     let t = Instant::now();
@@ -180,7 +185,13 @@ fn run_ooc(
     (secs, checksum, result.telemetry)
 }
 
-fn bench_ooc(graph: &CsrGraph, algorithm: Algorithm, disk: bool, reps: usize) -> CaseResult {
+fn bench_ooc(
+    graph: &CsrGraph,
+    algorithm: Algorithm,
+    disk: bool,
+    reps: usize,
+    calibration_dir: Option<&std::path::Path>,
+) -> CaseResult {
     let alg_name = match algorithm {
         Algorithm::FloydWarshall => "fw",
         Algorithm::Johnson => "johnson",
@@ -199,10 +210,22 @@ fn bench_ooc(graph: &CsrGraph, algorithm: Algorithm, disk: bool, reps: usize) ->
     let mut parallel_sum = 0;
     let mut telemetry = None;
     for _ in 0..reps.max(1) {
-        let (s, cs, _) = run_ooc(graph, algorithm, &storage, ExecBackend::scalar());
+        let (s, cs, _) = run_ooc(
+            graph,
+            algorithm,
+            &storage,
+            ExecBackend::scalar(),
+            calibration_dir,
+        );
         scalar_secs = scalar_secs.min(s);
         scalar_sum = cs;
-        let (p, cp, tel) = run_ooc(graph, algorithm, &storage, ExecBackend::parallel());
+        let (p, cp, tel) = run_ooc(
+            graph,
+            algorithm,
+            &storage,
+            ExecBackend::parallel(),
+            calibration_dir,
+        );
         parallel_secs = parallel_secs.min(p);
         parallel_sum = cp;
         telemetry = tel;
@@ -250,9 +273,10 @@ fn telemetry_json(t: &RunReport) -> String {
         .iter()
         .map(|c| {
             format!(
-                "{{\"algorithm\": \"{}\", \"predicted_s\": {}, \"selected\": {}, \"realized_s\": {}}}",
+                "{{\"algorithm\": \"{}\", \"predicted_s\": {}, \"seed_predicted_s\": {}, \"selected\": {}, \"realized_s\": {}}}",
                 c.algorithm,
                 json_opt_secs(c.predicted_s),
+                json_opt_secs(c.seed_predicted_s),
                 c.selected,
                 json_opt_secs(c.realized_s),
             )
@@ -311,6 +335,7 @@ fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_kernels.json".to_string();
     let mut metrics_out: Option<String> = None;
+    let mut calibration_dir: Option<std::path::PathBuf> = None;
     let mut reps = 3usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -318,6 +343,11 @@ fn main() {
             "--smoke" => smoke = true,
             "--out" => out_path = it.next().expect("--out needs a value"),
             "--metrics-out" => metrics_out = Some(it.next().expect("--metrics-out needs a value")),
+            "--calibration-dir" => {
+                calibration_dir = Some(std::path::PathBuf::from(
+                    it.next().expect("--calibration-dir needs a value"),
+                ))
+            }
             "--reps" => {
                 reps = it
                     .next()
@@ -328,7 +358,7 @@ fn main() {
             other => {
                 eprintln!("unexpected argument '{other}'");
                 eprintln!(
-                    "usage: bench_kernels [--smoke] [--out path] [--reps n] [--metrics-out path]"
+                    "usage: bench_kernels [--smoke] [--out path] [--reps n] [--metrics-out path] [--calibration-dir dir]"
                 );
                 std::process::exit(2);
             }
@@ -369,7 +399,13 @@ fn main() {
         Algorithm::Boundary,
     ] {
         for disk in [false, true] {
-            let c = bench_ooc(&graph, algorithm, disk, reps.min(2));
+            let c = bench_ooc(
+                &graph,
+                algorithm,
+                disk,
+                reps.min(2),
+                calibration_dir.as_deref(),
+            );
             println!(
                 "  {:<16} scalar {:>9.4}s  parallel {:>9.4}s  speedup {:>5.2}x  {}",
                 c.name,

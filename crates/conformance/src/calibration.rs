@@ -1,0 +1,180 @@
+//! Replay harness for the self-calibrating selector.
+//!
+//! A *replay* runs the same graph on the same device profile `rounds`
+//! times with a persisted calibration store between runs — the setting
+//! the store is built for: each run folds its realized seconds back into
+//! the per-profile coefficients, so the selector's prediction for the
+//! algorithm it keeps choosing must converge onto the realized time.
+//!
+//! The harness records, per round, which algorithm won, the refitted and
+//! seed predictions, and the realized simulated seconds, and checks each
+//! round's distance matrix bit-for-bit against an uncalibrated baseline
+//! (calibration must never perturb a result — it only reorders future
+//! predictions). `tests/calibration.rs` asserts the convergence contract
+//! on top; the nightly CI job widens the same replay via
+//! `APSP_CALIBRATION_RUNS`.
+
+use apsp_core::options::Algorithm;
+use apsp_core::{apsp, ApspOptions, CalibrationStore};
+use apsp_gpu_sim::{DeviceProfile, GpuDevice};
+use apsp_graph::CsrGraph;
+use std::path::{Path, PathBuf};
+
+/// One run of a replay sequence, as seen by the selector.
+#[derive(Debug, Clone)]
+pub struct ReplayRound {
+    /// Zero-based round index.
+    pub round: usize,
+    /// The algorithm the (possibly refitted) selector chose.
+    pub selected: Algorithm,
+    /// The selector's prediction for the winner, refit applied.
+    pub predicted_s: f64,
+    /// The same prediction under seed constants alone.
+    pub seed_predicted_s: f64,
+    /// Realized simulated seconds of the run.
+    pub realized_s: f64,
+    /// Whether this round's matrix was bit-identical to the
+    /// uncalibrated baseline's.
+    pub matrix_identical: bool,
+}
+
+impl ReplayRound {
+    /// `|predicted − realized| / realized` — the convergence metric.
+    pub fn rel_error(&self) -> f64 {
+        (self.predicted_s - self.realized_s).abs() / self.realized_s
+    }
+}
+
+/// The result of a full replay sequence on one device profile.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Profile the sequence ran on.
+    pub profile_name: String,
+    /// On-disk path of the calibration store the sequence grew.
+    pub store_path: PathBuf,
+    /// Per-round observations, in order.
+    pub rounds: Vec<ReplayRound>,
+    /// The algorithm that is realized-fastest on this graph + profile,
+    /// measured by forcing each algorithm in turn (without calibration)
+    /// and comparing simulated clocks. Algorithms that cannot run on the
+    /// profile (e.g. boundary on a too-small device) are skipped.
+    pub realized_fastest: Algorithm,
+}
+
+impl ReplayReport {
+    /// Running mean of the relative error over rounds `0..=k`.
+    pub fn mean_rel_error_through(&self, k: usize) -> f64 {
+        let upto = &self.rounds[..=k];
+        upto.iter().map(ReplayRound::rel_error).sum::<f64>() / upto.len() as f64
+    }
+
+    /// The last round's winner.
+    pub fn final_selected(&self) -> Algorithm {
+        self.rounds
+            .last()
+            .expect("replay ran at least one round")
+            .selected
+    }
+
+    /// Human-readable per-round table (CI artifact).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "replay on {} ({} rounds), realized-fastest = {}\n",
+            self.profile_name,
+            self.rounds.len(),
+            self.realized_fastest
+        );
+        for r in &self.rounds {
+            out.push_str(&format!(
+                "  round {}: {} predicted {:.9} s (seed {:.9} s) realized {:.9} s rel_err {:.6} mean {:.6}\n",
+                r.round,
+                r.selected,
+                r.predicted_s,
+                r.seed_predicted_s,
+                r.realized_s,
+                r.rel_error(),
+                self.mean_rel_error_through(r.round),
+            ));
+        }
+        out
+    }
+}
+
+fn run_once(
+    g: &CsrGraph,
+    profile: &DeviceProfile,
+    calibration_dir: Option<&Path>,
+    algorithm: Option<Algorithm>,
+) -> apsp_core::ApspResult {
+    let mut dev = GpuDevice::new(profile.clone());
+    let opts = ApspOptions {
+        algorithm,
+        telemetry: true,
+        calibration_dir: calibration_dir.map(Path::to_path_buf),
+        ..Default::default()
+    };
+    apsp(g, &mut dev, &opts).expect("replay run failed")
+}
+
+/// Run the replay sequence: an uncalibrated baseline, then `rounds`
+/// auto-selected runs sharing the calibration store in `dir`.
+///
+/// Panics if any run fails or a round's telemetry lacks the selected
+/// candidate's prediction — both would be harness bugs, not findings.
+pub fn replay(profile: &DeviceProfile, g: &CsrGraph, dir: &Path, rounds: usize) -> ReplayReport {
+    assert!(rounds >= 1, "a replay needs at least one round");
+    let baseline = run_once(g, profile, None, None);
+    let baseline_matrix = baseline.store.to_dist_matrix().expect("baseline matrix");
+
+    // Which algorithm is actually fastest here? Force each in turn on a
+    // fresh device; infeasible ones simply don't compete.
+    let realized_fastest = [
+        Algorithm::Johnson,
+        Algorithm::FloydWarshall,
+        Algorithm::Boundary,
+    ]
+    .into_iter()
+    .filter_map(|a| {
+        let mut dev = GpuDevice::new(profile.clone());
+        let opts = ApspOptions {
+            algorithm: Some(a),
+            ..Default::default()
+        };
+        apsp(g, &mut dev, &opts).ok().map(|r| (a, r.sim_seconds))
+    })
+    .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite clocks"))
+    .expect("at least one algorithm must run")
+    .0;
+
+    let mut report = ReplayReport {
+        profile_name: profile.name.clone(),
+        store_path: CalibrationStore::fresh(dir, profile).path().to_path_buf(),
+        rounds: Vec::with_capacity(rounds),
+        realized_fastest,
+    };
+    for round in 0..rounds {
+        let result = run_once(g, profile, Some(dir), None);
+        let rec = result
+            .telemetry
+            .as_ref()
+            .expect("telemetry is on for replay runs")
+            .calibration
+            .iter()
+            .find(|c| c.selected)
+            .expect("one candidate is always selected")
+            .clone();
+        let matrix_identical =
+            result.store.to_dist_matrix().expect("round matrix") == baseline_matrix;
+        report.rounds.push(ReplayRound {
+            round,
+            selected: result.algorithm,
+            predicted_s: rec.predicted_s.expect("the winner always has a prediction"),
+            seed_predicted_s: rec
+                .seed_predicted_s
+                .expect("the winner always has a seed prediction"),
+            realized_s: result.sim_seconds,
+            matrix_identical,
+        });
+    }
+    report
+}

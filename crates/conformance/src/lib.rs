@@ -21,6 +21,11 @@
 //!   algorithm killed at a seed-chosen store operation and resumed in a
 //!   fresh device/store must reproduce the uninterrupted run's matrix
 //!   bit-for-bit;
+//! * [`calibration`] — the selector-calibration replay: the same graph
+//!   run repeatedly against a persisted per-profile calibration store,
+//!   asserting the selector's prediction error converges onto the
+//!   realized time while every round's matrix stays bit-identical to an
+//!   uncalibrated baseline;
 //! * [`supervision`] — the runtime-supervision matrix: cancelled and
 //!   deadlined runs must fail typed and resume exactly, an injected
 //!   kernel hang must trip the watchdog and fall back to an algorithm
@@ -30,12 +35,14 @@
 //! Every report carries the seed that reproduces it; see the repository
 //! README ("Testing & conformance") for the reproduction workflow.
 
+pub mod calibration;
 pub mod corpus;
 pub mod crash;
 pub mod fault;
 pub mod runner;
 pub mod supervision;
 
+pub use calibration::{replay, ReplayReport, ReplayRound};
 pub use corpus::{Case, Corpus, Family};
 pub use crash::{run_kill_resume, CrashCellOptions, CrashReport};
 pub use fault::{run_under_faults, Fault, FaultPlan, FaultRunOutcome};

@@ -1,5 +1,6 @@
 //! Unified front-end: select (or accept) an algorithm and run it.
 
+use crate::calibration::{CalibrationStore, RefitCoefficients};
 use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::{ApspError, ApspErrorKind};
 use crate::ooc_boundary::{
@@ -75,6 +76,7 @@ fn calibration_records(sel: &Selection, chosen: Algorithm) -> Vec<CalibrationRec
         .map(|c| CalibrationRecord {
             algorithm: algorithm_tag(c.algorithm),
             predicted_s: c.estimate,
+            seed_predicted_s: c.seed_estimate,
             filter_reason: c.filter_reason.clone(),
             selected: c.algorithm == chosen,
             realized_s: None,
@@ -149,6 +151,23 @@ pub fn apsp(
         }),
         None => None,
     };
+    // Calibration: open (or initialize) the profile's persisted store.
+    // A *corrupt* store must never fail or perturb the run — the
+    // selector falls back to the seed constants and the next commit
+    // rewrites the file; I/O errors (permissions, missing parent FS)
+    // still surface.
+    let mut calib_store = match &opts.calibration_dir {
+        Some(dir) => match CalibrationStore::open(dir, dev.profile()) {
+            Ok(store) => Some(store),
+            Err(ApspError::Corruption { .. }) => Some(CalibrationStore::fresh(dir, dev.profile())),
+            Err(e) => return Err(e),
+        },
+        None => None,
+    };
+    let refit: RefitCoefficients = calib_store
+        .as_ref()
+        .map(|c| c.coeffs().clone())
+        .unwrap_or_default();
     let (algorithm, selection) = match (resumed_algorithm, opts.algorithm) {
         (Some(resumed), Some(forced)) if resumed != forced => {
             return Err(ApspError::InvalidInput(format!(
@@ -161,27 +180,32 @@ pub fn apsp(
         (None, None) => {
             let models = CostModels::calibrate_cached(dev.profile());
             let johnson = JohnsonModel::probe(dev.profile(), g, &opts.selector, &opts.johnson)?;
-            let selection = models.select(g, &opts.selector, &johnson);
+            let selection = models
+                .with_refit(refit.clone())
+                .select(g, &opts.selector, &johnson);
             (selection.algorithm, Some(selection))
         }
     };
+    // Forced or resumed runs bypass the selector, but both the
+    // calibration artifact and the refit observation still want every
+    // candidate costed: shadow-select on scratch probes (the run's
+    // device clock is untouched) without changing `result.selection`.
+    let shadow_selection =
+        if selection.is_none() && (telemetry.is_enabled() || calib_store.is_some()) {
+            let models = CostModels::calibrate_cached(dev.profile());
+            JohnsonModel::probe(dev.profile(), g, &opts.selector, &opts.johnson)
+                .ok()
+                .and_then(|johnson| {
+                    models
+                        .with_refit(refit.clone())
+                        .select_masked(g, &opts.selector, &johnson, &[])
+                })
+        } else {
+            None
+        };
     if telemetry.is_enabled() {
-        match &selection {
-            Some(sel) => telemetry.record_calibration(calibration_records(sel, algorithm)),
-            None => {
-                // Forced or resumed runs bypass the selector, but the
-                // calibration artifact is still wanted: cost every
-                // candidate on scratch probes (the run's device clock is
-                // untouched) without changing `result.selection`.
-                let models = CostModels::calibrate_cached(dev.profile());
-                if let Ok(johnson) =
-                    JohnsonModel::probe(dev.profile(), g, &opts.selector, &opts.johnson)
-                {
-                    if let Some(sel) = models.select_masked(g, &opts.selector, &johnson, &[]) {
-                        telemetry.record_calibration(calibration_records(&sel, algorithm));
-                    }
-                }
-            }
+        if let Some(sel) = selection.as_ref().or(shadow_selection.as_ref()) {
+            telemetry.record_calibration(calibration_records(sel, algorithm));
         }
     }
     let sup = Supervisor::with_telemetry(
@@ -237,7 +261,11 @@ pub fn apsp(
         masked.push(algorithm);
         let models = CostModels::calibrate_cached(dev.profile());
         let johnson = JohnsonModel::probe(dev.profile(), g, &opts.selector, &opts.johnson)?;
-        let Some(next) = models.select_masked(g, &opts.selector, &johnson, &masked) else {
+        let Some(next) =
+            models
+                .with_refit(refit.clone())
+                .select_masked(g, &opts.selector, &johnson, &masked)
+        else {
             return Err(err); // every algorithm failed — surface the last error
         };
         // The failed attempt's checkpoint and partial matrix are that
@@ -268,6 +296,21 @@ pub fn apsp(
         selection = Some(next);
     };
     store.clear_supervision(); // the result outlives the run's budgets
+                               // Close the calibration loop: fold the executed algorithm's seed
+                               // prediction vs realized seconds into the store and commit it
+                               // atomically. This happens after the result is final, so learning
+                               // only ever changes *future* selections — never this run's.
+    if let Some(cal) = &mut calib_store {
+        let executed_parts = selection
+            .as_ref()
+            .or(shadow_selection.as_ref())
+            .and_then(|sel| sel.candidates.iter().find(|c| c.algorithm == algorithm))
+            .and_then(|c| c.parts);
+        if let Some(parts) = executed_parts {
+            cal.observe_run(&parts, sim_seconds);
+        }
+        cal.commit()?;
+    }
     let (retries, checkpoint_commits) = match &details {
         RunDetails::FloydWarshall(s) => (s.retries as u64, s.checkpoint_commits as u64),
         RunDetails::Johnson(s) => (s.retries as u64, s.checkpoint_commits as u64),
@@ -424,7 +467,8 @@ mod tests {
             .iter()
             .find(|c| c.algorithm == Algorithm::FloydWarshall)
             .unwrap();
-        assert!(fw.estimate.is_none());
+        assert!(fw.estimate.is_some_and(f64::is_finite));
+        assert!(!fw.eligible());
         assert!(
             fw.filter_reason.as_deref().unwrap().contains("density"),
             "{:?}",
@@ -625,10 +669,12 @@ mod tests {
         );
         assert_eq!(tel.calibration.len(), 3, "{:?}", tel.calibration);
         for rec in &tel.calibration {
-            // Every costed candidate carries both a prediction and the
+            // Every record carries a prediction or the reason there is
+            // none, and every costed candidate is judged by the
             // realized seconds of the attempt its batch fed.
-            assert_eq!(rec.predicted_s.is_none(), rec.filter_reason.is_some());
-            if rec.filter_reason.is_none() {
+            assert!(rec.predicted_s.is_some() || rec.filter_reason.is_some());
+            assert_eq!(rec.predicted_s.is_some(), rec.seed_predicted_s.is_some());
+            if rec.predicted_s.is_some() {
                 assert!(rec.realized_s.is_some(), "{rec:?}");
             }
         }
@@ -643,6 +689,68 @@ mod tests {
         assert_eq!(
             off.store.to_dist_matrix().unwrap(),
             result.store.to_dist_matrix().unwrap()
+        );
+    }
+
+    #[test]
+    fn calibration_learns_across_runs_without_perturbing_any() {
+        use crate::calibration::CalibrationStore;
+        let g = gnp(96, 0.06, WeightRange::default(), 0xBE7C);
+        let dir = std::env::temp_dir().join("apsp_api_calib").join("learns");
+        let _ = std::fs::remove_dir_all(&dir);
+        let profile = DeviceProfile::v100().with_memory_bytes(256 << 10);
+        let run = |calibrate: bool| {
+            let mut dev = GpuDevice::new(profile.clone());
+            let opts = ApspOptions {
+                telemetry: true,
+                calibration_dir: calibrate.then(|| dir.clone()),
+                ..Default::default()
+            };
+            apsp(&g, &mut dev, &opts).unwrap()
+        };
+        let baseline = run(false);
+        let first = run(true);
+        // Within a single run calibration is inert: identical selection,
+        // clock, and matrix.
+        assert_eq!(first.algorithm, baseline.algorithm);
+        assert_eq!(first.sim_seconds, baseline.sim_seconds);
+        assert_eq!(
+            first.store.to_dist_matrix().unwrap(),
+            baseline.store.to_dist_matrix().unwrap()
+        );
+        // The store committed an observation for the executed algorithm.
+        let store = CalibrationStore::open(&dir, &profile).unwrap();
+        assert_eq!(store.runs(), 1);
+        assert_eq!(store.coeffs().observations(), 1);
+        // The second run's prediction for the (same) winner matches the
+        // realized seconds the first run fed back.
+        let second = run(true);
+        assert_eq!(second.algorithm, first.algorithm);
+        assert_eq!(second.sim_seconds, first.sim_seconds);
+        let winner = |r: &ApspResult| {
+            r.telemetry
+                .as_ref()
+                .unwrap()
+                .calibration
+                .iter()
+                .find(|c| c.selected)
+                .cloned()
+                .unwrap()
+        };
+        let (w1, w2) = (winner(&first), winner(&second));
+        assert_eq!(
+            w1.predicted_s, w1.seed_predicted_s,
+            "first run is seed-only"
+        );
+        let err1 = (w1.predicted_s.unwrap() - w1.realized_s.unwrap()).abs();
+        let err2 = (w2.predicted_s.unwrap() - w2.realized_s.unwrap()).abs();
+        assert!(
+            err2 < err1 / 10.0,
+            "refit did not tighten the prediction: {err1} -> {err2}"
+        );
+        assert!(
+            (w2.seed_predicted_s.unwrap() - w1.seed_predicted_s.unwrap()).abs() < 1e-12,
+            "seed prediction must not drift"
         );
     }
 

@@ -24,6 +24,7 @@
 //! Table IV regime).
 
 pub mod api;
+pub mod calibration;
 pub mod checkpoint;
 pub mod error;
 pub mod in_core;
@@ -40,6 +41,9 @@ pub mod tile_store;
 pub mod verify;
 
 pub use api::{apsp, ApspResult};
+pub use calibration::{
+    profile_fingerprint, CalibrationStore, CoeffKey, CoeffState, EstimateParts, RefitCoefficients,
+};
 pub use checkpoint::{graph_fingerprint, Checkpoint, Manifest, Progress};
 pub use error::{ApspError, ApspErrorKind};
 pub use options::{Algorithm, ApspOptions, BoundaryOptions, CheckpointOptions, JohnsonOptions};

@@ -165,6 +165,16 @@ pub struct ApspOptions {
     /// the result. Off by default; enabling it never changes the
     /// computed distances or the simulated clock.
     pub telemetry: bool,
+    /// Directory of the persisted per-device-profile calibration store
+    /// (created if missing). When set, the selector consults the
+    /// store's learned coefficient corrections before the seed
+    /// constants, and each successful run folds its realized seconds
+    /// back in — so repeated runs on one profile converge. Learning is
+    /// applied at run *end*: within a single run the selection and the
+    /// computed matrix are identical with calibration on or off. A
+    /// corrupt store is ignored for the run (seed constants apply) and
+    /// overwritten by the next commit. `None` disables persistence.
+    pub calibration_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ApspOptions {
@@ -180,6 +190,7 @@ impl Default for ApspOptions {
             supervision: SupervisionOptions::default(),
             exec: ExecBackend::default(),
             telemetry: false,
+            calibration_dir: None,
         }
     }
 }

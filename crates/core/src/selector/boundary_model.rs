@@ -12,6 +12,7 @@
 //! Transfers: one batched flush per `N_row` row-panels ⇒ `W·n²/TH` plus
 //! per-flush latencies.
 
+use crate::calibration::{CoeffKey, EstimateParts};
 use crate::ooc_boundary::{default_num_components, ooc_boundary};
 use crate::options::BoundaryOptions;
 use crate::selector::CostModels;
@@ -99,20 +100,30 @@ impl BoundaryModel {
     /// "maximal number of components allowed is small" regime, where the
     /// boundary algorithm is simply not a candidate).
     pub fn compute_seconds(&self, g: &CsrGraph, free_bytes: u64) -> f64 {
+        self.compute_parts(g, free_bytes).0
+    }
+
+    /// [`BoundaryModel::compute_seconds`] plus the coefficient the
+    /// estimate is anchored on: [`CoeffKey::BoundaryT0`] in the
+    /// small-separator regime, [`CoeffKey::BoundaryCUnit`] otherwise.
+    pub fn compute_parts(&self, g: &CsrGraph, free_bytes: u64) -> (f64, CoeffKey) {
         let n = g.num_vertices();
         if n == 0 {
-            return 0.0;
+            return (0.0, CoeffKey::BoundaryT0);
         }
         let Some((nb, k)) = feasible_plan(g, free_bytes) else {
-            return f64::INFINITY;
+            return (f64::INFINITY, CoeffKey::BoundaryT0);
         };
         let bucket = bucket_of(nb, k, n);
         if bucket == 0 {
             // Small separator: T₀ · (n/n₀)^{3/2}.
             let r = n as f64 / self.n0 as f64;
-            self.t0_compute * r.powf(1.5)
+            (self.t0_compute * r.powf(1.5), CoeffKey::BoundaryT0)
         } else {
-            n_op(n, k, nb) * self.c_unit[bucket.min(BUCKETS - 1)]
+            (
+                n_op(n, k, nb) * self.c_unit[bucket.min(BUCKETS - 1)],
+                CoeffKey::BoundaryCUnit,
+            )
         }
     }
 
@@ -123,10 +134,23 @@ impl BoundaryModel {
         w * n * n / models.throughput
     }
 
-    /// Total estimate.
-    pub fn estimate_seconds(&self, models: &CostModels, g: &CsrGraph) -> f64 {
+    /// The estimate's seed-constant decomposition. `compute_seed` is
+    /// infinite when no component count admits a feasible working set.
+    pub fn estimate_parts(&self, models: &CostModels, g: &CsrGraph) -> EstimateParts {
         let free = models.profile().memory_bytes;
-        self.compute_seconds(g, free) + self.transfer_seconds(models, g)
+        let (compute_seed, key) = self.compute_parts(g, free);
+        EstimateParts {
+            key,
+            compute_seed,
+            transfer: self.transfer_seconds(models, g),
+        }
+    }
+
+    /// Total estimate, with `models`' refit correction applied to the
+    /// compute term.
+    pub fn estimate_seconds(&self, models: &CostModels, g: &CsrGraph) -> f64 {
+        self.estimate_parts(models, g)
+            .refitted_seconds(&models.refit)
     }
 
     /// Whether `g` falls in the small-separator regime (bucket 0) — the

@@ -5,6 +5,7 @@
 //! estimate the cost of computation to be `T₀ · (n/n₀)³`." Transfers
 //! follow the paper's `n_d · W · (3b² + n²) / TH` expression.
 
+use crate::calibration::{CoeffKey, EstimateParts};
 use crate::ooc_fw::{init_store_from_graph, max_block_side, ooc_floyd_warshall};
 use crate::options::FwOptions;
 use crate::selector::CostModels;
@@ -68,10 +69,22 @@ impl FwModel {
         n_d * w * (3.0 * bf * bf + nf * nf) / models.throughput
     }
 
-    /// Total estimate.
-    pub fn estimate_seconds(&self, models: &CostModels, g: &CsrGraph) -> f64 {
+    /// The estimate's seed-constant decomposition (compute anchored on
+    /// [`CoeffKey::FwT0`], plus the transfer term).
+    pub fn estimate_parts(&self, models: &CostModels, g: &CsrGraph) -> EstimateParts {
         let n = g.num_vertices();
-        self.compute_seconds(n) + self.transfer_seconds(models, n)
+        EstimateParts {
+            key: CoeffKey::FwT0,
+            compute_seed: self.compute_seconds(n),
+            transfer: self.transfer_seconds(models, n),
+        }
+    }
+
+    /// Total estimate, with `models`' refit correction applied to the
+    /// compute term.
+    pub fn estimate_seconds(&self, models: &CostModels, g: &CsrGraph) -> f64 {
+        self.estimate_parts(models, g)
+            .refitted_seconds(&models.refit)
     }
 }
 

@@ -6,6 +6,7 @@
 //! `T · n_b / k`." (The paper sets `k = 5` and observes per-batch
 //! standard deviations of 1.67–13.4% of the mean.)
 
+use crate::calibration::{CoeffKey, EstimateParts};
 use crate::error::ApspError;
 use crate::ooc_johnson::batch_size;
 use crate::options::{DynamicParallelism, JohnsonOptions};
@@ -118,9 +119,21 @@ impl JohnsonModel {
         w * n * n / models.throughput
     }
 
-    /// Total estimate.
+    /// The estimate's seed-constant decomposition (compute anchored on
+    /// [`CoeffKey::JohnsonC`], plus the transfer term).
+    pub fn estimate_parts(&self, models: &CostModels, g: &CsrGraph) -> EstimateParts {
+        EstimateParts {
+            key: CoeffKey::JohnsonC,
+            compute_seed: self.compute_seconds(),
+            transfer: self.transfer_seconds(models, g),
+        }
+    }
+
+    /// Total estimate, with `models`' refit correction applied to the
+    /// compute term.
     pub fn estimate_seconds(&self, models: &CostModels, g: &CsrGraph) -> f64 {
-        self.compute_seconds() + self.transfer_seconds(models, g)
+        self.estimate_parts(models, g)
+            .refitted_seconds(&models.refit)
     }
 }
 

@@ -18,7 +18,11 @@
 //! Calibration (the `T₀`s and `c_unit` buckets) happens once per device
 //! profile via [`CostModels::calibrate`], which runs small training
 //! workloads on a scratch device — the analog of the paper's offline
-//! measurements.
+//! measurements. On top of those seed constants, a persisted
+//! [`crate::calibration::CalibrationStore`] can supply learned
+//! multiplicative corrections (installed with
+//! [`CostModels::with_refit`]) that online-refit each model's compute
+//! term from realized run times.
 
 mod boundary_model;
 mod fw_model;
@@ -28,6 +32,7 @@ pub use boundary_model::BoundaryModel;
 pub use fw_model::FwModel;
 pub use johnson_model::JohnsonModel;
 
+use crate::calibration::{EstimateParts, RefitCoefficients};
 use crate::options::Algorithm;
 use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_graph::stats::DensityClass;
@@ -94,11 +99,30 @@ impl SelectorConfig {
 pub struct Candidate {
     /// The algorithm this entry describes.
     pub algorithm: Algorithm,
-    /// Estimated execution time in simulated seconds; `None` when the
-    /// candidate was filtered out before costing.
+    /// Estimated execution time in simulated seconds, with any
+    /// calibration refit applied. `Some` for every candidate the models
+    /// could cost — *including* density-filtered ones, so downstream
+    /// artifacts never show a prediction gap — and `None` only when the
+    /// candidate was masked or is structurally infeasible on this
+    /// device.
     pub estimate: Option<f64>,
-    /// Why the candidate was excluded (`None` for costed survivors).
+    /// The same estimate under the seed constants alone (no refit).
+    /// Equal to `estimate` when no calibration is in force.
+    pub seed_estimate: Option<f64>,
+    /// The seed-constant decomposition behind the estimate; calibration
+    /// feeds realized seconds back through it.
+    pub parts: Option<EstimateParts>,
+    /// Why the candidate is not eligible to win (`None` for ranked
+    /// survivors). Density-filtered candidates carry *both* a reason and
+    /// an estimate; masked or infeasible ones carry only the reason.
     pub filter_reason: Option<String>,
+}
+
+impl Candidate {
+    /// Whether this candidate was eligible to win the selection.
+    pub fn eligible(&self) -> bool {
+        self.filter_reason.is_none()
+    }
 }
 
 /// Estimated execution times (simulated seconds) per candidate.
@@ -115,12 +139,13 @@ pub struct Selection {
 }
 
 impl Selection {
-    /// The costed survivors as `(algorithm, estimated seconds)` pairs —
+    /// The eligible survivors as `(algorithm, estimated seconds)` pairs —
     /// the pre-refactor shape of this report, for callers that only care
-    /// about ranked estimates.
+    /// about the estimates the winner was ranked against.
     pub fn estimates(&self) -> Vec<(Algorithm, f64)> {
         self.candidates
             .iter()
+            .filter(|c| c.eligible())
             .filter_map(|c| c.estimate.map(|e| (c.algorithm, e)))
             .collect()
     }
@@ -136,6 +161,10 @@ pub struct CostModels {
     /// Measured D2H throughput of the device (bytes/s), the paper's
     /// `nvprof`-measured `TH`.
     pub throughput: f64,
+    /// Learned multiplicative corrections applied to each model's
+    /// compute term. Identity (seed constants only) unless installed
+    /// with [`CostModels::with_refit`].
+    pub refit: RefitCoefficients,
     profile: DeviceProfile,
 }
 
@@ -150,7 +179,19 @@ impl CostModels {
             fw: FwModel::calibrate(profile),
             boundary: BoundaryModel::calibrate(profile),
             throughput,
+            refit: RefitCoefficients::identity(),
             profile: profile.clone(),
+        }
+    }
+
+    /// A copy of these models with `refit`'s corrections installed.
+    /// The cached seed calibration ([`CostModels::calibrate_cached`])
+    /// always stays identity-refitted; the front-end derives a refitted
+    /// copy per run from the calibration store.
+    pub fn with_refit(&self, refit: RefitCoefficients) -> CostModels {
+        CostModels {
+            refit,
+            ..self.clone()
         }
     }
 
@@ -217,11 +258,11 @@ impl CostModels {
             DensityClass::VerySparse => &[Algorithm::Johnson, Algorithm::Boundary],
             DensityClass::Sparse => &[Algorithm::Johnson],
         };
-        let estimate = |a: Algorithm| -> f64 {
+        let parts_of = |a: Algorithm| -> EstimateParts {
             match a {
-                Algorithm::Johnson => johnson.estimate_seconds(self, g),
-                Algorithm::FloydWarshall => self.fw.estimate_seconds(self, g),
-                Algorithm::Boundary => self.boundary.estimate_seconds(self, g),
+                Algorithm::Johnson => johnson.estimate_parts(self, g),
+                Algorithm::FloydWarshall => self.fw.estimate_parts(self, g),
+                Algorithm::Boundary => self.boundary.estimate_parts(self, g),
             }
         };
         const ALL: [Algorithm; 3] = [
@@ -237,36 +278,50 @@ impl CostModels {
         if ranked.is_empty() {
             ranked = ALL.into_iter().filter(|a| !masked.contains(a)).collect();
         }
-        // Every algorithm gets a candidate entry: survivors carry an
-        // estimate, the rest carry the reason they were excluded.
+        // Every unmasked algorithm is costed — even density-filtered
+        // ones, so calibration artifacts always carry a prediction to
+        // judge — but only `ranked` survivors are eligible to win.
         let candidates: Vec<Candidate> = ALL
             .into_iter()
             .map(|a| {
-                if ranked.contains(&a) {
-                    Candidate {
-                        algorithm: a,
-                        estimate: Some(estimate(a)),
-                        filter_reason: None,
-                    }
-                } else if masked.contains(&a) {
-                    Candidate {
+                if masked.contains(&a) {
+                    return Candidate {
                         algorithm: a,
                         estimate: None,
+                        seed_estimate: None,
+                        parts: None,
                         filter_reason: Some("masked after an unrecoverable failure".into()),
-                    }
-                } else {
-                    Candidate {
+                    };
+                }
+                let parts = parts_of(a);
+                let refitted = parts.refitted_seconds(&self.refit);
+                if !refitted.is_finite() {
+                    // The boundary model's "no feasible working set"
+                    // regime: there is no finite prediction to record.
+                    return Candidate {
                         algorithm: a,
                         estimate: None,
-                        filter_reason: Some(format!(
-                            "excluded by the density filter ({class:?} class)"
-                        )),
-                    }
+                        seed_estimate: None,
+                        parts: None,
+                        filter_reason: Some(
+                            "infeasible on this device (no feasible working set)".into(),
+                        ),
+                    };
+                }
+                let filter_reason = (!ranked.contains(&a))
+                    .then(|| format!("excluded by the density filter ({class:?} class)"));
+                Candidate {
+                    algorithm: a,
+                    estimate: Some(refitted),
+                    seed_estimate: Some(parts.seed_seconds()),
+                    parts: Some(parts),
+                    filter_reason,
                 }
             })
             .collect();
         let algorithm = candidates
             .iter()
+            .filter(|c| c.eligible())
             .filter_map(|c| c.estimate.map(|e| (c.algorithm, e)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .map(|(a, _)| a)?;
@@ -365,20 +420,30 @@ mod tests {
         assert_eq!(sel.candidates.len(), 3, "no candidate may be dropped");
         for c in &sel.candidates {
             assert!(
-                c.estimate.is_some() != c.filter_reason.is_some(),
-                "{:?} must have exactly one of estimate / filter reason",
+                c.estimate.is_some() || c.filter_reason.is_some(),
+                "{:?} must have an estimate or a filter reason",
                 c.algorithm
             );
+            // The estimate, its seed counterpart, and the decomposition
+            // travel together.
+            assert_eq!(c.estimate.is_some(), c.seed_estimate.is_some());
+            assert_eq!(c.estimate.is_some(), c.parts.is_some());
         }
-        // Dense class: boundary is density-filtered with a recorded reason.
+        // Dense class: boundary is density-filtered with a recorded
+        // reason, but still costed — artifacts never show a prediction
+        // gap for a feasible candidate.
         let boundary = sel
             .candidates
             .iter()
             .find(|c| c.algorithm == Algorithm::Boundary)
             .unwrap();
         assert!(boundary.filter_reason.as_ref().unwrap().contains("density"));
+        assert!(boundary.estimate.unwrap().is_finite());
+        assert!(!boundary.eligible());
+        // Only eligible candidates are ranked.
         assert_eq!(sel.estimates().len(), 2);
-        // Masked algorithms record the mask as their reason.
+        // Masked algorithms record the mask as their reason and are not
+        // costed.
         let masked = models
             .select_masked(&g, &cfg, &johnson, &[Algorithm::Johnson])
             .unwrap();
@@ -388,6 +453,91 @@ mod tests {
             .find(|c| c.algorithm == Algorithm::Johnson)
             .unwrap();
         assert!(j.filter_reason.as_ref().unwrap().contains("masked"));
+        assert!(j.estimate.is_none());
+    }
+
+    #[test]
+    fn infeasible_boundary_carries_reason_instead_of_infinity() {
+        // A device too small for any boundary working set: the candidate
+        // must say so rather than emit a non-finite estimate. The Johnson
+        // probe runs on the full-size profile (it needs the graph
+        // resident); only the selection itself sees the tiny memory.
+        let profile = apsp_gpu_sim::DeviceProfile::v100().with_memory_bytes(10_000);
+        let models = CostModels::calibrate_cached(&profile);
+        let cfg = SelectorConfig::default();
+        let g = apsp_graph::generators::banded(600, 64, 8, 0.8, WeightRange::default(), 9);
+        let johnson = JohnsonModel::probe(
+            &apsp_gpu_sim::DeviceProfile::v100(),
+            &g,
+            &cfg,
+            &crate::options::JohnsonOptions::default(),
+        )
+        .unwrap();
+        let sel = models.select(&g, &cfg, &johnson);
+        let boundary = sel
+            .candidates
+            .iter()
+            .find(|c| c.algorithm == Algorithm::Boundary)
+            .unwrap();
+        assert!(boundary.estimate.is_none());
+        assert!(
+            boundary
+                .filter_reason
+                .as_deref()
+                .unwrap()
+                .contains("infeasible"),
+            "{:?}",
+            boundary.filter_reason
+        );
+        // Nothing in the ranked list may carry a non-finite estimate.
+        for (_, e) in sel.estimates() {
+            assert!(e.is_finite());
+        }
+    }
+
+    #[test]
+    fn refit_scales_compute_and_can_flip_the_winner() {
+        use crate::calibration::{CoeffKey, RefitCoefficients};
+        let profile = apsp_gpu_sim::DeviceProfile::v100();
+        let models = CostModels::calibrate_cached(&profile);
+        let cfg = SelectorConfig::default();
+        let g = gnp(100, 0.05, WeightRange::default(), 3); // dense: Johnson vs FW
+        let johnson = JohnsonModel::probe(
+            &profile,
+            &g,
+            &cfg,
+            &crate::options::JohnsonOptions::default(),
+        )
+        .unwrap();
+        let base = models.select(&g, &cfg, &johnson);
+        let fw_base = base
+            .candidates
+            .iter()
+            .find(|c| c.algorithm == Algorithm::FloydWarshall)
+            .unwrap();
+        // With identity refit the two estimates agree.
+        assert_eq!(fw_base.estimate, fw_base.seed_estimate);
+
+        // Evidence that FW compute runs 1000× the seed prediction flips
+        // any dense selection away from FW.
+        let mut refit = RefitCoefficients::identity();
+        let parts = fw_base.parts.unwrap();
+        refit.observe(
+            CoeffKey::FwT0,
+            parts.compute_seed,
+            parts.transfer,
+            parts.compute_seed * 1000.0 + parts.transfer,
+        );
+        let refitted = models.with_refit(refit).select(&g, &cfg, &johnson);
+        let fw = refitted
+            .candidates
+            .iter()
+            .find(|c| c.algorithm == Algorithm::FloydWarshall)
+            .unwrap();
+        assert!(fw.estimate.unwrap() > fw.seed_estimate.unwrap() * 100.0);
+        // Seed estimates are refit-independent.
+        assert_eq!(fw.seed_estimate, fw_base.seed_estimate);
+        assert_ne!(refitted.algorithm, Algorithm::FloydWarshall);
     }
 
     #[test]

@@ -77,10 +77,16 @@ impl PhaseSpan {
 pub struct CalibrationRecord {
     /// Candidate algorithm tag (`"fw"`, `"johnson"`, `"boundary"`).
     pub algorithm: &'static str,
-    /// Model-predicted simulated seconds; `None` when the candidate was
-    /// filtered out before costing.
+    /// Model-predicted simulated seconds, with any calibration refit
+    /// applied; `None` only when the candidate was masked or infeasible
+    /// (density-filtered candidates are still costed).
     pub predicted_s: Option<f64>,
-    /// Why the candidate was excluded (`None` for costed survivors).
+    /// The prediction under the seed constants alone (pre-refit). Equal
+    /// to `predicted_s` when no calibration is in force; `None` exactly
+    /// when `predicted_s` is.
+    pub seed_predicted_s: Option<f64>,
+    /// Why the candidate was not eligible to win (`None` for ranked
+    /// survivors; filtered candidates may still carry predictions).
     pub filter_reason: Option<String>,
     /// Whether this candidate is the one the run executed.
     pub selected: bool,
@@ -178,13 +184,14 @@ impl Telemetry {
     }
 
     /// Fill the realized seconds on every costed record of the most
-    /// recent calibration batch.
+    /// recent calibration batch (filtered-but-costed candidates
+    /// included — their predictions are judged by the same run).
     pub fn set_realized(&self, seconds: f64) {
         if let Some(inner) = &self.inner {
             let mut st = inner.lock();
             let batch = st.calibration_batch;
             for rec in &mut st.calibration[batch..] {
-                if rec.filter_reason.is_none() {
+                if rec.predicted_s.is_some() {
                     rec.realized_s = Some(seconds);
                 }
             }
@@ -435,9 +442,10 @@ impl RunReport {
         }
         for c in &self.calibration {
             out.push_str(&format!(
-                "{{\"record\":\"calibration\",\"algorithm\":\"{}\",\"predicted_s\":{},\"filter_reason\":{},\"selected\":{},\"realized_s\":{}}}\n",
+                "{{\"record\":\"calibration\",\"algorithm\":\"{}\",\"predicted_s\":{},\"seed_predicted_s\":{},\"filter_reason\":{},\"selected\":{},\"realized_s\":{}}}\n",
                 c.algorithm,
                 opt_secs(c.predicted_s),
+                opt_secs(c.seed_predicted_s),
                 opt_str(&c.filter_reason),
                 c.selected,
                 opt_secs(c.realized_s),
@@ -880,6 +888,7 @@ mod tests {
         let rec = |alg: &'static str, filtered: bool| CalibrationRecord {
             algorithm: alg,
             predicted_s: if filtered { None } else { Some(1.0) },
+            seed_predicted_s: if filtered { None } else { Some(1.0) },
             filter_reason: filtered.then(|| "filtered".to_string()),
             selected: false,
             realized_s: None,
