@@ -16,6 +16,17 @@
 //!                            this budget (watchdog)
 //!   --fallback               on an unrecoverable algorithm failure, mask it
 //!                            and re-enter the selector instead of erroring
+//!   --sdc-guard off|checksum|full   silent-corruption guard level
+//!                            (default off): checksum re-verifies per-panel
+//!                            FNV hashes at every barrier, full adds the
+//!                            semantic ABFT invariants (zero diagonal, INF
+//!                            ceiling, monotone row sums, sampled triangle
+//!                            inequality) and arms the recovery ladder
+//!   --error-json             on a typed failure, print a single-line JSON
+//!                            summary ({"error": <kind>, "detail": ...}) to
+//!                            stdout before the nonzero exit, so harnesses
+//!                            can distinguish SilentCorruption from, e.g.,
+//!                            DeadlineExceeded without scraping stderr
 //!   --backend scalar|parallel   host execution backend  (default parallel)
 //!   --threads <n>            thread count for the parallel backend
 //!                            (default: RAYON_NUM_THREADS or all cores)
@@ -39,7 +50,7 @@
 //! runs the paper's full pipeline on it: selector, out-of-core execution,
 //! profiler report.
 
-use apsp_core::options::{Algorithm, ExecBackend};
+use apsp_core::options::{Algorithm, ExecBackend, SdcGuardMode};
 use apsp_core::{apsp, ApspOptions, CheckpointOptions, StorageBackend, SupervisionOptions};
 use apsp_gpu_sim::{DeviceProfile, GpuDevice};
 use apsp_graph::io::{read_matrix_market, WeightMode};
@@ -59,6 +70,8 @@ struct Args {
     deadline_ms: Option<u64>,
     progress_budget_ms: Option<u64>,
     fallback: bool,
+    sdc_guard: SdcGuardMode,
+    error_json: bool,
     backend_scalar: bool,
     threads: Option<usize>,
     sample: usize,
@@ -82,6 +95,8 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: None,
         progress_budget_ms: None,
         fallback: false,
+        sdc_guard: SdcGuardMode::Off,
+        error_json: false,
         backend_scalar: false,
         threads: None,
         sample: 3,
@@ -148,6 +163,14 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--fallback" => args.fallback = true,
+            "--sdc-guard" => {
+                args.sdc_guard = it
+                    .next()
+                    .ok_or("--sdc-guard needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --sdc-guard (want off|checksum|full)")?
+            }
+            "--error-json" => args.error_json = true,
             "--backend" => match it.next().ok_or("--backend needs a value")?.as_str() {
                 "scalar" => args.backend_scalar = true,
                 "parallel" => args.backend_scalar = false,
@@ -209,6 +232,22 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn load(path: &PathBuf) -> Result<CsrGraph, String> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("mtx") => read_matrix_market(path, WeightMode::ScaledAbs { scale: 1.0 })
@@ -222,7 +261,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--backend scalar|parallel] [--threads n] [--sample n] [--trace|--gantt] [--metrics-out path] [--calibration-dir dir] [--calibration-report]");
+            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--sdc-guard off|checksum|full] [--error-json] [--backend scalar|parallel] [--threads n] [--sample n] [--trace|--gantt] [--metrics-out path] [--calibration-dir dir] [--calibration-report]");
             std::process::exit(2);
         }
     };
@@ -291,8 +330,12 @@ fn main() {
         },
         telemetry: args.metrics_out.is_some(),
         calibration_dir: args.calibration_dir.clone(),
+        sdc_guard: args.sdc_guard,
         ..Default::default()
     };
+    if args.sdc_guard.is_on() {
+        println!("sdc guard: {}", args.sdc_guard);
+    }
     if let Some(dir) = &args.calibration_dir {
         println!("calibrating selector against {}", dir.display());
     }
@@ -311,6 +354,16 @@ fn main() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("apsp failed: {e}");
+            if args.error_json {
+                // One machine-readable line on stdout: the typed kind
+                // (e.g. "SilentCorruption" vs "DeadlineExceeded" vs
+                // "Corruption") plus the human detail, JSON-escaped.
+                println!(
+                    "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+                    e.kind().as_str(),
+                    json_escape(&e.to_string())
+                );
+            }
             std::process::exit(1);
         }
     };

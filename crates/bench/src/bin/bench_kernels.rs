@@ -14,6 +14,8 @@
 //!   --calibration-dir <dir>   persist selector calibration across the
 //!                  out-of-core cases: each run folds its realized
 //!                  seconds back into the per-device-profile store
+//!   --sdc-guard off|checksum|full   run the out-of-core cases with the
+//!                  silent-corruption guard at this level (default off)
 //! ```
 //!
 //! Two families of cases:
@@ -30,8 +32,13 @@
 //! speedup, the resolved thread count, and an FNV-1a checksum of the
 //! result — which must be bit-identical across backends or the binary
 //! exits non-zero.
+//!
+//! `--smoke` additionally gates the silent-corruption guard's overhead:
+//! a representative out-of-core run with `--sdc-guard checksum` may cost
+//! at most 5% wall-clock over the unguarded run (plus a 10 ms floor so
+//! timer noise at smoke sizes cannot flake the gate).
 
-use apsp_core::options::Algorithm;
+use apsp_core::options::{Algorithm, SdcGuardMode};
 use apsp_core::{apsp, ApspOptions, RunReport, StorageBackend};
 use apsp_cpu::parallel::minplus_tile_exec;
 use apsp_cpu::ExecBackend;
@@ -160,6 +167,7 @@ fn run_ooc(
     storage: &StorageBackend,
     exec: ExecBackend,
     calibration_dir: Option<&std::path::Path>,
+    sdc_guard: SdcGuardMode,
 ) -> (f64, u64, Option<RunReport>) {
     let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
     let opts = ApspOptions {
@@ -170,6 +178,7 @@ fn run_ooc(
         // comparison stays apples-to-apples and the report rides along.
         telemetry: true,
         calibration_dir: calibration_dir.map(|d| d.to_path_buf()),
+        sdc_guard,
         ..Default::default()
     };
     let t = Instant::now();
@@ -191,6 +200,7 @@ fn bench_ooc(
     disk: bool,
     reps: usize,
     calibration_dir: Option<&std::path::Path>,
+    sdc_guard: SdcGuardMode,
 ) -> CaseResult {
     let alg_name = match algorithm {
         Algorithm::FloydWarshall => "fw",
@@ -216,6 +226,7 @@ fn bench_ooc(
             &storage,
             ExecBackend::scalar(),
             calibration_dir,
+            sdc_guard,
         );
         scalar_secs = scalar_secs.min(s);
         scalar_sum = cs;
@@ -225,6 +236,7 @@ fn bench_ooc(
             &storage,
             ExecBackend::parallel(),
             calibration_dir,
+            sdc_guard,
         );
         parallel_secs = parallel_secs.min(p);
         parallel_sum = cp;
@@ -336,6 +348,7 @@ fn main() {
     let mut out_path = "BENCH_kernels.json".to_string();
     let mut metrics_out: Option<String> = None;
     let mut calibration_dir: Option<std::path::PathBuf> = None;
+    let mut sdc_guard = SdcGuardMode::Off;
     let mut reps = 3usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -348,6 +361,13 @@ fn main() {
                     it.next().expect("--calibration-dir needs a value"),
                 ))
             }
+            "--sdc-guard" => {
+                sdc_guard = it
+                    .next()
+                    .expect("--sdc-guard needs a value")
+                    .parse()
+                    .expect("bad --sdc-guard (want off|checksum|full)")
+            }
             "--reps" => {
                 reps = it
                     .next()
@@ -358,7 +378,7 @@ fn main() {
             other => {
                 eprintln!("unexpected argument '{other}'");
                 eprintln!(
-                    "usage: bench_kernels [--smoke] [--out path] [--reps n] [--metrics-out path] [--calibration-dir dir]"
+                    "usage: bench_kernels [--smoke] [--out path] [--reps n] [--metrics-out path] [--calibration-dir dir] [--sdc-guard off|checksum|full]"
                 );
                 std::process::exit(2);
             }
@@ -405,6 +425,7 @@ fn main() {
                 disk,
                 reps.min(2),
                 calibration_dir.as_deref(),
+                sdc_guard,
             );
             println!(
                 "  {:<16} scalar {:>9.4}s  parallel {:>9.4}s  speedup {:>5.2}x  {}",
@@ -442,6 +463,40 @@ fn main() {
         std::process::exit(1);
     }
     if smoke {
+        // SDC-overhead gate: the checksum guard on a representative
+        // out-of-core run may cost at most 5% wall-clock over the
+        // unguarded run. A 10 ms absolute floor keeps timer noise at
+        // smoke sizes from flaking the gate.
+        let time_guarded = |mode: SdcGuardMode| {
+            let mut best = f64::INFINITY;
+            for _ in 0..reps.max(3) {
+                let (s, _, _) = run_ooc(
+                    &graph,
+                    Algorithm::FloydWarshall,
+                    &StorageBackend::Memory,
+                    ExecBackend::parallel(),
+                    None,
+                    mode,
+                );
+                best = best.min(s);
+            }
+            best
+        };
+        let off = time_guarded(SdcGuardMode::Off);
+        let checksum = time_guarded(SdcGuardMode::Checksum);
+        let budget = (off * 1.05).max(off + 0.010);
+        if checksum > budget {
+            eprintln!(
+                "FAIL: sdc checksum guard costs {checksum:.4}s vs {off:.4}s unguarded \
+                 (budget {budget:.4}s)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "sdc overhead gate passed: checksum {checksum:.4}s vs off {off:.4}s \
+             (budget {budget:.4}s)"
+        );
+
         // CI gate: the medium min-plus shape is the contract the branchless
         // backend must honour on a multi-core runner.
         let medium = &cases[1];

@@ -63,6 +63,18 @@ pub enum Fault {
         /// Simulated hang length.
         micros: u64,
     },
+    /// Silent data corruption: one bit of the row written by store write
+    /// op `ordinal` flips *after* the write lands, with no error reported
+    /// anywhere. Unlike every other kind this fault is invisible to the
+    /// I/O layer — it is exercised by [`crate::sdc`]'s harness (which
+    /// arms an SDC guard), not by [`run_under_faults`], whose
+    /// store-uncorrupted contract a silent flip violates by design.
+    BitFlip {
+        /// 0-based store write-op ordinal whose row is corrupted.
+        ordinal: u64,
+        /// Which bit of the row's byte span flips.
+        bit: u64,
+    },
 }
 
 /// A deterministic schedule of faults derived from one seed.
@@ -100,16 +112,17 @@ impl FaultPlan {
     }
 
     /// Whether the plan contains disk faults (and thus needs a
-    /// `Disk`-backed store to be observable).
+    /// `Disk`-backed store to be observable). Bit flips corrupt the
+    /// store's *contents*, not its I/O, and fire on `Memory` stores too.
     pub fn has_disk_faults(&self) -> bool {
         self.faults
             .iter()
-            .any(|f| !matches!(f, Fault::AllocFail { .. }))
+            .any(|f| !matches!(f, Fault::AllocFail { .. } | Fault::BitFlip { .. }))
     }
 
     /// The distinct fault kinds scheduled (for coverage assertions).
     pub fn kinds(&self) -> usize {
-        let mut k = [false; 6];
+        let mut k = [false; 7];
         for f in &self.faults {
             k[match f {
                 Fault::AllocFail { .. } => 0,
@@ -118,6 +131,7 @@ impl FaultPlan {
                 Fault::Enospc { .. } => 3,
                 Fault::Latency { .. } => 4,
                 Fault::Hang { .. } => 5,
+                Fault::BitFlip { .. } => 6,
             }] = true;
         }
         k.iter().filter(|b| **b).count()
@@ -137,7 +151,7 @@ impl FaultPlan {
                     plan.write_faults.push((op, DiskFault::HangMicros(micros)))
                 }
                 Fault::ShortRead { op } => plan.read_faults.push((op, DiskFault::ShortRead)),
-                Fault::AllocFail { .. } => {}
+                Fault::AllocFail { .. } | Fault::BitFlip { .. } => {}
             }
         }
         plan
@@ -148,6 +162,17 @@ impl FaultPlan {
         for f in &self.faults {
             if let Fault::AllocFail { kth } = f {
                 dev.inject_alloc_failure(*kth);
+            }
+        }
+    }
+
+    /// Arm the silent-corruption half of the plan on a store. Only
+    /// meaningful when an SDC guard is (or will be) active on `store`;
+    /// [`crate::sdc::run_under_bit_flip`] is the harness that does both.
+    pub fn arm_store(&self, store: &mut TileStore) {
+        for f in &self.faults {
+            if let Fault::BitFlip { ordinal, bit } = f {
+                store.arm_bit_flip(*ordinal, *bit);
             }
         }
     }

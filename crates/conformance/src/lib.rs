@@ -26,6 +26,12 @@
 //!   asserting the selector's prediction error converges onto the
 //!   realized time while every round's matrix stays bit-identical to an
 //!   uncalibrated baseline;
+//! * [`sdc`] — the silent-data-corruption matrix: seeded bit flips in
+//!   the store's write path and in device uploads, run under active SDC
+//!   guards, asserting every flip is either repaired to a bit-identical
+//!   matrix or surfaced as typed
+//!   [`apsp_core::ApspError::SilentCorruption`] — never a silently
+//!   wrong result;
 //! * [`supervision`] — the runtime-supervision matrix: cancelled and
 //!   deadlined runs must fail typed and resume exactly, an injected
 //!   kernel hang must trip the watchdog and fall back to an algorithm
@@ -40,6 +46,7 @@ pub mod corpus;
 pub mod crash;
 pub mod fault;
 pub mod runner;
+pub mod sdc;
 pub mod supervision;
 
 pub use calibration::{replay, ReplayReport, ReplayRound};
@@ -47,6 +54,7 @@ pub use corpus::{Case, Corpus, Family};
 pub use crash::{run_kill_resume, CrashCellOptions, CrashReport};
 pub use fault::{run_under_faults, Fault, FaultPlan, FaultRunOutcome};
 pub use runner::{all_variants, run_case, CaseReport, Divergence, RunnerConfig, Variant};
+pub use sdc::{run_under_bit_flip, FlipSite, SdcOutcome, SdcVerdict};
 pub use supervision::{
     run_cancel_resume, run_deadline_abort, run_stall_fallback, CancelReport, StallFallbackReport,
 };

@@ -95,6 +95,15 @@ fn check_report_content(report: &RunReport, algorithm: Algorithm) {
         report.store_row_writes > 0,
         "{algorithm:?}: no rows written"
     );
+    // No faults are injected here, so the SDC counters must be present
+    // and zero — both in the struct and in the emitted run record.
+    assert_eq!(report.sdc_detected, 0, "{algorithm:?}: phantom detection");
+    assert_eq!(report.sdc_recovered_panel, 0);
+    assert_eq!(report.sdc_recovered_round, 0);
+    assert!(
+        report.to_jsonl().contains("\"sdc_detected\":0"),
+        "{algorithm:?}: run record missing the sdc_detected field"
+    );
     assert_eq!(
         report.calibration.len(),
         ALGORITHMS.len(),
@@ -204,6 +213,58 @@ fn emitted_jsonl_validates_against_the_checked_in_schema() {
     let auto = apsp(&g, &mut dev, &opts).unwrap();
     let jsonl = auto.telemetry.as_ref().unwrap().to_jsonl();
     validate_jsonl(&jsonl, &schema).unwrap_or_else(|e| panic!("auto-select report: {e}"));
+}
+
+#[test]
+fn sdc_counters_are_reported_and_their_record_is_deterministic() {
+    // One bit-30 flip on the first device upload under the full guard:
+    // the run must detect it, recover via the round rung, count both in
+    // the run record, and still emit a byte-identical JSONL on a rerun
+    // of the identical configuration.
+    let g = gnp(90, 0.06, WeightRange::default(), 0x5DCD);
+    let run_flipped = || {
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        dev.inject_bit_flip(1, 30);
+        let opts = ApspOptions {
+            algorithm: Some(Algorithm::FloydWarshall),
+            sdc_guard: apsp_core::options::SdcGuardMode::Full,
+            telemetry: true,
+            ..Default::default()
+        };
+        apsp(&g, &mut dev, &opts).expect("the guard must recover, not fail")
+    };
+    let first = run_flipped();
+    let report = first.telemetry.as_ref().unwrap();
+    assert!(report.sdc_detected >= 1, "flip never detected");
+    assert!(
+        report.sdc_recovered_panel + report.sdc_recovered_round >= 1,
+        "detection without recovery on a default budget"
+    );
+    assert!(
+        report
+            .spans
+            .iter()
+            .any(|s| s.name.starts_with("sdc.recover")),
+        "missing recovery phase span: {:?}",
+        report.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        first.store.to_dist_matrix().unwrap(),
+        apsp_cpu::bgl_plus_apsp(&g),
+        "recovery must be bit-identical"
+    );
+    let again = run_flipped();
+    assert_eq!(
+        report.to_jsonl(),
+        again.telemetry.as_ref().unwrap().to_jsonl(),
+        "SDC run record differs across reruns"
+    );
+    // The schema pins the new fields too.
+    let schema_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../schemas/telemetry.schema.json");
+    let schema = parse_json(&std::fs::read_to_string(&schema_path).unwrap()).unwrap();
+    validate_jsonl(&report.to_jsonl(), &schema)
+        .unwrap_or_else(|e| panic!("SDC report fails the schema: {e}"));
 }
 
 #[test]

@@ -7,8 +7,7 @@ use crate::ooc_boundary::{
     ooc_boundary_checkpointed_supervised, ooc_boundary_supervised, BoundaryRunStats,
 };
 use crate::ooc_fw::{
-    init_store_from_graph, ooc_floyd_warshall_checkpointed_supervised,
-    ooc_floyd_warshall_supervised, FwRunStats,
+    ooc_floyd_warshall_checkpointed_supervised, ooc_floyd_warshall_guarded, FwRunStats,
 };
 use crate::ooc_johnson::{
     ooc_johnson_checkpointed_supervised, ooc_johnson_supervised, JohnsonRunStats,
@@ -127,6 +126,11 @@ pub fn apsp(
         o.fw.exec = o.exec;
         o.johnson.exec = o.exec;
         o.boundary.exec = o.exec;
+        // Same for the silent-corruption guard level: one front-end
+        // switch governs every algorithm the run might end up on.
+        o.fw.sdc_guard = o.sdc_guard;
+        o.johnson.sdc_guard = o.sdc_guard;
+        o.boundary.sdc_guard = o.sdc_guard;
         o
     };
     let opts = &opts;
@@ -245,15 +249,19 @@ pub fn apsp(
             }
         };
         // A failed algorithm is worth replacing only when the failure is
-        // about *this algorithm's* resource shape or liveness. Anything
-        // else (cancellation, deadline, corruption, bad input, storage)
-        // would fail the replacement just the same — propagate it.
+        // about *this algorithm's* run state or liveness. Anything else
+        // (cancellation, deadline, at-rest corruption, bad input,
+        // storage) would fail the replacement just the same — propagate
+        // it. Silent corruption qualifies: the recovery ladder inside
+        // the driver is exhausted, but a replacement starts from a
+        // fresh store and recomputes everything from the graph.
         let kind = err.kind();
         let replaceable = matches!(
             kind,
             ApspErrorKind::DeviceTooSmall
                 | ApspErrorKind::OutOfDeviceMemory
                 | ApspErrorKind::Stalled
+                | ApspErrorKind::SilentCorruption
         );
         if !opts.supervision.fallback || !replaceable || fallback_events.len() >= 2 {
             return Err(err);
@@ -358,8 +366,10 @@ fn run_one(
             (stats.sim_seconds, RunDetails::FloydWarshall(stats))
         }
         (Algorithm::FloydWarshall, None) => {
-            init_store_from_graph(g, store)?;
-            let stats = ooc_floyd_warshall_supervised(dev, store, &opts.fw, sup)?;
+            // The guarded entry seeds the store itself and keeps the
+            // graph at hand, so a detected corruption can be repaired
+            // by the panel-scoped rung instead of only a full replay.
+            let stats = ooc_floyd_warshall_guarded(dev, g, store, &opts.fw, sup)?;
             (stats.sim_seconds, RunDetails::FloydWarshall(stats))
         }
         (Algorithm::Johnson, Some(c)) => {
@@ -768,5 +778,97 @@ mod tests {
                 || result.report.kernels.contains_key("mssp_dynpar")
         );
         assert!(result.sim_seconds > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod sdc_tests {
+    use super::*;
+    use crate::options::{ApspOptions, SdcGuardMode};
+    use crate::supervisor::{RetryPolicy, SupervisionOptions};
+    use apsp_cpu::bgl_plus_apsp;
+    use apsp_gpu_sim::DeviceProfile;
+    use apsp_graph::generators::{gnp, WeightRange};
+
+    /// A device-side H2D bit flip (round-0 diagonal raise — the site the
+    /// sum check alone cannot see) is caught by the semantic guard and
+    /// repaired through the front end, bit-identical to the clean run.
+    #[test]
+    fn device_flip_under_full_guard_recovers_exactly() {
+        let g = gnp(90, 0.06, WeightRange::default(), 51);
+        let reference = bgl_plus_apsp(&g);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        dev.inject_bit_flip(1, 30);
+        let opts = ApspOptions {
+            algorithm: Some(Algorithm::FloydWarshall),
+            sdc_guard: SdcGuardMode::Full,
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &opts).unwrap();
+        let RunDetails::FloydWarshall(stats) = &result.details else {
+            panic!("wrong details {:?}", result.details);
+        };
+        assert_eq!(stats.sdc_round_recoveries, 1);
+        assert_eq!(result.store.to_dist_matrix().unwrap(), reference);
+    }
+
+    /// With the in-driver ladder disabled, a detected corruption is a
+    /// replaceable failure: the fallback chain switches algorithms on a
+    /// fresh store and still produces the exact matrix.
+    #[test]
+    fn exhausted_ladder_falls_back_to_another_algorithm() {
+        let g = gnp(90, 0.06, WeightRange::default(), 51);
+        let reference = bgl_plus_apsp(&g);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        dev.inject_bit_flip(1, 30);
+        let opts = ApspOptions {
+            algorithm: Some(Algorithm::FloydWarshall),
+            sdc_guard: SdcGuardMode::Full,
+            supervision: SupervisionOptions {
+                fallback: true,
+                retry: RetryPolicy {
+                    sdc_panel_retries: 0,
+                    sdc_round_retries: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let result = apsp(&g, &mut dev, &opts).unwrap();
+        assert_eq!(
+            result.fallback_events.len(),
+            1,
+            "{:?}",
+            result.fallback_events
+        );
+        let fb = &result.fallback_events[0];
+        assert_eq!(fb.from, Algorithm::FloydWarshall);
+        assert_eq!(fb.error_kind, ApspErrorKind::SilentCorruption);
+        assert_ne!(result.algorithm, Algorithm::FloydWarshall);
+        assert_eq!(result.store.to_dist_matrix().unwrap(), reference);
+    }
+
+    /// Without fallback and without budgets the detection surfaces typed.
+    #[test]
+    fn without_fallback_detection_is_a_typed_error() {
+        let g = gnp(90, 0.06, WeightRange::default(), 51);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+        dev.inject_bit_flip(1, 30);
+        let opts = ApspOptions {
+            algorithm: Some(Algorithm::FloydWarshall),
+            sdc_guard: SdcGuardMode::Full,
+            supervision: SupervisionOptions {
+                retry: RetryPolicy {
+                    sdc_panel_retries: 0,
+                    sdc_round_retries: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let err = apsp(&g, &mut dev, &opts).unwrap_err();
+        assert_eq!(err.kind(), ApspErrorKind::SilentCorruption, "{err}");
     }
 }

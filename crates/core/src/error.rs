@@ -53,6 +53,22 @@ pub enum ApspError {
         /// Which barrier missed its budget and by how much.
         detail: String,
     },
+    /// An SDC guard caught live tile data that no longer matches its
+    /// recorded checksum or violates a semiring invariant (distances
+    /// increased across a round, or a sampled triangle inequality
+    /// failed). Unlike [`ApspError::Corruption`] — which indicts
+    /// *durable* state — this indicts the in-flight working set, so the
+    /// recovery ladder may recompute the damaged panel or replay the
+    /// round before escalating to the fallback chain.
+    SilentCorruption {
+        /// Damaged panel index (rows `panel * 64 ..`), when localized;
+        /// `usize::MAX` when only the round-level invariant tripped.
+        panel: usize,
+        /// Pivot round / batch / flush ordinal at which the guard fired.
+        round: usize,
+        /// Which guard tripped and what it observed.
+        detail: String,
+    },
 }
 
 /// Coarse classification of an [`ApspError`] — what conformance
@@ -67,12 +83,13 @@ pub enum ApspErrorKind {
     DeadlineExceeded,
     Cancelled,
     Stalled,
+    SilentCorruption,
 }
 
 impl ApspErrorKind {
     /// Every kind, in declaration order — keeps classification tests
     /// exhaustive when variants are added.
-    pub const ALL: [ApspErrorKind; 8] = [
+    pub const ALL: [ApspErrorKind; 9] = [
         ApspErrorKind::DeviceTooSmall,
         ApspErrorKind::OutOfDeviceMemory,
         ApspErrorKind::Storage,
@@ -81,7 +98,24 @@ impl ApspErrorKind {
         ApspErrorKind::DeadlineExceeded,
         ApspErrorKind::Cancelled,
         ApspErrorKind::Stalled,
+        ApspErrorKind::SilentCorruption,
     ];
+
+    /// Stable machine-readable name, used by `apsp-run --error-json` so
+    /// harnesses can match on the kind without parsing `Debug` output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ApspErrorKind::DeviceTooSmall => "DeviceTooSmall",
+            ApspErrorKind::OutOfDeviceMemory => "OutOfDeviceMemory",
+            ApspErrorKind::Storage => "Storage",
+            ApspErrorKind::InvalidInput => "InvalidInput",
+            ApspErrorKind::Corruption => "Corruption",
+            ApspErrorKind::DeadlineExceeded => "DeadlineExceeded",
+            ApspErrorKind::Cancelled => "Cancelled",
+            ApspErrorKind::Stalled => "Stalled",
+            ApspErrorKind::SilentCorruption => "SilentCorruption",
+        }
+    }
 
     /// Whether the retry machinery may re-attempt after this kind.
     ///
@@ -90,7 +124,10 @@ impl ApspErrorKind {
     /// current attempt — storage errors indict durable state, deadline /
     /// cancellation are explicit orders to stop, and a stall means this
     /// algorithm should not simply be re-run (the fallback chain may
-    /// still pick a *different* one).
+    /// still pick a *different* one). Silent corruption is *not*
+    /// transient in this sense either — it has its own scoped recovery
+    /// ladder (panel recompute → round replay → fallback) rather than
+    /// the blind re-attempt the transient path implies.
     pub fn is_transient(self) -> bool {
         matches!(self, ApspErrorKind::OutOfDeviceMemory)
     }
@@ -108,6 +145,7 @@ impl ApspError {
             ApspError::DeadlineExceeded { .. } => ApspErrorKind::DeadlineExceeded,
             ApspError::Cancelled { .. } => ApspErrorKind::Cancelled,
             ApspError::Stalled { .. } => ApspErrorKind::Stalled,
+            ApspError::SilentCorruption { .. } => ApspErrorKind::SilentCorruption,
         }
     }
 }
@@ -129,6 +167,20 @@ impl std::fmt::Display for ApspError {
             }
             ApspError::Cancelled { detail } => write!(f, "run cancelled: {detail}"),
             ApspError::Stalled { detail } => write!(f, "run stalled: {detail}"),
+            ApspError::SilentCorruption {
+                panel,
+                round,
+                detail,
+            } => {
+                if *panel == usize::MAX {
+                    write!(f, "silent data corruption at round {round}: {detail}")
+                } else {
+                    write!(
+                        f,
+                        "silent data corruption in panel {panel} at round {round}: {detail}"
+                    )
+                }
+            }
         }
     }
 }
@@ -149,16 +201,72 @@ impl From<OutOfDeviceMemory> for ApspError {
     }
 }
 
+/// Marker payload carried inside an `io::Error` when a tile-store SDC
+/// guard trips. Like [`crate::supervisor::CancelledMark`], it lets the
+/// detection surface through the store's `io::Result` plumbing and
+/// re-type itself into [`ApspError::SilentCorruption`] at the `?`
+/// boundary instead of being misfiled as a storage failure.
+#[derive(Debug)]
+pub(crate) struct SdcMark {
+    pub panel: usize,
+    pub round: usize,
+    pub detail: String,
+}
+
+impl std::fmt::Display for SdcMark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sdc guard tripped: {}", self.detail)
+    }
+}
+
+impl std::error::Error for SdcMark {}
+
+/// Marker payload for durable-state corruption detected inside the tile
+/// store's `io::Result` paths (e.g. a persisted spill file whose panel
+/// checksums no longer match on first read). Re-typed into
+/// [`ApspError::Corruption`] at the `?` boundary.
+#[derive(Debug)]
+pub(crate) struct CorruptionMark {
+    pub detail: String,
+}
+
+impl std::fmt::Display for CorruptionMark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for CorruptionMark {}
+
 impl From<std::io::Error> for ApspError {
     fn from(e: std::io::Error) -> Self {
         // Cancellation observed inside the store's I/O loops travels as an
         // `io::Error` wrapping a marker so it can surface through the same
-        // `?` plumbing as real storage failures, but typed correctly.
+        // `?` plumbing as real storage failures, but typed correctly. SDC
+        // and durable-corruption detections use the same trick.
         if e.get_ref()
             .is_some_and(|inner| inner.is::<crate::supervisor::CancelledMark>())
         {
             return ApspError::Cancelled {
                 detail: e.to_string(),
+            };
+        }
+        if let Some(mark) = e
+            .get_ref()
+            .and_then(|inner| inner.downcast_ref::<SdcMark>())
+        {
+            return ApspError::SilentCorruption {
+                panel: mark.panel,
+                round: mark.round,
+                detail: mark.detail.clone(),
+            };
+        }
+        if let Some(mark) = e
+            .get_ref()
+            .and_then(|inner| inner.downcast_ref::<CorruptionMark>())
+        {
+            return ApspError::Corruption {
+                detail: mark.detail.clone(),
             };
         }
         ApspError::Storage(e)
@@ -192,6 +300,21 @@ mod tests {
             detail: "no barrier for 9s".into(),
         };
         assert!(s.to_string().contains("stalled"));
+        let sdc = ApspError::SilentCorruption {
+            panel: 3,
+            round: 7,
+            detail: "row 201 checksum mismatch".into(),
+        };
+        assert_eq!(sdc.kind(), ApspErrorKind::SilentCorruption);
+        assert!(sdc.to_string().contains("panel 3"));
+        assert!(sdc.to_string().contains("round 7"));
+        let unlocated = ApspError::SilentCorruption {
+            panel: usize::MAX,
+            round: 2,
+            detail: "row sums increased".into(),
+        };
+        assert!(!unlocated.to_string().contains("panel"));
+        assert_eq!(ApspErrorKind::SilentCorruption.as_str(), "SilentCorruption");
     }
 
     #[test]
@@ -201,6 +324,32 @@ mod tests {
         assert_eq!(e.kind(), ApspErrorKind::Cancelled);
         let plain = ApspError::from(std::io::Error::other("short write"));
         assert_eq!(plain.kind(), ApspErrorKind::Storage);
+    }
+
+    #[test]
+    fn marker_io_errors_become_typed_sdc_and_corruption() {
+        let io = std::io::Error::other(SdcMark {
+            panel: 2,
+            round: 5,
+            detail: "row 130 checksum mismatch".into(),
+        });
+        match ApspError::from(io) {
+            ApspError::SilentCorruption {
+                panel,
+                round,
+                detail,
+            } => {
+                assert_eq!((panel, round), (2, 5));
+                assert!(detail.contains("row 130"));
+            }
+            other => panic!("wrong re-typing: {other:?}"),
+        }
+        let io = std::io::Error::other(CorruptionMark {
+            detail: "panel 1 of spill file fails its checksum".into(),
+        });
+        let e = ApspError::from(io);
+        assert_eq!(e.kind(), ApspErrorKind::Corruption);
+        assert!(e.to_string().contains("panel 1"));
     }
 
     /// Every variant maps to exactly one kind and one transient/fatal
@@ -232,6 +381,11 @@ mod tests {
             ApspError::Stalled {
                 detail: String::new(),
             },
+            ApspError::SilentCorruption {
+                panel: 0,
+                round: 0,
+                detail: String::new(),
+            },
         ];
         // The list above must cover every variant exactly once. This match
         // fails to compile if a variant is added without extending it.
@@ -244,7 +398,8 @@ mod tests {
                 | ApspError::Corruption { .. }
                 | ApspError::DeadlineExceeded { .. }
                 | ApspError::Cancelled { .. }
-                | ApspError::Stalled { .. } => {}
+                | ApspError::Stalled { .. }
+                | ApspError::SilentCorruption { .. } => {}
             }
         }
         let kinds: Vec<ApspErrorKind> = every_variant.iter().map(|e| e.kind()).collect();

@@ -34,6 +34,7 @@ pub mod ooc_fw;
 pub mod ooc_johnson;
 pub mod options;
 pub mod paths;
+pub mod sdc;
 pub mod selector;
 pub mod supervisor;
 pub mod telemetry;
@@ -46,7 +47,10 @@ pub use calibration::{
 };
 pub use checkpoint::{graph_fingerprint, Checkpoint, Manifest, Progress};
 pub use error::{ApspError, ApspErrorKind};
-pub use options::{Algorithm, ApspOptions, BoundaryOptions, CheckpointOptions, JohnsonOptions};
+pub use options::{
+    Algorithm, ApspOptions, BoundaryOptions, CheckpointOptions, JohnsonOptions, SdcGuardMode,
+};
+pub use sdc::SdcGuard;
 pub use selector::{Candidate, CostModels, Selection, SelectorConfig};
 pub use supervisor::{
     CancelToken, FallbackEvent, RetryPolicy, SupervisionEvent, SupervisionOptions, Supervisor,

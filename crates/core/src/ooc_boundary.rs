@@ -19,6 +19,7 @@
 use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
 use crate::options::BoundaryOptions;
+use crate::sdc::{SdcGuard, SDC_SAMPLE_SEED};
 use crate::supervisor::{RetryState, RetryStep, Supervisor};
 use crate::tile_store::TileStore;
 use apsp_gpu_sim::{DeviceBuffer, GpuDevice, KernelCost, LaunchConfig, Pinning, StreamId};
@@ -48,6 +49,11 @@ pub struct BoundaryRunStats {
     pub retries: u32,
     /// Checkpoint commits performed (0 without checkpointing).
     pub checkpoint_commits: u32,
+    /// Silent corruptions repaired by recomputing every panel from the
+    /// graph. The boundary algorithm never reads the store, so full
+    /// recomputation is its one (exact) recovery rung; there is no
+    /// cheaper panel-scoped rung to count separately.
+    pub sdc_round_recoveries: u32,
 }
 
 /// The paper's default component count, `√n / 4` (Section V-F).
@@ -179,15 +185,61 @@ fn boundary_driver(
     let mut opts_eff = *opts;
     let mut commits = 0u32;
     let mut retry = RetryState::new(sup.retry_policy(), "out-of-core boundary");
+    if n > 0 && opts.sdc_guard.is_on() && store.sdc_guard() != opts.sdc_guard {
+        store.set_sdc_guard(opts.sdc_guard)?;
+    }
+    let mut guard = SdcGuard::new(opts.sdc_guard, SDC_SAMPLE_SEED);
+    let mut round_budget = sup.retry_policy().sdc_round_retries;
+    let mut round_recoveries = 0u32;
     loop {
-        let result = ooc_boundary_inner(dev, g, store, &opts_eff, resume, ckpt, &mut commits, sup);
+        let result = ooc_boundary_inner(
+            dev,
+            g,
+            store,
+            &opts_eff,
+            resume,
+            ckpt,
+            &mut commits,
+            sup,
+            &mut guard,
+        );
         // Restore the device's efficiency context on every exit path.
         dev.set_kernel_efficiency_divisor(1.0);
         match result {
             Ok(mut stats) => {
                 stats.retries = retry.retries();
                 stats.checkpoint_commits = commits;
+                stats.sdc_round_recoveries = round_recoveries;
                 return Ok(stats);
+            }
+            Err(ApspError::SilentCorruption {
+                panel,
+                round,
+                detail,
+            }) => {
+                let tel = sup.telemetry().clone();
+                tel.count_sdc(1, 0, 0);
+                // The boundary algorithm never reads the store, so the
+                // one recovery rung — recomputing every panel from the
+                // graph — is exact wherever the corruption was detected.
+                // The rewrite reaches rows component by component;
+                // re-seed the registry so the stale mismatch cannot
+                // re-fire at an earlier flush barrier.
+                if round_budget > 0 {
+                    round_budget -= 1;
+                    round_recoveries += 1;
+                    let ph = tel.phase_start(dev);
+                    store.sdc_rebaseline(0..n)?;
+                    resume = None;
+                    tel.phase_end(dev, ph, "sdc.recover_round");
+                    tel.count_sdc(0, 0, 1);
+                    continue;
+                }
+                return Err(ApspError::SilentCorruption {
+                    panel,
+                    round,
+                    detail,
+                });
             }
             Err(e) => {
                 let (step, oom) = retry.next_step(e, sup)?;
@@ -224,6 +276,7 @@ fn ooc_boundary_inner(
     ckpt: Option<&Checkpoint>,
     commits: &mut u32,
     sup: &Supervisor,
+    guard: &mut SdcGuard,
 ) -> Result<BoundaryRunStats, ApspError> {
     let n = g.num_vertices();
     assert_eq!(store.n(), n);
@@ -236,6 +289,7 @@ fn ooc_boundary_inner(
             sim_seconds: 0.0,
             retries: 0,
             checkpoint_commits: 0,
+            sdc_round_recoveries: 0,
         });
     }
 
@@ -438,7 +492,21 @@ fn ooc_boundary_inner(
     let mut host_panel = vec![0 as Dist; n_max * n];
     let mut scatter_row = vec![0 as Dist; n];
 
+    // Store rows (original vertex ids) whose dist₄ panels are flushed —
+    // final metric-closure rows, the candidates the invariant guard
+    // probes. Components restored from a checkpoint are already final.
+    let sdc_on = opts.sdc_guard.is_on();
+    let mut guard_rows: Vec<usize> = Vec::new();
+    if sdc_on {
+        for c in 0..start_component {
+            for v in layout.component_range(c) {
+                guard_rows.push(layout.old_of(v as VertexId) as usize);
+            }
+        }
+    }
+
     for i in start_component..k {
+        store.set_sdc_round(i);
         let ph = tel.phase_start(dev);
         let irange = layout.component_range(i);
         let sz_i = irange.len();
@@ -523,6 +591,13 @@ fn ooc_boundary_inner(
                     store,
                     &mut scatter_row,
                 )?;
+                if sdc_on {
+                    for &c in &staged {
+                        for v in layout.component_range(c) {
+                            guard_rows.push(layout.old_of(v as VertexId) as usize);
+                        }
+                    }
+                }
                 staged.clear();
                 flushed = true;
                 if stagings.len() == 2 {
@@ -532,6 +607,11 @@ fn ooc_boundary_inner(
         } else {
             // Unbatched: the host panel for component i is complete.
             write_panel(store, &layout, i, &host_panel, &mut scatter_row)?;
+            if sdc_on {
+                for v in irange.clone() {
+                    guard_rows.push(layout.old_of(v as VertexId) as usize);
+                }
+            }
             flushed = true;
         }
         if flushed {
@@ -546,6 +626,9 @@ fn ooc_boundary_inner(
                 dev.elapsed().seconds(),
                 &format!("boundary component {i} flush barrier"),
             )?;
+            // Invariant guard BEFORE the commit, so a committed snapshot
+            // is never taken across undetected corruption.
+            guard.check_completed_rows(store, i, &guard_rows)?;
         }
         // Natural commit point: every component below the cursor has its
         // dist₄ panel in the store. The final flush is not committed —
@@ -575,6 +658,7 @@ fn ooc_boundary_inner(
         sim_seconds,
         retries: 0,
         checkpoint_commits: 0,
+        sdc_round_recoveries: 0,
     })
 }
 
@@ -1065,6 +1149,67 @@ mod tests {
         let err =
             ooc_boundary_checkpointed(&mut dev, &g, &mut store, &other_seed, &ckpt).unwrap_err();
         assert_eq!(err.kind(), crate::ApspErrorKind::InvalidInput, "{err}");
+    }
+
+    #[test]
+    fn injected_flips_recover_bit_identical() {
+        use crate::options::SdcGuardMode;
+        let g = grid_2d(10, 10, GridOptions::default(), WeightRange::default(), 41);
+        let reference = bgl_plus_apsp(&g);
+        // One write op per store row (100 total); cover early, middle,
+        // and late flush groups, and both transfer modes.
+        for batch in [false, true] {
+            for (after_ops, bit) in [(10u64, 11u64), (55, 3), (95, 25)] {
+                let mut dev = GpuDevice::new(DeviceProfile::v100());
+                let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
+                store.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+                store.arm_bit_flip(after_ops, bit);
+                let opts = BoundaryOptions {
+                    num_components: Some(6),
+                    batch_transfers: batch,
+                    sdc_guard: SdcGuardMode::Checksum,
+                    ..Default::default()
+                };
+                let stats = ooc_boundary(&mut dev, &g, &mut store, &opts).unwrap();
+                assert_eq!(
+                    stats.sdc_round_recoveries, 1,
+                    "flip after {after_ops} ops (batch={batch}) went unnoticed"
+                );
+                assert_eq!(
+                    store.to_dist_matrix().unwrap(),
+                    reference,
+                    "flip after {after_ops} ops (batch={batch})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_recovery_budget_surfaces_typed() {
+        use crate::options::SdcGuardMode;
+        use crate::supervisor::{RetryPolicy, SupervisionOptions};
+        let g = grid_2d(10, 10, GridOptions::default(), WeightRange::default(), 41);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let mut store = TileStore::new(100, &StorageBackend::Memory).unwrap();
+        store.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+        store.arm_bit_flip(40, 9);
+        let sup = Supervisor::new(
+            &SupervisionOptions {
+                retry: RetryPolicy {
+                    sdc_round_retries: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            0.0,
+        );
+        let opts = BoundaryOptions {
+            num_components: Some(6),
+            sdc_guard: SdcGuardMode::Checksum,
+            ..Default::default()
+        };
+        let err = ooc_boundary_supervised(&mut dev, &g, &mut store, &opts, &sup).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::SilentCorruption, "{err}");
     }
 
     #[test]

@@ -9,8 +9,9 @@
 use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
 use crate::options::FwOptions;
+use crate::sdc::SdcGuard;
 use crate::supervisor::{RetryState, RetryStep, Supervisor};
-use crate::tile_store::TileStore;
+use crate::tile_store::{TileStore, SDC_PANEL_ROWS};
 use apsp_gpu_sim::{GpuDevice, Pinning, StreamId};
 use apsp_graph::{CsrGraph, Dist, VertexId, INF};
 use apsp_kernels::fw_block::fw_device_exec;
@@ -34,6 +35,14 @@ pub struct FwRunStats {
     pub retries: u32,
     /// Checkpoint commits performed (0 without checkpointing).
     pub checkpoint_commits: u32,
+    /// Silent-corruption detections absorbed by the panel-scoped
+    /// recovery rung (damaged panel reset to adjacency, rounds
+    /// replayed).
+    pub sdc_panel_recoveries: u32,
+    /// Silent-corruption detections absorbed by the round-scoped rung
+    /// (checkpoint snapshot restored, or the store reseeded from the
+    /// graph).
+    pub sdc_round_recoveries: u32,
 }
 
 /// Seed `store` with the adjacency of `g` (zero diagonal, weights, `INF`).
@@ -80,7 +89,7 @@ pub fn ooc_floyd_warshall(
     store: &mut TileStore,
     opts: &FwOptions,
 ) -> Result<FwRunStats, ApspError> {
-    fw_driver(dev, store, opts, None, None, &Supervisor::unarmed())
+    fw_driver(dev, store, opts, None, None, &Supervisor::unarmed(), None)
 }
 
 /// [`ooc_floyd_warshall`] under a [`Supervisor`]: the deadline, progress
@@ -92,7 +101,29 @@ pub fn ooc_floyd_warshall_supervised(
     opts: &FwOptions,
     sup: &Supervisor,
 ) -> Result<FwRunStats, ApspError> {
-    fw_driver(dev, store, opts, None, None, sup)
+    fw_driver(dev, store, opts, None, None, sup, None)
+}
+
+/// [`ooc_floyd_warshall_supervised`] with the graph in hand, which is
+/// what arms the silent-corruption recovery ladder: a guard detection
+/// localized to one panel resets just that panel's rows to their
+/// adjacency initialization and replays (exact, by min-plus
+/// monotonicity — see [`ooc_floyd_warshall`]'s restart argument), and
+/// an unlocalized detection reseeds the whole store from `g`. Seeds the
+/// store from `g` itself — the caller must *not* pre-initialize it.
+/// Without the graph (the plain entry points), a detection propagates
+/// as a typed [`ApspError::SilentCorruption`] once the checkpoint-less
+/// ladder is exhausted.
+pub fn ooc_floyd_warshall_guarded(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    store: &mut TileStore,
+    opts: &FwOptions,
+    sup: &Supervisor,
+) -> Result<FwRunStats, ApspError> {
+    assert_eq!(store.n(), g.num_vertices());
+    init_store_from_graph(g, store)?;
+    fw_driver(dev, store, opts, None, None, sup, Some(g))
 }
 
 /// [`ooc_floyd_warshall`] with crash-safe durability: progress commits to
@@ -158,14 +189,22 @@ pub fn ooc_floyd_warshall_checkpointed_supervised(
             None
         }
     };
-    let stats = fw_driver(dev, store, opts, resume, Some(ckpt), sup)?;
+    let stats = fw_driver(dev, store, opts, resume, Some(ckpt), sup, Some(g))?;
     ckpt.clear()?;
     Ok(stats)
 }
 
+/// Seed for the guard's deterministic triangle sampling — a constant,
+/// so reruns of the same case check the same pairs.
+use crate::sdc::SDC_SAMPLE_SEED;
+
 /// The retry-then-halve driver shared by the plain and checkpointed
 /// entry points. `resume` carries `(block, start_round)` from a restored
 /// manifest; restarts (OOM or re-fit) always replay from round 0.
+/// `graph` arms the panel-reset and reseed rungs of the
+/// silent-corruption recovery ladder (checkpoint restore works without
+/// it).
+#[allow(clippy::too_many_arguments)]
 fn fw_driver(
     dev: &mut GpuDevice,
     store: &mut TileStore,
@@ -173,6 +212,7 @@ fn fw_driver(
     resume: Option<(usize, usize)>,
     ckpt: Option<&Checkpoint>,
     sup: &Supervisor,
+    graph: Option<&CsrGraph>,
 ) -> Result<FwRunStats, ApspError> {
     let n = store.n();
     if n == 0 {
@@ -182,8 +222,18 @@ fn fw_driver(
             sim_seconds: 0.0,
             retries: 0,
             checkpoint_commits: 0,
+            sdc_panel_recoveries: 0,
+            sdc_round_recoveries: 0,
         });
     }
+    if opts.sdc_guard.is_on() && store.sdc_guard() != opts.sdc_guard {
+        store.set_sdc_guard(opts.sdc_guard)?;
+    }
+    let mut guard = SdcGuard::new(opts.sdc_guard, SDC_SAMPLE_SEED);
+    let mut panel_budget = sup.retry_policy().sdc_panel_retries;
+    let mut round_budget = sup.retry_policy().sdc_round_retries;
+    let mut panel_recoveries = 0u32;
+    let mut round_recoveries = 0u32;
     // Resident working set: pivot tile + A(i,k) + A(k,j) + one or two
     // output tiles (two when overlap is on).
     let buffers = if opts.overlap_transfers { 5 } else { 4 };
@@ -230,15 +280,90 @@ fn fw_driver(
             ckpt,
             &mut commits,
             sup,
+            &mut guard,
         ) {
             Ok(mut stats) => {
                 stats.retries = retry.retries();
                 stats.checkpoint_commits = commits;
+                stats.sdc_panel_recoveries = panel_recoveries;
+                stats.sdc_round_recoveries = round_recoveries;
                 return Ok(stats);
             }
             // A caller-forced block size is a contract: never shrink it —
             // the allocation failure propagates.
             Err(e @ ApspError::OutOfDeviceMemory(_)) if opts.block_size.is_some() => return Err(e),
+            Err(ApspError::SilentCorruption {
+                panel,
+                round,
+                detail,
+            }) => {
+                // The SDC recovery ladder. Rung 1 — detection localized
+                // to one panel (the corrupt rows were provably never
+                // read): reset just those rows to adjacency and replay
+                // all rounds. Exact, because the reset state is still
+                // entrywise an upper bound on the true distances, and
+                // min-plus relaxation converges to the same closure
+                // from any such state. Rung 2 — unlocalized detection
+                // (possible propagation): restore the last checkpoint
+                // snapshot (committed only after its own barrier's
+                // guard passed, so it predates the corruption), or
+                // reseed the whole store from the graph. Exhausted
+                // budgets propagate the typed error to the caller's
+                // fallback chain.
+                let tel = sup.telemetry().clone();
+                tel.count_sdc(1, 0, 0);
+                if panel != usize::MAX && panel_budget > 0 {
+                    if let Some(g) = graph {
+                        panel_budget -= 1;
+                        panel_recoveries += 1;
+                        let ph = tel.phase_start(dev);
+                        reset_panel_from_graph(g, store, panel)?;
+                        tel.phase_end(dev, ph, "sdc.recover_panel");
+                        tel.count_sdc(0, 1, 0);
+                        guard.reset_baseline();
+                        start_round = 0;
+                        continue;
+                    }
+                }
+                if round_budget > 0 {
+                    let ph = tel.phase_start(dev);
+                    let mut recovered = false;
+                    if let Some(ck) = ckpt {
+                        if let Some(m) = ck.load()? {
+                            if let Progress::FloydWarshall {
+                                block: cb,
+                                next_round,
+                            } = m.progress
+                            {
+                                ck.restore_into(&m, store)?;
+                                block = cb;
+                                start_round = next_round;
+                                recovered = true;
+                            }
+                        }
+                    }
+                    if !recovered {
+                        if let Some(g) = graph {
+                            init_store_from_graph(g, store)?;
+                            start_round = 0;
+                            recovered = true;
+                        }
+                    }
+                    if recovered {
+                        round_budget -= 1;
+                        round_recoveries += 1;
+                        tel.phase_end(dev, ph, "sdc.recover_round");
+                        tel.count_sdc(0, 0, 1);
+                        guard.reset_baseline();
+                        continue;
+                    }
+                }
+                return Err(ApspError::SilentCorruption {
+                    panel,
+                    round,
+                    detail,
+                });
+            }
             Err(e) => {
                 // Fatal kinds propagate out of `next_step` unchanged;
                 // transient ones retry the same geometry once (a one-shot
@@ -274,6 +399,7 @@ fn fw_rounds(
     ckpt: Option<&Checkpoint>,
     commits: &mut u32,
     sup: &Supervisor,
+    guard: &mut SdcGuard,
 ) -> Result<FwRunStats, ApspError> {
     let n = store.n();
     let n_d = n.div_ceil(block);
@@ -289,6 +415,7 @@ fn fw_rounds(
 
     let tel = sup.telemetry().clone();
     for kb in start_round..n_d {
+        store.set_sdc_round(kb);
         let kr = extent(kb);
         // ---- Stage 1: diagonal tile.
         let ph = tel.phase_start(dev);
@@ -360,6 +487,11 @@ fn fw_rounds(
         // blown deadline, or missed progress budget surfaces here, with
         // everything committed so far still resumable.
         sup.check_barrier(now, &format!("Floyd-Warshall round {kb} barrier"))?;
+        // Invariant guard at the same barrier, *before* the commit — a
+        // corrupt store must never become a checkpoint snapshot. After
+        // round kb the triangle inequality holds for every pivot `k`
+        // in the completed blocks `0..(kb+1)·block`.
+        guard.check_round(store, kb, ((kb + 1) * block).min(n))?;
         // Natural commit point: every tile reflects rounds 0..=kb. The
         // final round is not committed — completion clears the
         // checkpoint, and a crash after the last barrier replays one
@@ -384,7 +516,36 @@ fn fw_rounds(
         sim_seconds,
         retries: 0,
         checkpoint_commits: 0,
+        sdc_panel_recoveries: 0,
+        sdc_round_recoveries: 0,
     })
+}
+
+/// Rung-1 recovery: rewrite the damaged panel's rows with their
+/// adjacency initialization (the same state
+/// [`init_store_from_graph`] seeds). Every entry of the reset rows is
+/// again an upper bound on the true distance, so replaying all rounds
+/// converges to the exact metric closure.
+fn reset_panel_from_graph(
+    g: &CsrGraph,
+    store: &mut TileStore,
+    panel: usize,
+) -> Result<(), ApspError> {
+    let n = g.num_vertices();
+    let lo = (panel * SDC_PANEL_ROWS).min(n);
+    let hi = ((panel + 1) * SDC_PANEL_ROWS).min(n);
+    let mut row = vec![INF; n];
+    for v in lo..hi {
+        row.fill(INF);
+        row[v] = 0;
+        for (u, w) in g.edges_from(v as VertexId) {
+            if u as usize != v && w < row[u as usize] {
+                row[u as usize] = w;
+            }
+        }
+        store.write_row(v, &row)?;
+    }
+    Ok(())
 }
 
 fn upload_tile(
@@ -586,6 +747,132 @@ mod tests {
         let d = std::env::temp_dir().join("apsp_ooc_fw_ckpt").join(name);
         let _ = std::fs::remove_dir_all(&d);
         d
+    }
+
+    use crate::options::SdcGuardMode;
+    use crate::supervisor::{RetryPolicy, SupervisionOptions};
+
+    #[test]
+    fn guarded_clean_run_is_bit_identical_to_unguarded() {
+        let g = gnp(90, 0.07, WeightRange::default(), 31);
+        let reference = run_fw(&g, &mut small_device(), &FwOptions::default());
+        for mode in [SdcGuardMode::Checksum, SdcGuardMode::Full] {
+            let mut dev = small_device();
+            let mut store = TileStore::new(90, &StorageBackend::Memory).unwrap();
+            let opts = FwOptions {
+                sdc_guard: mode,
+                ..Default::default()
+            };
+            let stats =
+                ooc_floyd_warshall_guarded(&mut dev, &g, &mut store, &opts, &Supervisor::unarmed())
+                    .unwrap();
+            assert_eq!(stats.sdc_panel_recoveries + stats.sdc_round_recoveries, 0);
+            assert_eq!(store.to_dist_matrix().unwrap(), reference, "{mode}");
+        }
+    }
+
+    #[test]
+    fn injected_store_flips_are_recovered_bit_identical() {
+        let g = gnp(90, 0.07, WeightRange::default(), 33);
+        let reference = bgl_plus_apsp(&g);
+        // Flip sites spread across the run: early init, stage 2/3 tile
+        // writes, and late rounds. Each must be detected and recovered
+        // to the exact clean result.
+        for (after_ops, bit) in [(50u64, 7u64), (150, 13), (260, 31), (420, 3)] {
+            let mut dev = small_device();
+            let mut store = TileStore::new(90, &StorageBackend::Memory).unwrap();
+            store.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+            store.arm_bit_flip(after_ops, bit);
+            let opts = FwOptions {
+                sdc_guard: SdcGuardMode::Checksum,
+                ..Default::default()
+            };
+            let stats =
+                ooc_floyd_warshall_guarded(&mut dev, &g, &mut store, &opts, &Supervisor::unarmed())
+                    .unwrap_or_else(|e| panic!("flip at op {after_ops} not recovered: {e}"));
+            assert!(
+                stats.sdc_panel_recoveries + stats.sdc_round_recoveries >= 1,
+                "flip at op {after_ops} fired before the run ended but no recovery ran"
+            );
+            assert_eq!(
+                store.to_dist_matrix().unwrap(),
+                reference,
+                "flip at op {after_ops} recovered to a different matrix"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_recovery_budget_surfaces_typed() {
+        let g = gnp(64, 0.1, WeightRange::default(), 34);
+        let mut dev = small_device();
+        let mut store = TileStore::new(64, &StorageBackend::Memory).unwrap();
+        store.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+        store.arm_bit_flip(200, 9);
+        let sup = Supervisor::new(
+            &SupervisionOptions {
+                retry: RetryPolicy {
+                    sdc_panel_retries: 0,
+                    sdc_round_retries: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            0.0,
+        );
+        let opts = FwOptions {
+            sdc_guard: SdcGuardMode::Checksum,
+            ..Default::default()
+        };
+        let err = ooc_floyd_warshall_guarded(&mut dev, &g, &mut store, &opts, &sup).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::SilentCorruption, "{err}");
+    }
+
+    #[test]
+    fn plain_entry_without_graph_propagates_sdc_typed() {
+        // Without the graph or a checkpoint the driver has nothing to
+        // recover from: the detection must surface typed, not panic or
+        // silently pass.
+        let g = gnp(64, 0.1, WeightRange::default(), 35);
+        let mut dev = small_device();
+        let mut store = TileStore::new(64, &StorageBackend::Memory).unwrap();
+        init_store_from_graph(&g, &mut store).unwrap();
+        store.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+        store.arm_bit_flip(200, 5);
+        let opts = FwOptions {
+            sdc_guard: SdcGuardMode::Checksum,
+            ..Default::default()
+        };
+        let err = ooc_floyd_warshall(&mut dev, &mut store, &opts).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::SilentCorruption, "{err}");
+    }
+
+    #[test]
+    fn checkpointed_flip_recovers_via_snapshot_restore() {
+        let g = gnp(97, 0.07, WeightRange::default(), 36);
+        let reference = bgl_plus_apsp(&g);
+        let mut dev = small_device();
+        let mut store = TileStore::new(97, &StorageBackend::Memory).unwrap();
+        store.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+        // Fire after round 0's commit (~op 291 of 485), on a row that
+        // gets re-read, so the detection is unlocalized and the round
+        // rung restores the snapshot.
+        store.arm_bit_flip(380, 17);
+        let ckpt = Checkpoint::new(ckpt_dir("sdc_restore"), &g).unwrap();
+        let opts = FwOptions {
+            sdc_guard: SdcGuardMode::Checksum,
+            ..Default::default()
+        };
+        ooc_floyd_warshall_checkpointed_supervised(
+            &mut dev,
+            &g,
+            &mut store,
+            &opts,
+            &ckpt,
+            &Supervisor::unarmed(),
+        )
+        .unwrap();
+        assert_eq!(store.to_dist_matrix().unwrap(), reference);
     }
 
     #[test]

@@ -9,8 +9,9 @@
 use crate::checkpoint::{Checkpoint, Progress};
 use crate::error::ApspError;
 use crate::options::{DynamicParallelism, JohnsonOptions};
+use crate::sdc::{SdcGuard, SDC_SAMPLE_SEED};
 use crate::supervisor::{RetryState, RetryStep, Supervisor};
-use crate::tile_store::TileStore;
+use crate::tile_store::{TileStore, SDC_PANEL_ROWS};
 use apsp_gpu_sim::{GpuDevice, Pinning};
 use apsp_graph::{CsrGraph, Dist, VertexId};
 use apsp_kernels::mssp::{mssp_kernel, MsspOptions};
@@ -36,6 +37,12 @@ pub struct JohnsonRunStats {
     pub retries: u32,
     /// Checkpoint commits performed (0 without checkpointing).
     pub checkpoint_commits: u32,
+    /// Silent corruptions repaired by restarting from the corrupt
+    /// panel's first source row (the cheap recovery rung).
+    pub sdc_panel_recoveries: u32,
+    /// Silent corruptions repaired by recomputing every source from the
+    /// graph (the unlocalized rung).
+    pub sdc_round_recoveries: u32,
 }
 
 /// The paper's batch-size formula: `bat = (L − S) / (c·m)`, where `L` is
@@ -205,8 +212,18 @@ fn ooc_johnson_impl(
             sim_seconds: 0.0,
             retries: 0,
             checkpoint_commits: 0,
+            sdc_panel_recoveries: 0,
+            sdc_round_recoveries: 0,
         });
     }
+    if opts.sdc_guard.is_on() && store.sdc_guard() != opts.sdc_guard {
+        store.set_sdc_guard(opts.sdc_guard)?;
+    }
+    let mut guard = SdcGuard::new(opts.sdc_guard, SDC_SAMPLE_SEED);
+    let mut panel_budget = sup.retry_policy().sdc_panel_retries;
+    let mut round_budget = sup.retry_policy().sdc_round_retries;
+    let mut panel_recoveries = 0u32;
+    let mut round_recoveries = 0u32;
     // A resumed run keeps the committed batch size (re-fitting happens
     // through the retry path if it no longer fits) and skips the rows
     // already final in the restored snapshot.
@@ -231,6 +248,7 @@ fn ooc_johnson_impl(
     // recomputed from the graph, so a retry simply overwrites them.
     let mut commits = 0u32;
     let mut retry = RetryState::new(sup.retry_policy(), "out-of-core Johnson's");
+    let mut cur_start = start_row;
     loop {
         match johnson_batches(
             dev,
@@ -239,15 +257,61 @@ fn ooc_johnson_impl(
             parent_store.as_deref_mut(),
             opts,
             bat,
-            start_row,
+            cur_start,
             ckpt,
             &mut commits,
             sup,
+            &mut guard,
         ) {
             Ok(mut stats) => {
                 stats.retries = retry.retries();
                 stats.checkpoint_commits = commits;
+                stats.sdc_panel_recoveries = panel_recoveries;
+                stats.sdc_round_recoveries = round_recoveries;
                 return Ok(stats);
+            }
+            Err(ApspError::SilentCorruption {
+                panel,
+                round,
+                detail,
+            }) => {
+                let tel = sup.telemetry().clone();
+                tel.count_sdc(1, 0, 0);
+                // Johnson rows never feed each other — every source row
+                // is recomputed from the graph alone — so restarting the
+                // batch pass at the corrupt panel's first row is exact
+                // and leaves the rows below it untouched.
+                if panel != usize::MAX && panel_budget > 0 {
+                    panel_budget -= 1;
+                    panel_recoveries += 1;
+                    let ph = tel.phase_start(dev);
+                    cur_start = (panel * SDC_PANEL_ROWS).min(n);
+                    // The rewrite reaches the corrupt row batch by
+                    // batch; re-seed the registry for everything being
+                    // recomputed so the stale mismatch cannot re-fire
+                    // at an earlier batch barrier.
+                    store.sdc_rebaseline(cur_start..n)?;
+                    tel.phase_end(dev, ph, "sdc.recover_panel");
+                    tel.count_sdc(0, 1, 0);
+                    continue;
+                }
+                // Unlocalized (or panel budget spent): recompute every
+                // source. Still exact for the same reason.
+                if round_budget > 0 {
+                    round_budget -= 1;
+                    round_recoveries += 1;
+                    let ph = tel.phase_start(dev);
+                    cur_start = 0;
+                    store.sdc_rebaseline(0..n)?;
+                    tel.phase_end(dev, ph, "sdc.recover_round");
+                    tel.count_sdc(0, 0, 1);
+                    continue;
+                }
+                return Err(ApspError::SilentCorruption {
+                    panel,
+                    round,
+                    detail,
+                });
             }
             Err(e) => {
                 let (step, oom) = retry.next_step(e, sup)?;
@@ -285,6 +349,7 @@ fn johnson_batches(
     ckpt: Option<&Checkpoint>,
     commits: &mut u32,
     sup: &Supervisor,
+    guard: &mut SdcGuard,
 ) -> Result<JohnsonRunStats, ApspError> {
     let n = g.num_vertices();
     let delta = opts
@@ -321,6 +386,7 @@ fn johnson_batches(
     let sources: Vec<VertexId> = (start_row as VertexId..n as VertexId).collect();
     for (bi, chunk) in sources.chunks(bat).enumerate() {
         num_batches += 1;
+        store.set_sdc_round(bi);
         let ph = tel.phase_start(dev);
         // Alternate streams so the previous panel's D2H overlaps this
         // batch's kernel.
@@ -366,6 +432,10 @@ fn johnson_batches(
         // checkpoint, and a crash after it replays one batch (exact:
         // rows are recomputed from the graph).
         let next_row = chunk[0] as usize + chunk.len();
+        // Invariant guard BEFORE the commit, so a committed snapshot is
+        // never taken across undetected corruption.
+        let completed: Vec<usize> = (0..next_row).collect();
+        guard.check_completed_rows(store, bi, &completed)?;
         if let Some(ck) = ckpt {
             if next_row < n {
                 ck.commit(
@@ -389,6 +459,8 @@ fn johnson_batches(
         sim_seconds,
         retries: 0,
         checkpoint_commits: 0,
+        sdc_panel_recoveries: 0,
+        sdc_round_recoveries: 0,
     })
 }
 
@@ -622,6 +694,63 @@ mod tests {
         assert!(stats.num_batches < 150usize.div_ceil(stats.batch_size) + 1);
         assert_eq!(store.to_dist_matrix().unwrap(), bgl_plus_apsp(&g));
         assert!(ckpt.load().unwrap().is_none());
+    }
+
+    #[test]
+    fn injected_flips_recover_bit_identical() {
+        use crate::options::SdcGuardMode;
+        let g = gnp(150, 0.04, WeightRange::default(), 19);
+        let reference = bgl_plus_apsp(&g);
+        // Johnson writes exactly one op per source row (150 total), so
+        // these ordinals land in the first, middle, and final batches.
+        for (after_ops, bit) in [(30u64, 11u64), (90, 3), (145, 25)] {
+            let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+            let mut store = TileStore::new(150, &StorageBackend::Memory).unwrap();
+            store.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+            store.arm_bit_flip(after_ops, bit);
+            let opts = JohnsonOptions {
+                sdc_guard: SdcGuardMode::Checksum,
+                ..Default::default()
+            };
+            let stats = ooc_johnson(&mut dev, &g, &mut store, &opts).unwrap();
+            assert!(
+                stats.sdc_panel_recoveries + stats.sdc_round_recoveries >= 1,
+                "flip after {after_ops} ops went unnoticed"
+            );
+            assert_eq!(
+                store.to_dist_matrix().unwrap(),
+                reference,
+                "flip after {after_ops} ops"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_recovery_budget_surfaces_typed() {
+        use crate::options::SdcGuardMode;
+        use crate::supervisor::{RetryPolicy, SupervisionOptions};
+        let g = gnp(150, 0.04, WeightRange::default(), 19);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let mut store = TileStore::new(150, &StorageBackend::Memory).unwrap();
+        store.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+        store.arm_bit_flip(60, 9);
+        let sup = Supervisor::new(
+            &SupervisionOptions {
+                retry: RetryPolicy {
+                    sdc_panel_retries: 0,
+                    sdc_round_retries: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            0.0,
+        );
+        let opts = JohnsonOptions {
+            sdc_guard: SdcGuardMode::Checksum,
+            ..Default::default()
+        };
+        let err = ooc_johnson_supervised(&mut dev, &g, &mut store, &opts, &sup).unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::SilentCorruption, "{err}");
     }
 
     #[test]

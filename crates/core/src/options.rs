@@ -28,6 +28,66 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
+/// How aggressively the silent-data-corruption (SDC) guards check live
+/// tile data. See `core::sdc` for the invariants behind each level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SdcGuardMode {
+    /// No guarding (the pre-SDC behaviour): a flipped bit flows into
+    /// the final matrix undetected.
+    #[default]
+    Off,
+    /// The tile store keeps a per-row FNV checksum registry, verified on
+    /// every read and re-verified in full at each barrier and at run
+    /// end. Catches at-rest corruption of host-resident tiles
+    /// deterministically, at a cost bounded by the barrier gate in CI
+    /// (≤ 5% on the bench smoke run).
+    Checksum,
+    /// [`SdcGuardMode::Checksum`] plus semantic (ABFT) invariants at
+    /// every barrier: per-row distance sums must not increase across a
+    /// relaxation round, and sampled triangle inequalities
+    /// `d[i][j] ≤ d[i][k] ⊕ d[k][j]` (with `k` drawn only from
+    /// completed pivot rows) must hold. Also catches corruption that
+    /// happened *in flight* on the device, which no host-side checksum
+    /// can see.
+    Full,
+}
+
+impl SdcGuardMode {
+    /// Whether any guarding is active.
+    pub fn is_on(self) -> bool {
+        self != SdcGuardMode::Off
+    }
+
+    /// Whether the semantic (monotone + triangle) checks run.
+    pub fn semantic(self) -> bool {
+        self == SdcGuardMode::Full
+    }
+}
+
+impl std::fmt::Display for SdcGuardMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SdcGuardMode::Off => "off",
+            SdcGuardMode::Checksum => "checksum",
+            SdcGuardMode::Full => "full",
+        })
+    }
+}
+
+impl std::str::FromStr for SdcGuardMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(SdcGuardMode::Off),
+            "checksum" => Ok(SdcGuardMode::Checksum),
+            "full" => Ok(SdcGuardMode::Full),
+            other => Err(format!(
+                "unknown SDC guard mode `{other}` (expected off|checksum|full)"
+            )),
+        }
+    }
+}
+
 /// When to use dynamic parallelism in the Johnson path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DynamicParallelism {
@@ -56,6 +116,8 @@ pub struct JohnsonOptions {
     pub overlap_transfers: bool,
     /// Host execution backend for the MSSP batches.
     pub exec: ExecBackend,
+    /// Silent-corruption guard level for the batch barriers.
+    pub sdc_guard: SdcGuardMode,
 }
 
 impl Default for JohnsonOptions {
@@ -67,6 +129,7 @@ impl Default for JohnsonOptions {
             heavy_degree_threshold: 256,
             overlap_transfers: true,
             exec: ExecBackend::default(),
+            sdc_guard: SdcGuardMode::default(),
         }
     }
 }
@@ -87,6 +150,8 @@ pub struct BoundaryOptions {
     pub partition_seed: u64,
     /// Host execution backend for the FW blocks and chained multiplies.
     pub exec: ExecBackend,
+    /// Silent-corruption guard level for the component-flush barriers.
+    pub sdc_guard: SdcGuardMode,
 }
 
 impl Default for BoundaryOptions {
@@ -97,6 +162,7 @@ impl Default for BoundaryOptions {
             overlap_transfers: true,
             partition_seed: 0x9A17,
             exec: ExecBackend::default(),
+            sdc_guard: SdcGuardMode::default(),
         }
     }
 }
@@ -111,6 +177,8 @@ pub struct FwOptions {
     pub overlap_transfers: bool,
     /// Host execution backend for the tile kernels.
     pub exec: ExecBackend,
+    /// Silent-corruption guard level for the pivot-round barriers.
+    pub sdc_guard: SdcGuardMode,
 }
 
 impl Default for FwOptions {
@@ -119,6 +187,7 @@ impl Default for FwOptions {
             block_size: None,
             overlap_transfers: true,
             exec: ExecBackend::default(),
+            sdc_guard: SdcGuardMode::default(),
         }
     }
 }
@@ -175,6 +244,12 @@ pub struct ApspOptions {
     /// corrupt store is ignored for the run (seed constants apply) and
     /// overwritten by the next commit. `None` disables persistence.
     pub calibration_dir: Option<std::path::PathBuf>,
+    /// Silent-corruption guard level, applied to every algorithm and
+    /// the tile store (overrides the per-algorithm `sdc_guard` fields
+    /// when set through [`crate::api::apsp`]). Off by default; with
+    /// guards on, a clean run computes bit-identical distances — the
+    /// guards only ever *read* live data.
+    pub sdc_guard: SdcGuardMode,
 }
 
 impl Default for ApspOptions {
@@ -191,6 +266,7 @@ impl Default for ApspOptions {
             exec: ExecBackend::default(),
             telemetry: false,
             calibration_dir: None,
+            sdc_guard: SdcGuardMode::default(),
         }
     }
 }
@@ -213,5 +289,22 @@ mod tests {
         assert!(o.boundary.batch_transfers);
         assert!(o.boundary.overlap_transfers);
         assert_eq!(o.johnson.dynamic_parallelism, DynamicParallelism::Auto);
+        assert_eq!(o.sdc_guard, SdcGuardMode::Off);
+    }
+
+    #[test]
+    fn sdc_guard_mode_round_trips_through_strings() {
+        for mode in [
+            SdcGuardMode::Off,
+            SdcGuardMode::Checksum,
+            SdcGuardMode::Full,
+        ] {
+            assert_eq!(mode.to_string().parse::<SdcGuardMode>().unwrap(), mode);
+        }
+        assert!("paranoid".parse::<SdcGuardMode>().is_err());
+        assert!(!SdcGuardMode::Off.is_on());
+        assert!(SdcGuardMode::Checksum.is_on());
+        assert!(!SdcGuardMode::Checksum.semantic());
+        assert!(SdcGuardMode::Full.semantic());
     }
 }

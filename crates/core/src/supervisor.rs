@@ -157,6 +157,13 @@ pub struct RetryPolicy {
     pub backoff_multiplier: f64,
     /// Seed for the jitter added to each backoff.
     pub jitter_seed: u64,
+    /// Panel-scoped silent-corruption recoveries absorbed per run (rung
+    /// 1 of the SDC ladder: reset just the damaged panel and replay).
+    pub sdc_panel_retries: u32,
+    /// Round-scoped silent-corruption recoveries absorbed per run (rung
+    /// 2: restore the last checkpoint snapshot, or reseed from the
+    /// graph, and replay the round).
+    pub sdc_round_retries: u32,
 }
 
 impl Default for RetryPolicy {
@@ -170,11 +177,13 @@ impl Default for RetryPolicy {
             backoff_base_ms: 10,
             backoff_multiplier: 2.0,
             jitter_seed: 0x0DD5_EED5,
+            sdc_panel_retries: 2,
+            sdc_round_retries: 1,
         }
     }
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -113,6 +113,9 @@ struct TelemetryState {
     calibration_batch: usize,
     store_row_reads: u64,
     store_row_writes: u64,
+    sdc_detected: u64,
+    sdc_recovered_panel: u64,
+    sdc_recovered_round: u64,
 }
 
 /// Cheap, cloneable metrics handle. Disabled by default; every hook on a
@@ -208,6 +211,20 @@ impl Telemetry {
         }
     }
 
+    /// Count silent-corruption guard activity: detections and the
+    /// recovery rung (panel-scoped or round-scoped) that absorbed each
+    /// one. A detection that exhausts the recovery ladder still counts
+    /// as detected — the run then fails typed, and the report (if any)
+    /// shows a detection without a matching recovery.
+    pub fn count_sdc(&self, detected: u64, recovered_panel: u64, recovered_round: u64) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.lock();
+            st.sdc_detected += detected;
+            st.sdc_recovered_panel += recovered_panel;
+            st.sdc_recovered_round += recovered_round;
+        }
+    }
+
     /// Assemble the final [`RunReport`]. Returns `None` when disabled.
     ///
     /// `algorithm` is the algorithm that produced the result,
@@ -271,6 +288,9 @@ impl Telemetry {
             events: events.to_vec(),
             store_row_reads: st.store_row_reads,
             store_row_writes: st.store_row_writes,
+            sdc_detected: st.sdc_detected,
+            sdc_recovered_panel: st.sdc_recovered_panel,
+            sdc_recovered_round: st.sdc_recovered_round,
         })
     }
 }
@@ -329,6 +349,12 @@ pub struct RunReport {
     pub store_row_reads: u64,
     /// Result-store rows written.
     pub store_row_writes: u64,
+    /// Silent-corruption detections (guard trips).
+    pub sdc_detected: u64,
+    /// Detections absorbed by the panel-scoped recovery rung.
+    pub sdc_recovered_panel: u64,
+    /// Detections absorbed by the round-scoped recovery rung.
+    pub sdc_recovered_round: u64,
 }
 
 fn json_escape(s: &str) -> String {
@@ -382,13 +408,16 @@ impl RunReport {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"record\":\"run\",\"algorithm\":\"{}\",\"sim_seconds\":{},\"retries\":{},\"checkpoint_commits\":{},\"fallbacks\":{},\"stalls\":{},\"phases\":{}{}}}\n",
+            "{{\"record\":\"run\",\"algorithm\":\"{}\",\"sim_seconds\":{},\"retries\":{},\"checkpoint_commits\":{},\"fallbacks\":{},\"stalls\":{},\"sdc_detected\":{},\"sdc_recovered_panel\":{},\"sdc_recovered_round\":{},\"phases\":{}{}}}\n",
             json_escape(&self.algorithm),
             secs(self.sim_seconds),
             self.retries,
             self.checkpoint_commits,
             self.fallbacks,
             self.stalls,
+            self.sdc_detected,
+            self.sdc_recovered_panel,
+            self.sdc_recovered_round,
             self.spans.len(),
             if self.spans.is_empty() {
                 // Same marker render_gantt prints for a trace with no
@@ -846,6 +875,7 @@ mod tests {
         assert!(ph.is_none());
         assert!(tel.phase_end(&dev, ph, "x").is_none());
         tel.count_store_rows(5, 5);
+        tel.count_sdc(1, 1, 1);
         tel.record_calibration(vec![]);
         tel.set_realized(1.0);
         assert!(tel

@@ -7,9 +7,12 @@
 //! spills to a single file addressed with positional I/O — the same
 //! row-major layout either way.
 
+use crate::error::{CorruptionMark, SdcMark};
+use crate::options::SdcGuardMode;
 use crate::supervisor::Supervisor;
 use apsp_cpu::parallel::{par_bands, ExecBackend, SharedSliceMut};
 use apsp_graph::{Dist, INF};
+use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -30,6 +33,23 @@ const PERSIST_MAGIC: u64 = u64::from_le_bytes(*b"APSPTILE");
 /// geometry against the requested one — a wrong-dimension file is
 /// rejected even when its byte length happens to match.
 const PERSIST_HEADER_BYTES: u64 = 16;
+
+/// Magic tag opening the optional per-panel checksum footer
+/// [`TileStore::persist`] appends after the payload. [`TileStore::open`]
+/// accepts files with or without the footer (pre-footer persists stay
+/// readable); when present, each panel is verified against its recorded
+/// checksum on the first read that touches it.
+const FOOTER_MAGIC: u64 = u64::from_le_bytes(*b"APSPSUMS");
+
+/// Footer prelude: the footer magic plus the panel count, both
+/// little-endian `u64`, followed by one `u64` checksum per panel.
+const FOOTER_HEADER_BYTES: u64 = 16;
+
+/// Rows per checksum panel — for the persisted footer and for panel
+/// attribution in [`crate::ApspError::SilentCorruption`] (`panel` =
+/// `row / SDC_PANEL_ROWS`). Matches the checkpoint layer's default
+/// panel geometry so the two layers report comparable coordinates.
+pub const SDC_PANEL_ROWS: usize = 64;
 
 /// Where the result matrix lives.
 #[derive(Debug, Clone)]
@@ -145,6 +165,39 @@ enum Backing {
     },
 }
 
+/// Live state of the silent-corruption guard (see
+/// [`TileStore::set_sdc_guard`]): one FNV checksum per row, plus a
+/// dirty flag for rows whose checksum is stale after a partial (block)
+/// write. Full-row writes re-hash eagerly from the data being written
+/// (no I/O amplification); partial writes only mark dirty, and the
+/// stale rows are re-hashed lazily at the next
+/// [`TileStore::verify_checksums`] barrier sweep.
+#[derive(Debug)]
+struct SdcState {
+    mode: SdcGuardMode,
+    rows: Vec<u64>,
+    dirty: Vec<bool>,
+    /// Whether the row was read (by accounted I/O) since its checksum
+    /// was last recorded. A mismatch on an unread row is *contained* —
+    /// the damage cannot have propagated into other rows — so the
+    /// recovery ladder may repair just that row's panel. A mismatch on
+    /// a consumed row reports unlocalized instead, forcing the
+    /// round-scoped rung that discards all derived state.
+    consumed: Vec<bool>,
+}
+
+/// First-read verification state for stores opened from a persisted
+/// file that carries a checksum footer: `pending[p]` holds panel `p`'s
+/// recorded checksum until the first read touching it verifies (then
+/// `None`). The first *write* through the store invalidates the whole
+/// footer — both here and on disk — since the persisted checksums no
+/// longer describe the content.
+#[derive(Debug)]
+struct OpenVerify {
+    pending: Mutex<Vec<Option<u64>>>,
+    invalidated: bool,
+}
+
 /// An `n × n` row-major distance matrix in RAM or on disk.
 pub struct TileStore {
     n: usize,
@@ -153,6 +206,10 @@ pub struct TileStore {
     crash: Option<CrashState>,
     supervision: Option<Supervisor>,
     exec: ExecBackend,
+    sdc: Option<Mutex<SdcState>>,
+    sdc_round: AtomicU64,
+    bit_flips: Vec<(u64, u64)>,
+    open_verify: Option<OpenVerify>,
 }
 
 /// Minimum rows per band for the store's staging copies — below this a
@@ -186,6 +243,10 @@ impl TileStore {
                     crash: None,
                     supervision: None,
                     exec: ExecBackend::default(),
+                    sdc: None,
+                    sdc_round: AtomicU64::new(0),
+                    bit_flips: Vec::new(),
+                    open_verify: None,
                 })
             }
             StorageBackend::Disk(dir) => {
@@ -208,6 +269,10 @@ impl TileStore {
                     crash: None,
                     supervision: None,
                     exec: ExecBackend::default(),
+                    sdc: None,
+                    sdc_round: AtomicU64::new(0),
+                    bit_flips: Vec::new(),
+                    open_verify: None,
                 };
                 // Materialize the INF + zero-diagonal initialization one
                 // row at a time so even huge matrices never need n² RAM.
@@ -347,6 +412,412 @@ impl TileStore {
         self.exec = exec;
     }
 
+    /// Enable (or disable, with [`SdcGuardMode::Off`]) the
+    /// silent-corruption guard: a per-row FNV checksum registry seeded
+    /// from the store's *current* contents. Full-row reads verify
+    /// against the registry; [`Self::verify_checksums`] sweeps the whole
+    /// registry at barriers and run end. A mismatch surfaces as a typed
+    /// [`crate::ApspError::SilentCorruption`] through the store's error
+    /// plumbing. Guard reads bypass fault plans, crash points,
+    /// supervision ticks, and telemetry counters, so arming the guard
+    /// never perturbs injected-fault ordinals or the simulated clock.
+    pub fn set_sdc_guard(&mut self, mode: SdcGuardMode) -> io::Result<()> {
+        if !mode.is_on() {
+            self.sdc = None;
+            return Ok(());
+        }
+        let n = self.n;
+        let mut rows = vec![0u64; n];
+        match &self.backing {
+            Backing::Memory(data) => {
+                for (i, sum) in rows.iter_mut().enumerate() {
+                    *sum = fnv1a(cast_bytes(&data[i * n..(i + 1) * n]), FNV_OFFSET_BASIS);
+                }
+            }
+            Backing::Disk { .. } => {
+                let mut row = vec![0 as Dist; n];
+                for (i, sum) in rows.iter_mut().enumerate() {
+                    self.row_unaccounted_into(i, &mut row)?;
+                    *sum = fnv1a(cast_bytes(&row), FNV_OFFSET_BASIS);
+                }
+            }
+        }
+        self.sdc = Some(Mutex::new(SdcState {
+            mode,
+            rows,
+            dirty: vec![false; n],
+            consumed: vec![false; n],
+        }));
+        Ok(())
+    }
+
+    /// The active guard mode ([`SdcGuardMode::Off`] when disarmed).
+    pub fn sdc_guard(&self) -> SdcGuardMode {
+        self.sdc
+            .as_ref()
+            .map(|s| s.lock().mode)
+            .unwrap_or(SdcGuardMode::Off)
+    }
+
+    /// Tag subsequent guard detections with the driver's current round /
+    /// batch / flush ordinal, so a tripped guard reports *when* as well
+    /// as *where*.
+    pub fn set_sdc_round(&self, round: usize) {
+        self.sdc_round.store(round as u64, Ordering::Relaxed);
+    }
+
+    fn sdc_round(&self) -> usize {
+        self.sdc_round.load(Ordering::Relaxed) as usize
+    }
+
+    /// Arm a one-shot at-rest bit flip: the store services `after_ops`
+    /// row-granular *write* operations cleanly, then the write that
+    /// exhausts the budget has one bit of its just-written row's stored
+    /// bytes flipped (`bit` wraps modulo the row's bit width) — *after*
+    /// the guard registry recorded the clean data, modelling corruption
+    /// that strikes between a write and the next read. Works on both
+    /// backings; multiple flips count down concurrently. With the guard
+    /// off the flip is silent — the wrong-distances baseline the guard
+    /// exists to close.
+    pub fn arm_bit_flip(&mut self, after_ops: u64, bit: u64) {
+        self.bit_flips.push((after_ops, bit));
+    }
+
+    /// Remove any armed (unfired) bit flips.
+    pub fn clear_bit_flips(&mut self) {
+        self.bit_flips.clear();
+    }
+
+    /// Full-registry verification for barrier and run-end gates: rows
+    /// marked dirty by partial writes are re-hashed (their change was
+    /// legitimate); clean rows must still match their recorded checksum.
+    /// A no-op when the guard is off.
+    pub fn verify_checksums(&self) -> io::Result<()> {
+        let Some(sdc) = &self.sdc else {
+            return Ok(());
+        };
+        let n = self.n;
+        let mut state = sdc.lock();
+        let state = &mut *state;
+        match &self.backing {
+            Backing::Memory(data) => {
+                for i in 0..n {
+                    let hash = fnv1a(cast_bytes(&data[i * n..(i + 1) * n]), FNV_OFFSET_BASIS);
+                    if state.dirty[i] {
+                        state.rows[i] = hash;
+                        state.dirty[i] = false;
+                        state.consumed[i] = false;
+                    } else if hash != state.rows[i] {
+                        return Err(self.sdc_mismatch(i, state.consumed[i]));
+                    }
+                }
+            }
+            Backing::Disk { .. } => {
+                let mut row = vec![0 as Dist; n];
+                for i in 0..n {
+                    self.row_unaccounted_into(i, &mut row)?;
+                    let hash = fnv1a(cast_bytes(&row), FNV_OFFSET_BASIS);
+                    if state.dirty[i] {
+                        state.rows[i] = hash;
+                        state.dirty[i] = false;
+                        state.consumed[i] = false;
+                    } else if hash != state.rows[i] {
+                        return Err(self.sdc_mismatch(i, state.consumed[i]));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-seed the checksum registry for `rows` from their *current*
+    /// content, clearing dirty and consumed marks. Recovery-only: a
+    /// ladder rung that recomputes these rows from the graph *lazily*
+    /// (batch-by-batch, component-by-component) calls this first, so the
+    /// stale mismatch it is recovering from cannot re-fire at an
+    /// intermediate barrier ahead of the rewrite reaching the corrupt
+    /// row. Never call it on rows that will not be rewritten — that
+    /// would absorb real corruption into the registry.
+    pub fn sdc_rebaseline(&self, rows: std::ops::Range<usize>) -> io::Result<()> {
+        let Some(sdc) = &self.sdc else {
+            return Ok(());
+        };
+        let n = self.n;
+        let mut buf = vec![0 as Dist; n];
+        let mut state = sdc.lock();
+        for i in rows {
+            let hash = match &self.backing {
+                Backing::Memory(data) => {
+                    fnv1a(cast_bytes(&data[i * n..(i + 1) * n]), FNV_OFFSET_BASIS)
+                }
+                Backing::Disk { .. } => {
+                    self.row_unaccounted_into(i, &mut buf)?;
+                    fnv1a(cast_bytes(&buf), FNV_OFFSET_BASIS)
+                }
+            };
+            state.rows[i] = hash;
+            state.dirty[i] = false;
+            state.consumed[i] = false;
+        }
+        Ok(())
+    }
+
+    /// The typed-SDC `io::Error` for a checksum mismatch on row `i`.
+    /// `consumed` rows report unlocalized (`usize::MAX`): the corrupt
+    /// content was already read, so panel-scoped repair cannot undo
+    /// what may have propagated.
+    fn sdc_mismatch(&self, i: usize, consumed: bool) -> io::Error {
+        io::Error::other(SdcMark {
+            panel: if consumed {
+                usize::MAX
+            } else {
+                i / SDC_PANEL_ROWS
+            },
+            round: self.sdc_round(),
+            detail: format!(
+                "row {i} no longer matches its recorded checksum{}",
+                if consumed {
+                    " (read since corruption; damage may have propagated)"
+                } else {
+                    ""
+                }
+            ),
+        })
+    }
+
+    /// Unaccounted full-row read for the semantic (ABFT) guards in
+    /// `core::sdc`: like [`Self::read_row`] but bypassing fault plans,
+    /// crash points, supervision ticks, and telemetry counters, so the
+    /// invariant checks never perturb injected-fault ordinals or the
+    /// simulated clock.
+    pub(crate) fn guard_read_row(&self, i: usize) -> io::Result<Vec<Dist>> {
+        let mut row = vec![0 as Dist; self.n];
+        self.row_unaccounted_into(i, &mut row)?;
+        Ok(row)
+    }
+
+    /// Full-row read bypassing fault plans, crash points, supervision
+    /// ticks, and telemetry counters — the guard must observe the store
+    /// without perturbing injected-fault ordinals or the simulated
+    /// clock.
+    fn row_unaccounted_into(&self, i: usize, buf: &mut [Dist]) -> io::Result<()> {
+        match &self.backing {
+            Backing::Memory(data) => {
+                buf.copy_from_slice(&data[i * self.n..(i + 1) * self.n]);
+                Ok(())
+            }
+            Backing::Disk { file, base, .. } => {
+                let offset = base + (i * self.n * std::mem::size_of::<Dist>()) as u64;
+                file.read_exact_at(cast_bytes_mut(buf), offset)
+            }
+        }
+    }
+
+    /// Record fresh checksums for full rows just written from `rows`
+    /// (one or more consecutive `n`-wide rows starting at `row_start`).
+    fn sdc_record_rows(&mut self, row_start: usize, rows: &[Dist]) {
+        let n = self.n;
+        if let Some(sdc) = &mut self.sdc {
+            let state = &mut *sdc.lock();
+            for (k, chunk) in rows.chunks_exact(n).enumerate() {
+                state.rows[row_start + k] = fnv1a(cast_bytes(chunk), FNV_OFFSET_BASIS);
+                state.dirty[row_start + k] = false;
+                state.consumed[row_start + k] = false;
+            }
+        }
+    }
+
+    /// Mark rows stale after a partial (sub-row) write; they are
+    /// re-hashed at the next [`Self::verify_checksums`] sweep.
+    fn sdc_mark_dirty(&mut self, rows: std::ops::Range<usize>) {
+        if let Some(sdc) = &mut self.sdc {
+            let state = &mut *sdc.lock();
+            for i in rows {
+                state.dirty[i] = true;
+            }
+        }
+    }
+
+    /// Verify one full row's just-read data against the registry (skips
+    /// dirty rows — their recorded checksum is legitimately stale).
+    fn sdc_verify_row_data(&self, i: usize, data: &[Dist]) -> io::Result<()> {
+        if let Some(sdc) = &self.sdc {
+            let state = sdc.lock();
+            if !state.dirty[i] && fnv1a(cast_bytes(data), FNV_OFFSET_BASIS) != state.rows[i] {
+                return Err(self.sdc_mismatch(i, state.consumed[i]));
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark rows as read by accounted I/O (see [`SdcState::consumed`]).
+    /// Called *after* any same-call verification, so the read that
+    /// detects a mismatch still reports the damage as contained.
+    fn sdc_mark_consumed(&self, rows: std::ops::Range<usize>) {
+        if let Some(sdc) = &self.sdc {
+            let state = &mut *sdc.lock();
+            for i in rows {
+                state.consumed[i] = true;
+            }
+        }
+    }
+
+    /// Before a partial write dirties a clean row, verify the row's
+    /// *current* content against the registry. Without this, the
+    /// sequence "flip fires on a clean row, a later partial write marks
+    /// it dirty, the barrier sweep re-hashes it" would absorb the
+    /// corruption as a legitimate change. Costs one unaccounted
+    /// full-row read per clean→dirty transition (at most one per row
+    /// per barrier interval).
+    fn sdc_predirty_verify(&self, rows: std::ops::Range<usize>) -> io::Result<()> {
+        let Some(sdc) = &self.sdc else {
+            return Ok(());
+        };
+        let mut buf = vec![0 as Dist; self.n];
+        for i in rows {
+            let expect = {
+                let state = sdc.lock();
+                if state.dirty[i] {
+                    None
+                } else {
+                    Some((state.rows[i], state.consumed[i]))
+                }
+            };
+            if let Some((hash, consumed)) = expect {
+                self.row_unaccounted_into(i, &mut buf)?;
+                if fnv1a(cast_bytes(&buf), FNV_OFFSET_BASIS) != hash {
+                    return Err(self.sdc_mismatch(i, consumed));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fire any armed bit flips whose write-op budget this operation
+    /// exhausts. `count` is the operation's row-granular op count; a
+    /// fired flip lands on the written row its residual budget points
+    /// at. A flip landing on a dirty row finalizes that row's checksum
+    /// from the (clean) backing first, so the corruption is never
+    /// absorbed into the registry as a legitimate change.
+    fn sdc_apply_write_flips(&mut self, row_start: usize, count: u64) -> io::Result<()> {
+        if self.bit_flips.is_empty() || count == 0 {
+            return Ok(());
+        }
+        let mut fired: Vec<(usize, u64)> = Vec::new();
+        self.bit_flips.retain_mut(|(remaining, bit)| {
+            if *remaining >= count {
+                *remaining -= count;
+                true
+            } else {
+                fired.push((row_start + *remaining as usize, *bit));
+                false
+            }
+        });
+        for (row, bit) in fired {
+            if self.sdc.is_some() {
+                let mut buf = vec![0 as Dist; self.n];
+                self.row_unaccounted_into(row, &mut buf)?;
+                let hash = fnv1a(cast_bytes(&buf), FNV_OFFSET_BASIS);
+                if let Some(sdc) = &mut self.sdc {
+                    let state = &mut *sdc.lock();
+                    state.rows[row] = hash;
+                    state.dirty[row] = false;
+                    state.consumed[row] = false;
+                }
+            }
+            self.flip_stored_bit(row, bit)?;
+        }
+        Ok(())
+    }
+
+    /// XOR one bit of row `row`'s stored bytes, directly in the backing
+    /// (unaccounted — the fault is not an I/O operation the store
+    /// performed, it is damage that happened to it).
+    fn flip_stored_bit(&mut self, row: usize, bit: u64) -> io::Result<()> {
+        let row_bytes = self.n * std::mem::size_of::<Dist>();
+        if row_bytes == 0 {
+            return Ok(());
+        }
+        let b = (bit % (row_bytes as u64 * 8)) as usize;
+        match &mut self.backing {
+            Backing::Memory(data) => {
+                let n = self.n;
+                let elems = &mut data[row * n..(row + 1) * n];
+                cast_bytes_mut(elems)[b / 8] ^= 1 << (b % 8);
+                Ok(())
+            }
+            Backing::Disk { file, base, .. } => {
+                let offset = *base + (row * row_bytes) as u64 + (b / 8) as u64;
+                let mut one = [0u8; 1];
+                file.read_exact_at(&mut one, offset)?;
+                one[0] ^= 1 << (b % 8);
+                file.write_all_at(&one, offset)
+            }
+        }
+    }
+
+    /// On the first write through an opened store: the persisted footer
+    /// no longer describes the content, so drop the pending first-read
+    /// verifications and zero the on-disk footer magic (later opens then
+    /// skip verification instead of reporting false corruption).
+    fn open_note_write(&mut self) -> io::Result<()> {
+        let Some(ov) = &mut self.open_verify else {
+            return Ok(());
+        };
+        if ov.invalidated {
+            return Ok(());
+        }
+        ov.invalidated = true;
+        ov.pending.lock().clear();
+        if let Backing::Disk { file, base, .. } = &self.backing {
+            let footer_off = base + (self.n * self.n * std::mem::size_of::<Dist>()) as u64;
+            file.write_all_at(&[0u8; 8], footer_off)?;
+        }
+        Ok(())
+    }
+
+    /// First-read verification of persisted panel checksums for stores
+    /// opened from a footer-carrying file: every not-yet-verified panel
+    /// overlapping `rows` is hashed and checked, surfacing a typed
+    /// [`crate::ApspError::Corruption`] on mismatch.
+    fn open_verify_panels(&self, rows: std::ops::Range<usize>) -> io::Result<()> {
+        let Some(ov) = &self.open_verify else {
+            return Ok(());
+        };
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let lo = rows.start / SDC_PANEL_ROWS;
+        let hi = (rows.end - 1) / SDC_PANEL_ROWS;
+        let mut buf = vec![0 as Dist; self.n];
+        for p in lo..=hi {
+            let expect = {
+                let pending = ov.pending.lock();
+                match pending.get(p) {
+                    Some(&Some(h)) => h,
+                    _ => continue,
+                }
+            };
+            let start = p * SDC_PANEL_ROWS;
+            let end = ((p + 1) * SDC_PANEL_ROWS).min(self.n);
+            let mut hash = FNV_OFFSET_BASIS;
+            for i in start..end {
+                self.row_unaccounted_into(i, &mut buf)?;
+                hash = fnv1a(cast_bytes(&buf), hash);
+            }
+            if hash != expect {
+                return Err(io::Error::other(CorruptionMark {
+                    detail: format!(
+                        "persisted matrix panel {p} (rows {start}..{end}) fails its recorded \
+                         checksum on first read"
+                    ),
+                }));
+            }
+            ov.pending.lock()[p] = None;
+        }
+        Ok(())
+    }
+
     /// Overwrite full row `i`.
     pub fn write_row(&mut self, i: usize, row: &[Dist]) -> io::Result<()> {
         assert_eq!(row.len(), self.n, "row width mismatch");
@@ -357,9 +828,12 @@ impl TileStore {
         let n = self.n;
         if let Backing::Memory(data) = &mut self.backing {
             data[i * n..(i + 1) * n].copy_from_slice(row);
-            return Ok(());
+        } else {
+            self.write_row_raw(i, row)?;
         }
-        self.write_row_raw(i, row)
+        self.open_note_write()?;
+        self.sdc_record_rows(i, row);
+        self.sdc_apply_write_flips(i, 1)
     }
 
     /// Positional row write available on the shared (`&self`) path — only
@@ -391,7 +865,6 @@ impl TileStore {
         match &mut self.backing {
             Backing::Memory(data) => {
                 data[row_start * self.n..row_start * self.n + rows.len()].copy_from_slice(rows);
-                Ok(())
             }
             Backing::Disk { file, base, .. } => {
                 let offset = *base + (row_start * self.n * std::mem::size_of::<Dist>()) as u64;
@@ -401,9 +874,12 @@ impl TileStore {
                     self.supervision.as_ref(),
                     cast_bytes(rows),
                     offset,
-                )
+                )?;
             }
         }
+        self.open_note_write()?;
+        self.sdc_record_rows(row_start, rows);
+        self.sdc_apply_write_flips(row_start, count as u64)
     }
 
     /// Overwrite the rectangular block `row_range × col_range` with
@@ -420,6 +896,12 @@ impl TileStore {
         self.crash_tick(row_range.len() as u64)?;
         self.supervision_tick(row_range.len() as u64)?;
         self.count_rows(0, row_range.len() as u64);
+        if width != self.n {
+            // About to dirty these rows: any clean row must still match
+            // its checksum, or at-rest damage would be absorbed by the
+            // barrier re-hash of dirty rows.
+            self.sdc_predirty_verify(row_range.clone())?;
+        }
         let n = self.n;
         let threads = self.exec.resolved_threads();
         match &mut self.backing {
@@ -436,10 +918,9 @@ impl TileStore {
                         buf[dst..dst + width].copy_from_slice(&data[r * width..(r + 1) * width]);
                     }
                 });
-                Ok(())
             }
             Backing::Disk { file, base, .. } => {
-                for (r, i) in row_range.enumerate() {
+                for (r, i) in row_range.clone().enumerate() {
                     let offset = *base
                         + ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
                     write_at(
@@ -450,9 +931,17 @@ impl TileStore {
                         offset,
                     )?;
                 }
-                Ok(())
             }
         }
+        self.open_note_write()?;
+        if width == n {
+            // A full-width block is consecutive whole rows: hash the
+            // data in hand instead of re-reading the backing.
+            self.sdc_record_rows(row_range.start, data);
+        } else {
+            self.sdc_mark_dirty(row_range.clone());
+        }
+        self.sdc_apply_write_flips(row_range.start, row_range.len() as u64)
     }
 
     /// Read the rectangular block `row_range × col_range` (row-major).
@@ -466,6 +955,7 @@ impl TileStore {
         self.crash_tick(row_range.len() as u64)?;
         self.supervision_tick(row_range.len() as u64)?;
         self.count_rows(row_range.len() as u64, 0);
+        self.open_verify_panels(row_range.clone())?;
         let rows = row_range.len();
         let mut out = vec![0 as Dist; rows * width];
         match &self.backing {
@@ -485,7 +975,7 @@ impl TileStore {
                 });
             }
             Backing::Disk { file, base, .. } => {
-                for (r, i) in row_range.enumerate() {
+                for (r, i) in row_range.clone().enumerate() {
                     let offset = base
                         + ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
                     read_at(
@@ -498,6 +988,15 @@ impl TileStore {
                 }
             }
         }
+        if width == self.n && self.sdc.is_some() {
+            // Full-width reads carry whole rows: verify them against the
+            // registry at zero extra I/O. Partial reads are covered by
+            // the barrier-time `verify_checksums` sweep instead.
+            for (r, i) in row_range.clone().enumerate() {
+                self.sdc_verify_row_data(i, &out[r * width..(r + 1) * width])?;
+            }
+        }
+        self.sdc_mark_consumed(row_range);
         Ok(out)
     }
 
@@ -507,8 +1006,9 @@ impl TileStore {
         self.crash_tick(1)?;
         self.supervision_tick(1)?;
         self.count_rows(1, 0);
-        match &self.backing {
-            Backing::Memory(data) => Ok(data[i * self.n..(i + 1) * self.n].to_vec()),
+        self.open_verify_panels(i..i + 1)?;
+        let row = match &self.backing {
+            Backing::Memory(data) => data[i * self.n..(i + 1) * self.n].to_vec(),
             Backing::Disk { file, base, .. } => {
                 let mut row = vec![0 as Dist; self.n];
                 let offset = base + (i * self.n * std::mem::size_of::<Dist>()) as u64;
@@ -519,9 +1019,12 @@ impl TileStore {
                     cast_bytes_mut(&mut row),
                     offset,
                 )?;
-                Ok(row)
+                row
             }
-        }
+        };
+        self.sdc_verify_row_data(i, &row)?;
+        self.sdc_mark_consumed(i..i + 1);
+        Ok(row)
     }
 
     /// Read one element — convenience for spot checks; row-granular I/O
@@ -531,6 +1034,8 @@ impl TileStore {
         self.crash_tick(1)?;
         self.supervision_tick(1)?;
         self.count_rows(1, 0);
+        self.open_verify_panels(i..i + 1)?;
+        self.sdc_mark_consumed(i..i + 1);
         match &self.backing {
             Backing::Memory(data) => Ok(data[i * self.n + j]),
             Backing::Disk { file, base, .. } => {
@@ -599,18 +1104,42 @@ impl TileStore {
             use std::io::Write;
             out.write_all(&PERSIST_MAGIC.to_le_bytes())?;
             out.write_all(&(self.n as u64).to_le_bytes())?;
+            let num_panels = self.n.div_ceil(SDC_PANEL_ROWS);
+            let mut footer = Vec::with_capacity(num_panels);
             match &self.backing {
                 Backing::Memory(data) => {
                     self.crash_tick(self.n as u64)?; // parity with the disk backing's n row reads
                     self.supervision_tick(self.n as u64)?;
                     out.write_all(cast_bytes(data))?;
+                    for p in 0..num_panels {
+                        let lo = p * SDC_PANEL_ROWS * self.n;
+                        let hi = (((p + 1) * SDC_PANEL_ROWS) * self.n).min(data.len());
+                        footer.push(fnv1a(cast_bytes(&data[lo..hi]), FNV_OFFSET_BASIS));
+                    }
                 }
                 Backing::Disk { .. } => {
+                    let mut hash = FNV_OFFSET_BASIS;
                     for i in 0..self.n {
                         let row = self.read_row(i)?;
                         out.write_all(cast_bytes(&row))?;
+                        hash = fnv1a(cast_bytes(&row), hash);
+                        if (i + 1).is_multiple_of(SDC_PANEL_ROWS) {
+                            footer.push(hash);
+                            hash = FNV_OFFSET_BASIS;
+                        }
+                    }
+                    if !self.n.is_multiple_of(SDC_PANEL_ROWS) {
+                        footer.push(hash);
                     }
                 }
+            }
+            // Per-panel checksum footer: first reads through `open`
+            // verify each panel against it, so at-rest damage to the
+            // file surfaces typed instead of as wrong distances.
+            out.write_all(&FOOTER_MAGIC.to_le_bytes())?;
+            out.write_all(&(num_panels as u64).to_le_bytes())?;
+            for h in &footer {
+                out.write_all(&h.to_le_bytes())?;
             }
             out.sync_all()?;
             std::fs::rename(&tmp, path)
@@ -702,13 +1231,46 @@ impl TileStore {
                 path.as_ref().display()
             )));
         }
-        let expect = PERSIST_HEADER_BYTES + (n * n * std::mem::size_of::<Dist>()) as u64;
-        if actual != expect {
+        let legacy = PERSIST_HEADER_BYTES + (n * n * std::mem::size_of::<Dist>()) as u64;
+        let num_panels = n.div_ceil(SDC_PANEL_ROWS);
+        let with_footer = legacy + FOOTER_HEADER_BYTES + 8 * num_panels as u64;
+        let pending: Vec<Option<u64>> = if actual == legacy {
+            // Pre-footer persist: nothing recorded, nothing to verify.
+            Vec::new()
+        } else if actual == with_footer {
+            let mut fh = [0u8; FOOTER_HEADER_BYTES as usize];
+            file.read_exact_at(&mut fh, legacy)?;
+            let fmagic = u64::from_le_bytes(fh[..8].try_into().unwrap());
+            if fmagic == 0 {
+                // A write through a previously opened store invalidated
+                // the footer; the payload is newer than the checksums.
+                Vec::new()
+            } else if fmagic == FOOTER_MAGIC {
+                let count = u64::from_le_bytes(fh[8..].try_into().unwrap());
+                if count != num_panels as u64 {
+                    return Err(bad(format!(
+                        "{} records {count} checksum panels, an {n}×{n} matrix has {num_panels}",
+                        path.as_ref().display()
+                    )));
+                }
+                let mut sums = vec![0u8; 8 * num_panels];
+                file.read_exact_at(&mut sums, legacy + FOOTER_HEADER_BYTES)?;
+                sums.chunks_exact(8)
+                    .map(|c| Some(u64::from_le_bytes(c.try_into().unwrap())))
+                    .collect()
+            } else {
+                return Err(bad(format!(
+                    "{} carries an unrecognized checksum footer — damaged?",
+                    path.as_ref().display()
+                )));
+            }
+        } else {
             return Err(bad(format!(
-                "{} holds {actual} bytes, an {n}×{n} matrix needs {expect} — truncated?",
+                "{} holds {actual} bytes, an {n}×{n} matrix needs {legacy} (or {with_footer} \
+                 with its checksum footer) — truncated?",
                 path.as_ref().display()
             )));
-        }
+        };
         Ok(TileStore {
             n,
             backing: Backing::Disk {
@@ -720,11 +1282,25 @@ impl TileStore {
             crash: None,
             supervision: None,
             exec: ExecBackend::default(),
+            sdc: None,
+            sdc_round: AtomicU64::new(0),
+            bit_flips: Vec::new(),
+            open_verify: if pending.iter().any(|p| p.is_some()) {
+                Some(OpenVerify {
+                    pending: Mutex::new(pending),
+                    invalidated: false,
+                })
+            } else {
+                None
+            },
         })
     }
 
     /// Materialize the whole matrix (tests and small-n tooling only).
     pub fn to_dist_matrix(&self) -> io::Result<apsp_cpu::DistMatrix> {
+        // The materialized matrix is the run's final answer: sweep the
+        // guard registry first so at-rest damage never leaves the store.
+        self.verify_checksums()?;
         let mut data = Vec::with_capacity(self.n * self.n);
         match &self.backing {
             Backing::Memory(buf) => data.extend_from_slice(buf),
@@ -1283,6 +1859,171 @@ mod tests {
         s.read_block(1..3, 0..4).unwrap(); // 2 ops
         s.write_rows(0, &[7, 7, 7, 7, 8, 8, 8, 8]).unwrap(); // 1 op
         assert_eq!(s.crash_ops(), 6);
+    }
+
+    #[test]
+    fn sdc_guard_clean_runs_stay_clean_on_both_backends() {
+        for backend in backends() {
+            let mut s = TileStore::new(5, &backend).unwrap();
+            s.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+            assert_eq!(s.sdc_guard(), SdcGuardMode::Checksum);
+            s.write_row(1, &[1, 2, 3, 4, 5]).unwrap();
+            s.write_rows(2, &[6; 10]).unwrap();
+            s.write_block(0..2, 1..3, &[7, 7, 7, 7]).unwrap(); // partial: dirty
+            assert_eq!(s.read_row(1).unwrap(), vec![1, 7, 7, 4, 5]);
+            s.verify_checksums().unwrap();
+            s.verify_checksums().unwrap(); // idempotent after rehash
+            let m = s.to_dist_matrix().unwrap();
+            assert_eq!(m.get(2, 0), 6);
+            s.set_sdc_guard(SdcGuardMode::Off).unwrap();
+            assert_eq!(s.sdc_guard(), SdcGuardMode::Off);
+        }
+    }
+
+    #[test]
+    fn armed_bit_flip_is_detected_typed_on_both_backends() {
+        for backend in backends() {
+            let mut s = TileStore::new(4, &backend).unwrap();
+            s.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+            s.set_sdc_round(3);
+            s.write_row(0, &[0, 1, 2, 3]).unwrap(); // write op 0: clean
+            s.arm_bit_flip(0, 5); // next write op flips bit 5 of its row
+            s.write_row(2, &[9, 9, 9, 9]).unwrap();
+            let err = s.read_row(2).unwrap_err();
+            let typed = crate::ApspError::from(err);
+            match typed {
+                crate::ApspError::SilentCorruption { panel, round, .. } => {
+                    assert_eq!(panel, 0); // row 2 lives in panel 0
+                    assert_eq!(round, 3);
+                }
+                other => panic!("expected SilentCorruption, got {other:?}"),
+            }
+            // Untouched rows still read clean.
+            assert_eq!(s.read_row(0).unwrap(), vec![0, 1, 2, 3]);
+            // The full sweep sees it too (run-end gate).
+            assert!(s.verify_checksums().is_err());
+            assert!(s.to_dist_matrix().is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flip_with_guard_off_is_silently_wrong() {
+        // The baseline the guard exists to close: no guard, no error,
+        // wrong data.
+        for backend in backends() {
+            let mut s = TileStore::new(3, &backend).unwrap();
+            s.arm_bit_flip(0, 0); // flip bit 0 of the next written row
+            s.write_row(1, &[4, 4, 4]).unwrap();
+            let row = s.read_row(1).unwrap();
+            assert_eq!(row, vec![5, 4, 4], "bit 0 of element 0 flipped");
+            s.verify_checksums().unwrap(); // no registry, no detection
+        }
+    }
+
+    #[test]
+    fn bit_flip_on_dirty_row_is_still_caught_at_the_barrier() {
+        for backend in backends() {
+            let mut s = TileStore::new(4, &backend).unwrap();
+            s.set_sdc_guard(SdcGuardMode::Full).unwrap();
+            // Partial write marks rows 1..3 dirty, and the armed flip
+            // fires on that same operation (budget 1 ⇒ second row).
+            s.arm_bit_flip(1, 17);
+            s.write_block(1..3, 0..2, &[8, 8, 8, 8]).unwrap();
+            // The flip finalizes the row's checksum from the clean
+            // backing before striking, so the sweep cannot absorb it.
+            let err = s.verify_checksums().unwrap_err();
+            match crate::ApspError::from(err) {
+                crate::ApspError::SilentCorruption { panel, .. } => assert_eq!(panel, 0),
+                other => panic!("expected SilentCorruption, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_count_down_across_ops_and_clear() {
+        let mut s = TileStore::new(3, &StorageBackend::Memory).unwrap();
+        s.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+        s.arm_bit_flip(5, 1); // budget outlives the ops below
+        s.write_rows(0, &[1; 6]).unwrap(); // 2 row ops: 3 left
+        s.write_row(2, &[2, 2, 2]).unwrap(); // 2 left
+        s.verify_checksums().unwrap();
+        s.clear_bit_flips();
+        s.write_row(0, &[3, 3, 3]).unwrap();
+        s.write_row(1, &[3, 3, 3]).unwrap();
+        s.write_row(2, &[3, 3, 3]).unwrap(); // would have fired here
+        s.verify_checksums().unwrap();
+    }
+
+    #[test]
+    fn persisted_footer_catches_spill_file_damage_on_first_read() {
+        let out = tmp_dir().join("footer_damage");
+        std::fs::create_dir_all(&out).unwrap();
+        let target = out.join("m.bin");
+        let mut s = TileStore::new(5, &StorageBackend::Memory).unwrap();
+        s.write_row(3, &[1, 2, 3, 4, 5]).unwrap();
+        s.persist(&target).unwrap();
+        drop(s);
+        // Clean reopen verifies every panel it touches.
+        let clean = TileStore::open(&target, 5).unwrap();
+        assert_eq!(clean.read_row(3).unwrap(), vec![1, 2, 3, 4, 5]);
+        drop(clean);
+        // Flip one payload byte behind the store's back.
+        let mut bytes = std::fs::read(&target).unwrap();
+        let victim = PERSIST_HEADER_BYTES as usize + (3 * 5 + 1) * 4;
+        bytes[victim] ^= 0x10;
+        std::fs::write(&target, &bytes).unwrap();
+        let damaged = TileStore::open(&target, 5).unwrap();
+        let err = damaged.read_row(3).unwrap_err();
+        match crate::ApspError::from(err) {
+            crate::ApspError::Corruption { detail } => {
+                assert!(detail.contains("panel 0"), "{detail}");
+            }
+            other => panic!("expected Corruption, got {other:?}"),
+        }
+        std::fs::remove_file(&target).unwrap();
+    }
+
+    #[test]
+    fn legacy_footerless_persist_files_still_open() {
+        let out = tmp_dir().join("legacy_open");
+        std::fs::create_dir_all(&out).unwrap();
+        let target = out.join("m.bin");
+        let mut s = TileStore::new(3, &StorageBackend::Memory).unwrap();
+        s.write_row(0, &[0, 7, 8]).unwrap();
+        s.persist(&target).unwrap();
+        drop(s);
+        // Truncate the footer: the file looks like a pre-footer persist.
+        let legacy_len = PERSIST_HEADER_BYTES + 3 * 3 * 4;
+        let f = OpenOptions::new().write(true).open(&target).unwrap();
+        f.set_len(legacy_len).unwrap();
+        drop(f);
+        let reopened = TileStore::open(&target, 3).unwrap();
+        assert_eq!(reopened.read_row(0).unwrap(), vec![0, 7, 8]);
+        // A length that is neither legacy nor footer'd is rejected.
+        let f = OpenOptions::new().write(true).open(&target).unwrap();
+        f.set_len(legacy_len + 3).unwrap();
+        drop(f);
+        assert!(TileStore::open(&target, 3).is_err());
+        std::fs::remove_file(&target).unwrap();
+    }
+
+    #[test]
+    fn guard_reads_leave_fault_and_crash_ordinals_unperturbed() {
+        // The guard must observe without being observed: identical op
+        // accounting with the guard on and off.
+        let mut ops = Vec::new();
+        for guard in [SdcGuardMode::Off, SdcGuardMode::Checksum] {
+            let mut s = TileStore::new(4, &StorageBackend::Disk(tmp_dir())).unwrap();
+            s.set_sdc_guard(guard).unwrap();
+            s.arm_crash(u64::MAX);
+            s.arm_faults(DiskFaultPlan::default());
+            s.write_rows(0, &[1; 8]).unwrap();
+            s.read_block(0..2, 0..4).unwrap();
+            s.verify_checksums().unwrap();
+            s.get(3, 3).unwrap();
+            ops.push((s.crash_ops(), s.io_ops()));
+        }
+        assert_eq!(ops[0], ops[1]);
     }
 
     #[test]

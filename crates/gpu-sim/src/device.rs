@@ -119,6 +119,10 @@ pub struct GpuDevice {
     efficiency_divisor: f64,
     trace: Option<Vec<crate::trace::TraceEvent>>,
     kernel_stall: Option<(u64, f64)>,
+    /// Pending bit-flip faults: `(countdown over non-empty H2D
+    /// transfers, bit index)`. Multiple entries count down concurrently,
+    /// mirroring the pool's alloc-failure countdowns.
+    bit_flips: Vec<(u64, u64)>,
 }
 
 impl GpuDevice {
@@ -138,6 +142,7 @@ impl GpuDevice {
             efficiency_divisor: 1.0,
             trace: None,
             kernel_stall: None,
+            bit_flips: Vec::new(),
         }
     }
 
@@ -245,6 +250,39 @@ impl GpuDevice {
         0.0
     }
 
+    /// Fault injection: flip a bit in the destination region of the
+    /// `kth` subsequent non-empty host→device transfer (1 = the very
+    /// next one), then clear the fault. The flip lands *after* the copy,
+    /// so the host source stays clean while the device-resident tile is
+    /// silently corrupted — the soft-error failure mode the SDC guards
+    /// exist to catch. `bit` wraps modulo the region's bit width.
+    /// Multiple armed flips count down concurrently. Only arm this when
+    /// the transfers carry plain integer elements (all of this suite's
+    /// do); see [`DeviceBuffer::flip_bit`].
+    pub fn inject_bit_flip(&mut self, kth: u64, bit: u64) {
+        assert!(kth >= 1, "transfer ordinals are 1-based");
+        self.bit_flips.push((kth, bit));
+    }
+
+    /// Disarm all pending [`Self::inject_bit_flip`] faults.
+    pub fn clear_bit_flips(&mut self) {
+        self.bit_flips.clear();
+    }
+
+    /// Count one non-empty H2D transfer against every armed flip; fired
+    /// bit indices are returned and their entries consumed.
+    fn take_fired_bit_flips(&mut self) -> Vec<u64> {
+        let mut fired = Vec::new();
+        for (countdown, bit) in self.bit_flips.iter_mut() {
+            *countdown -= 1;
+            if *countdown == 0 {
+                fired.push(*bit);
+            }
+        }
+        self.bit_flips.retain(|(c, _)| *c > 0);
+        fired
+    }
+
     /// Fault injection: change usable device memory at runtime. Shrinking
     /// below `used_memory()` is allowed — live buffers stay valid, new
     /// allocations fail until enough is freed. Both the pool and the
@@ -291,6 +329,11 @@ impl GpuDevice {
             dst.len()
         );
         dst.as_mut_slice()[offset..offset + src.len()].copy_from_slice(src);
+        if !src.is_empty() && !self.bit_flips.is_empty() {
+            for bit in self.take_fired_bit_flips() {
+                dst.flip_bit(offset..offset + src.len(), bit);
+            }
+        }
         let bytes = std::mem::size_of_val(src) as u64;
         let rate = self.profile.transfer_rate(true, pinning == Pinning::Pinned);
         let dur = self.profile.transfer_latency + bytes as f64 / rate;
@@ -579,6 +622,50 @@ mod tests {
             "fault must clear after firing: {after_third}"
         );
         assert_eq!(d.report().kernels["work"].launches, 3);
+    }
+
+    #[test]
+    fn injected_bit_flip_corrupts_device_not_host() {
+        let mut d = dev();
+        let s = d.default_stream();
+        let mut buf: DeviceBuffer<u32> = d.alloc(8).unwrap();
+        let src = [5u32; 4];
+        // Second transfer, bit 1 of its destination region (element 0).
+        d.inject_bit_flip(2, 1);
+        d.h2d(s, &src, &mut buf, 0, Pinning::Pinned);
+        assert_eq!(&buf.as_slice()[..4], &[5, 5, 5, 5], "first is clean");
+        d.h2d(s, &src, &mut buf, 4, Pinning::Pinned);
+        assert_eq!(src, [5; 4], "host source untouched");
+        assert_eq!(
+            &buf.as_slice()[4..],
+            &[5 ^ 2, 5, 5, 5],
+            "device region carries the flip"
+        );
+        // One-shot: the next transfer is clean again.
+        d.h2d(s, &src, &mut buf, 0, Pinning::Pinned);
+        assert_eq!(&buf.as_slice()[..4], &[5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn bit_flips_count_down_concurrently_and_clear() {
+        let mut d = dev();
+        let s = d.default_stream();
+        let mut buf: DeviceBuffer<u32> = d.alloc(1).unwrap();
+        d.inject_bit_flip(1, 0);
+        d.inject_bit_flip(2, 0);
+        d.h2d(s, &[0u32], &mut buf, 0, Pinning::Pinned);
+        assert_eq!(buf.as_slice(), &[1], "first flip fired");
+        d.h2d(s, &[0u32], &mut buf, 0, Pinning::Pinned);
+        assert_eq!(buf.as_slice(), &[1], "second flip fired");
+        d.inject_bit_flip(1, 0);
+        d.clear_bit_flips();
+        d.h2d(s, &[0u32], &mut buf, 0, Pinning::Pinned);
+        assert_eq!(buf.as_slice(), &[0], "disarmed before firing");
+        // Empty transfers never consume a countdown.
+        d.inject_bit_flip(1, 0);
+        d.h2d(s, &[] as &[u32], &mut buf, 0, Pinning::Pinned);
+        d.h2d(s, &[0u32], &mut buf, 0, Pinning::Pinned);
+        assert_eq!(buf.as_slice(), &[1]);
     }
 
     #[test]

@@ -204,6 +204,29 @@ impl<T> DeviceBuffer<T> {
     }
 }
 
+impl<T: Copy> DeviceBuffer<T> {
+    /// Fault injection: flip one bit inside the element range
+    /// `range`, at byte-level offset `bit % (range bytes × 8)`. Models a
+    /// soft error corrupting device memory. The caller must only arm
+    /// this on buffers of plain integer elements (every bit pattern
+    /// valid) — all the suite's device buffers qualify. No-op on an
+    /// empty range.
+    pub fn flip_bit(&mut self, range: std::ops::Range<usize>, bit: u64) {
+        let elems = &mut self.data[range];
+        let n_bytes = std::mem::size_of_val(elems);
+        if n_bytes == 0 {
+            return;
+        }
+        // SAFETY: `T: Copy` has no drop glue; the region is initialized,
+        // and the documented contract restricts arming to integer
+        // element types, for which every bit pattern is a valid value.
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(elems.as_mut_ptr() as *mut u8, n_bytes) };
+        let b = (bit % (n_bytes as u64 * 8)) as usize;
+        bytes[b / 8] ^= 1 << (b % 8);
+    }
+}
+
 impl<T> Drop for DeviceBuffer<T> {
     fn drop(&mut self) {
         self.pool.release(self.bytes);
@@ -313,6 +336,21 @@ mod tests {
         assert_eq!(err.capacity, 256);
         drop(held);
         assert!(DeviceBuffer::<u8>::new(200, pool).is_ok());
+    }
+
+    #[test]
+    fn flip_bit_targets_the_requested_range_and_wraps() {
+        let pool = MemoryPool::new(1 << 20);
+        let mut buf: DeviceBuffer<u32> = DeviceBuffer::new(4, pool).unwrap();
+        // Bit 0 of element 2 (range starts there).
+        buf.flip_bit(2..4, 0);
+        assert_eq!(buf.as_slice(), &[0, 0, 1, 0]);
+        // 64 bits in the 2-element range: bit 70 wraps to bit 6.
+        buf.flip_bit(2..4, 70);
+        assert_eq!(buf.as_slice(), &[0, 0, 1 | (1 << 6), 0]);
+        // Empty range is a no-op.
+        buf.flip_bit(1..1, 5);
+        assert_eq!(buf.as_slice(), &[0, 0, 1 | (1 << 6), 0]);
     }
 
     #[test]
