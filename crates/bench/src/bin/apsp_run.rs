@@ -1,7 +1,9 @@
-//! `apsp-run` — compute APSP for a real graph file on a simulated device.
+//! `apsp-run` — compute APSP for a real graph file on a simulated device,
+//! or replay a seeded job trace against the serving scheduler.
 //!
 //! ```text
 //! apsp-run <graph.mtx|graph.gr> [options]
+//! apsp-run serve [serve options]
 //!
 //!   --device v100|k80        device profile          (default v100)
 //!   --memory-mib <n>         override device memory
@@ -30,6 +32,10 @@
 //!   --backend scalar|parallel   host execution backend  (default parallel)
 //!   --threads <n>            thread count for the parallel backend
 //!                            (default: RAYON_NUM_THREADS or all cores)
+//!   --sources <i,j,k>        partial query: compute only these source rows
+//!                            through the Johnson batch driver instead of
+//!                            the full n × n matrix — k sources move O(k·n),
+//!                            not O(n²)
 //!   --sample <count>         print this many random distances (default 3)
 //!   --verify <rows>          re-derive this many random rows with Dijkstra
 //!   --trace                  print the device Gantt chart afterwards
@@ -44,7 +50,30 @@
 //!   --calibration-report     after the run, print the calibration
 //!                            store's per-coefficient summary
 //!                            (needs --calibration-dir)
+//!
+//! serve options:
+//!   --seed <n>               trace seed                      (default 0x5EED)
+//!   --jobs <n>               jobs to replay                  (default 16)
+//!   --graphs <n>             hot-graph pool size             (default 3)
+//!   --devices <n>            fleet size                      (default 2)
+//!   --device v100|k80        fleet device profile            (default v100)
+//!   --memory-mib <n>         per-device memory override      (default 0.5 MiB)
+//!   --queue-capacity <n>     admission-queue bound           (default 5)
+//!   --cache-capacity <n>     result-cache entries            (default 8)
+//!   --checkpoint-root <dir>  keep expired jobs' checkpoints here for
+//!                            warm resubmission
+//!   --strict                 abort the replay on the first typed service
+//!                            rejection, queued cancellation, or job
+//!                            failure, exiting with that kind's code
+//!   --error-json             with --strict, print the typed kind as a
+//!                            single JSON line before the nonzero exit
+//!   --metrics-out <path>     write the service telemetry JSONL (one
+//!                            "service" summary record + one "job" record
+//!                            per job) to this file
 //! ```
+//!
+//! Exit codes (the README table): 0 success, 1 compute failure,
+//! 2 usage, 20 `Busy`, 21 `QueueFull`, 22 `JobCancelled`.
 //!
 //! Drop in a SuiteSparse `.mtx` or a DIMACS `.gr` road network and this
 //! runs the paper's full pipeline on it: selector, out-of-core execution,
@@ -74,6 +103,7 @@ struct Args {
     error_json: bool,
     backend_scalar: bool,
     threads: Option<usize>,
+    sources: Option<Vec<usize>>,
     sample: usize,
     verify: usize,
     trace: bool,
@@ -99,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
         error_json: false,
         backend_scalar: false,
         threads: None,
+        sources: None,
         sample: 3,
         verify: 0,
         trace: false,
@@ -184,6 +215,13 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "bad --threads")?,
                 )
             }
+            "--sources" => {
+                let list = it.next().ok_or("--sources needs a comma-separated list")?;
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse()).collect();
+                args.sources =
+                    Some(parsed.map_err(|_| "bad --sources (want e.g. 0,5,17)".to_string())?);
+            }
             "--sample" => {
                 args.sample = it
                     .next()
@@ -229,6 +267,19 @@ fn parse_args() -> Result<Args, String> {
     if args.calibration_report && args.calibration_dir.is_none() {
         return Err("--calibration-report needs --calibration-dir".into());
     }
+    if args.sources.is_some()
+        && (args.spill.is_some()
+            || args.checkpoint_dir.is_some()
+            || args.metrics_out.is_some()
+            || args.calibration_dir.is_some()
+            || args.verify > 0)
+    {
+        return Err(
+            "--sources is a partial query: it has no result store, so --spill, \
+             --checkpoint-dir, --metrics-out, --calibration-dir and --verify do not apply"
+                .into(),
+        );
+    }
     Ok(args)
 }
 
@@ -258,6 +309,10 @@ fn load(path: &PathBuf) -> Result<CsrGraph, String> {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        serve_main();
+        return;
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -349,6 +404,10 @@ fn main() {
                 "starting fresh"
             }
         );
+    }
+    if let Some(srcs) = &args.sources {
+        run_partial_query(&graph, &mut dev, &opts, srcs, &args);
+        return;
     }
     let result = match apsp(&graph, &mut dev, &opts) {
         Ok(r) => r,
@@ -451,5 +510,332 @@ fn main() {
     if args.trace {
         println!("\ndevice timeline:");
         print!("{}", apsp_gpu_sim::trace::render_gantt(dev.trace(), 100));
+    }
+}
+
+/// The `--sources` path: k rows through the Johnson batch driver —
+/// `O(k·n)` data movement instead of the full matrix's `O(n²)`.
+fn run_partial_query(
+    graph: &CsrGraph,
+    dev: &mut GpuDevice,
+    opts: &ApspOptions,
+    srcs: &[usize],
+    args: &Args,
+) {
+    let n = graph.num_vertices();
+    if let Some(&bad) = srcs.iter().find(|&&s| s >= n) {
+        eprintln!("--sources: source {bad} out of range (n = {n})");
+        std::process::exit(2);
+    }
+    let sources: Vec<apsp_graph::VertexId> =
+        srcs.iter().map(|&s| s as apsp_graph::VertexId).collect();
+    let jopts = apsp_core::JohnsonOptions {
+        exec: opts.exec,
+        sdc_guard: opts.sdc_guard,
+        ..Default::default()
+    };
+    let sup = apsp_core::Supervisor::new(&opts.supervision, dev.elapsed().seconds());
+    let (rows, stats) =
+        match apsp_core::ooc_johnson::ooc_johnson_sources(dev, graph, &sources, &jopts, &sup) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("partial query failed: {e}");
+                if args.error_json {
+                    println!(
+                        "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+                        e.kind().as_str(),
+                        json_escape(&e.to_string())
+                    );
+                }
+                std::process::exit(1);
+            }
+        };
+    println!(
+        "partial query: {} source row(s) in {} Johnson batch(es) of {} — \
+         moved O(k·n), not O(n²)",
+        sources.len(),
+        stats.num_batches,
+        stats.batch_size,
+    );
+    println!("simulated time: {:.6} s", dev.elapsed().seconds());
+    for (ri, &s) in sources.iter().enumerate() {
+        let row = &rows[ri * n..(ri + 1) * n];
+        let reachable = row.iter().filter(|&&d| d < apsp_graph::INF).count();
+        let far = row
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d < apsp_graph::INF)
+            .max_by_key(|(_, &d)| d);
+        match far {
+            Some((j, &d)) => println!(
+                "  source {s}: {reachable}/{n} reachable, eccentricity dist({s}, {j}) = {d}"
+            ),
+            None => println!("  source {s}: nothing reachable"),
+        }
+    }
+    if args.trace {
+        println!("\ndevice timeline:");
+        print!("{}", apsp_gpu_sim::trace::render_gantt(dev.trace(), 100));
+    }
+}
+
+struct ServeArgs {
+    seed: u64,
+    jobs: usize,
+    graphs: usize,
+    devices: usize,
+    device: String,
+    memory_mib: Option<u64>,
+    queue_capacity: usize,
+    cache_capacity: usize,
+    checkpoint_root: Option<PathBuf>,
+    strict: bool,
+    error_json: bool,
+    metrics_out: Option<PathBuf>,
+}
+
+fn parse_serve_args() -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        seed: 0x5EED,
+        jobs: 16,
+        graphs: 3,
+        devices: 2,
+        device: "v100".into(),
+        memory_mib: None,
+        queue_capacity: 5,
+        cache_capacity: 8,
+        checkpoint_root: None,
+        strict: false,
+        error_json: false,
+        metrics_out: None,
+    };
+    let mut it = std::env::args().skip(2);
+    while let Some(a) = it.next() {
+        let num = |flag: &str, it: &mut dyn Iterator<Item = String>| -> Result<u64, String> {
+            it.next()
+                .ok_or(format!("{flag} needs a value"))?
+                .parse()
+                .map_err(|_| format!("bad {flag}"))
+        };
+        match a.as_str() {
+            "--seed" => args.seed = num("--seed", &mut it)?,
+            "--jobs" => args.jobs = num("--jobs", &mut it)? as usize,
+            "--graphs" => args.graphs = num("--graphs", &mut it)? as usize,
+            "--devices" => args.devices = num("--devices", &mut it)? as usize,
+            "--device" => args.device = it.next().ok_or("--device needs a value")?,
+            "--memory-mib" => args.memory_mib = Some(num("--memory-mib", &mut it)?),
+            "--queue-capacity" => args.queue_capacity = num("--queue-capacity", &mut it)? as usize,
+            "--cache-capacity" => args.cache_capacity = num("--cache-capacity", &mut it)? as usize,
+            "--checkpoint-root" => {
+                args.checkpoint_root = Some(PathBuf::from(
+                    it.next().ok_or("--checkpoint-root needs a value")?,
+                ))
+            }
+            "--strict" => args.strict = true,
+            "--error-json" => args.error_json = true,
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(
+                    it.next().ok_or("--metrics-out needs a value")?,
+                ))
+            }
+            other => return Err(format!("unexpected serve argument '{other}'")),
+        }
+    }
+    if args.jobs == 0 || args.devices == 0 || args.queue_capacity == 0 {
+        return Err("--jobs, --devices and --queue-capacity must be positive".into());
+    }
+    Ok(args)
+}
+
+/// Print the typed service error and exit with its distinct code
+/// (`--strict` mode's abort path).
+fn serve_fail(kind: apsp_core::ServiceErrorKind, detail: &str, error_json: bool) -> ! {
+    eprintln!("serve: {detail}");
+    if error_json {
+        println!(
+            "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+            kind.as_str(),
+            json_escape(detail)
+        );
+    }
+    std::process::exit(kind.exit_code());
+}
+
+/// `apsp-run serve`: replay a seeded job trace — full and k-source
+/// partial queries over a hot-graph pool, with faults, tight deadlines,
+/// queue overload, and queued cancellations — against [`ApspService`].
+fn serve_main() {
+    use apsp_core::service::trace::{self, TraceConfig};
+    use apsp_core::{ApspService, JobState, ServiceConfig, ServiceErrorKind};
+
+    let args = match parse_serve_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\nusage: apsp-run serve [--seed n] [--jobs n] [--graphs n] \
+                 [--devices n] [--device v100|k80] [--memory-mib n] [--queue-capacity n] \
+                 [--cache-capacity n] [--checkpoint-root dir] [--strict] [--error-json] \
+                 [--metrics-out path]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let mut profile = match args.device.as_str() {
+        "v100" => DeviceProfile::v100(),
+        "k80" => DeviceProfile::k80(),
+        other => {
+            eprintln!("unknown device '{other}'");
+            std::process::exit(2);
+        }
+    };
+    // Small fleet memory by default so full jobs batch (and can be
+    // overtaken by deadlines) at trace-pool graph sizes.
+    profile = profile.with_memory_bytes(args.memory_mib.map_or(512 << 10, |mib| mib << 20));
+
+    let trace_cfg = TraceConfig {
+        seed: args.seed,
+        jobs: args.jobs,
+        graphs: args.graphs.max(1),
+        ..TraceConfig::default()
+    };
+    let jobs = trace::seeded_jobs(&trace_cfg);
+    let mut svc = ApspService::new(ServiceConfig {
+        devices: vec![profile.clone(); args.devices],
+        queue_capacity: args.queue_capacity,
+        cache_capacity: args.cache_capacity,
+        checkpoint_root: args.checkpoint_root.clone(),
+        admission_control: true,
+    });
+    println!(
+        "serving {} job(s) (seed {:#x}) over {} × {} ({} KiB), queue bound {}, cache {}",
+        jobs.len(),
+        args.seed,
+        args.devices,
+        profile.name,
+        profile.memory_bytes >> 10,
+        args.queue_capacity,
+        args.cache_capacity,
+    );
+
+    // Wave 1: submit everything, pumping every third submit so the
+    // queue churns; cancel the trace's flagged jobs while still queued.
+    let mut handles: Vec<Option<apsp_core::JobId>> = Vec::with_capacity(jobs.len());
+    for (i, tj) in jobs.iter().enumerate() {
+        match svc.submit(tj.request.clone()) {
+            Ok(id) => {
+                if tj.cancel_while_queued {
+                    let _ = svc.cancel(id);
+                    if args.strict {
+                        serve_fail(
+                            ServiceErrorKind::JobCancelled,
+                            &format!("trace job {i} cancelled while queued"),
+                            args.error_json,
+                        );
+                    }
+                }
+                handles.push(Some(id));
+            }
+            Err(e) => {
+                if args.strict {
+                    serve_fail(
+                        e.kind(),
+                        &format!("trace job {i} rejected: {e}"),
+                        args.error_json,
+                    );
+                }
+                let hint = e
+                    .retry_after_ms()
+                    .map_or(String::new(), |ms| format!(" (retry after ~{ms} ms)"));
+                println!("job --- rejected typed {}{hint}", e.kind().as_str());
+                handles.push(None);
+            }
+        }
+        if i % 3 == 2 {
+            svc.pump_one();
+        }
+    }
+    svc.run_until_idle();
+    // Wave 2: honour the retry hints against the drained queue.
+    for (i, tj) in jobs.iter().enumerate() {
+        if handles[i].is_none() {
+            handles[i] = svc.submit(tj.request.clone()).ok();
+        }
+    }
+    svc.run_until_idle();
+
+    for (i, tj) in jobs.iter().enumerate() {
+        let kind = match &tj.request.spec {
+            apsp_core::JobSpec::Full => "full".to_string(),
+            apsp_core::JobSpec::Sources(s) => format!("sources[{}]", s.len()),
+        };
+        let Some(id) = handles[i] else {
+            println!("job {i:>3} {kind:<11} rejected on both admission attempts");
+            continue;
+        };
+        match svc.state(id) {
+            Some(JobState::Completed(done)) => println!(
+                "job {i:>3} {kind:<11} completed{} in {:.6} s (queued {:.6} s)",
+                if done.from_cache { " (cache)" } else { "" },
+                done.sim_seconds,
+                done.queue_wait_s,
+            ),
+            Some(JobState::Failed(fj)) => {
+                println!(
+                    "job {i:>3} {kind:<11} failed typed {:?}{}",
+                    fj.kind,
+                    if fj.checkpoint_kept {
+                        " — checkpoint kept for warm resubmission"
+                    } else {
+                        ""
+                    },
+                );
+                if args.strict {
+                    serve_fail(
+                        ServiceErrorKind::Compute(fj.kind),
+                        &format!("trace job {i} failed: {}", fj.detail),
+                        args.error_json,
+                    );
+                }
+            }
+            Some(JobState::Cancelled { .. }) => {
+                println!("job {i:>3} {kind:<11} cancelled while queued");
+            }
+            Some(JobState::Queued) | None => {
+                eprintln!("serve: job {i} never reached a terminal state — a hang");
+                std::process::exit(1);
+            }
+        }
+    }
+    let c = svc.counters();
+    println!(
+        "service: {} submitted, {} admitted, {} completed, {} failed, {} expired, \
+         {} cancelled, {} rejected (busy {}, queue-full {}), cache {}/{} hit/miss \
+         ({} evicted, {} corrupt-evicted), {:.6} simulated s",
+        c.submitted,
+        c.admitted,
+        c.completed,
+        c.failed,
+        c.expired,
+        c.cancelled,
+        c.rejected_busy + c.rejected_queue_full,
+        c.rejected_busy,
+        c.rejected_queue_full,
+        c.cache_hits,
+        c.cache_misses,
+        c.cache_evictions,
+        c.cache_corrupt_evictions,
+        svc.now_s(),
+    );
+    if let Some(path) = &args.metrics_out {
+        let jsonl = svc.to_jsonl();
+        if let Err(e) = std::fs::write(path, &jsonl) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "metrics: {} record(s) written to {}",
+            jsonl.lines().count(),
+            path.display()
+        );
     }
 }

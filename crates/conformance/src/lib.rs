@@ -36,7 +36,13 @@
 //!   deadlined runs must fail typed and resume exactly, an injected
 //!   kernel hang must trip the watchdog and fall back to an algorithm
 //!   whose result is bit-identical to its clean run, and every event
-//!   sequence must replay deterministically from its seed.
+//!   sequence must replay deterministically from its seed;
+//! * [`service`] — the serving chaos harness: N concurrent seeded jobs
+//!   (full and k-source partial queries) driven through
+//!   [`apsp_core::ApspService`] with injected faults, tight deadlines,
+//!   queue overload, and queued cancellations, asserting every job ends
+//!   bit-identical-completed, typed-rejected, typed-failed, or
+//!   cancelled — never wrong, never hung.
 //!
 //! Every report carries the seed that reproduces it; see the repository
 //! README ("Testing & conformance") for the reproduction workflow.
@@ -47,6 +53,7 @@ pub mod crash;
 pub mod fault;
 pub mod runner;
 pub mod sdc;
+pub mod service;
 pub mod supervision;
 
 pub use calibration::{replay, ReplayReport, ReplayRound};
@@ -55,6 +62,10 @@ pub use crash::{run_kill_resume, CrashCellOptions, CrashReport};
 pub use fault::{run_under_faults, Fault, FaultPlan, FaultRunOutcome};
 pub use runner::{all_variants, run_case, CaseReport, Divergence, RunnerConfig, Variant};
 pub use sdc::{run_under_bit_flip, FlipSite, SdcOutcome, SdcVerdict};
+pub use service::{
+    run_chaos, run_corrupt_cache_check, run_queued_cancel_residue, ChaosConfig, ChaosReport,
+    JobVerdict, Terminal,
+};
 pub use supervision::{
     run_cancel_resume, run_deadline_abort, run_stall_fallback, CancelReport, StallFallbackReport,
 };

@@ -36,6 +36,7 @@ pub mod options;
 pub mod paths;
 pub mod sdc;
 pub mod selector;
+pub mod service;
 pub mod supervisor;
 pub mod telemetry;
 pub mod tile_store;
@@ -52,6 +53,11 @@ pub use options::{
 };
 pub use sdc::SdcGuard;
 pub use selector::{Candidate, CostModels, Selection, SelectorConfig};
+pub use service::{
+    cache_key, options_fingerprint, ApspService, CacheKey, CancelOutcome, CompletedJob, FailedJob,
+    JobFault, JobId, JobRequest, JobSpec, JobState, ResultRows, ServiceConfig, ServiceCounters,
+    ServiceError, ServiceErrorKind,
+};
 pub use supervisor::{
     CancelToken, FallbackEvent, RetryPolicy, SupervisionEvent, SupervisionOptions, Supervisor,
 };

@@ -187,6 +187,153 @@ pub fn ooc_johnson_with_parents(
     )
 }
 
+/// Batched MSSP over an explicit source list — the k-source partial
+/// query underneath [`crate::service`]'s `JobSpec::Sources`. Returns the
+/// `k × n` distance panel in *request order* (row `i` is the SSSP row of
+/// `sources[i]`), never materializing the full matrix: data movement is
+/// `O(k·n)`, so 1k sources out of n = 100k does not pay `n²`.
+///
+/// Shares the full driver's machinery: the paper's batch formula sizes
+/// each kernel launch, the supervisor is consulted at every batch
+/// barrier, and mid-run allocation failures restart at the same then a
+/// halved batch. Restarts are exact — every row is recomputed from the
+/// graph alone. Duplicate sources are allowed (each occurrence gets its
+/// own output row).
+pub fn ooc_johnson_sources(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    sources: &[VertexId],
+    opts: &JohnsonOptions,
+    sup: &Supervisor,
+) -> Result<(Vec<Dist>, JohnsonRunStats), ApspError> {
+    let n = g.num_vertices();
+    for &s in sources {
+        if (s as usize) >= n {
+            return Err(ApspError::InvalidInput(format!(
+                "source {s} out of range for a graph with {n} vertices"
+            )));
+        }
+    }
+    let k = sources.len();
+    let mut out = vec![0 as Dist; k * n];
+    if n == 0 || k == 0 {
+        return Ok((
+            out,
+            JohnsonRunStats {
+                batch_size: 0,
+                num_batches: 0,
+                dynamic_parallelism: false,
+                work: NearFarStats::default(),
+                sim_seconds: 0.0,
+                retries: 0,
+                checkpoint_commits: 0,
+                sdc_panel_recoveries: 0,
+                sdc_round_recoveries: 0,
+            },
+        ));
+    }
+    let mut bat = batch_size(dev, g, opts.queue_words_per_edge)?.min(k);
+    let mut retry = RetryState::new(sup.retry_policy(), "out-of-core Johnson's (partial)");
+    loop {
+        match johnson_source_batches(dev, g, sources, &mut out, opts, bat, sup) {
+            Ok(mut stats) => {
+                stats.retries = retry.retries();
+                return Ok((out, stats));
+            }
+            Err(e) => {
+                let (step, oom) = retry.next_step(e, sup)?;
+                if step == RetryStep::Shrink {
+                    if bat <= 1 {
+                        return Err(ApspError::DeviceTooSmall {
+                            algorithm: "out-of-core Johnson's (partial)",
+                            detail: format!(
+                                "allocation kept failing at the minimum batch of 1: {oom}"
+                            ),
+                        });
+                    }
+                    bat = (bat / 2)
+                        .min(batch_size(dev, g, opts.queue_words_per_edge)?)
+                        .max(1);
+                }
+            }
+        }
+    }
+}
+
+/// One pass over the requested source batches at a fixed `bat`, writing
+/// each panel straight into `out` (no tile store — the panel is the
+/// product).
+fn johnson_source_batches(
+    dev: &mut GpuDevice,
+    g: &CsrGraph,
+    sources: &[VertexId],
+    out: &mut [Dist],
+    opts: &JohnsonOptions,
+    bat: usize,
+    sup: &Supervisor,
+) -> Result<JohnsonRunStats, ApspError> {
+    let n = g.num_vertices();
+    let delta = opts
+        .delta
+        .unwrap_or_else(|| apsp_kernels::nearfar::default_delta(g));
+    let dynamic = match opts.dynamic_parallelism {
+        DynamicParallelism::On => true,
+        DynamicParallelism::Off => false,
+        DynamicParallelism::Auto => (bat as u32) < dev.profile().saturating_blocks,
+    };
+    let mssp_opts = MsspOptions {
+        delta,
+        dynamic_parallelism: dynamic,
+        heavy_degree_threshold: opts.heavy_degree_threshold,
+        exec: opts.exec,
+    };
+    let graph_hold: apsp_gpu_sim::DeviceBuffer<u8> = dev.alloc(g.storage_bytes())?;
+    let start = dev.elapsed().seconds();
+    let s0 = dev.default_stream();
+    let s1 = if opts.overlap_transfers {
+        dev.create_stream()
+    } else {
+        s0
+    };
+    let tel = sup.telemetry().clone();
+    let mut work = NearFarStats::default();
+    let mut num_batches = 0usize;
+    let mut done = 0usize;
+    for (bi, chunk) in sources.chunks(bat).enumerate() {
+        num_batches += 1;
+        let ph = tel.phase_start(dev);
+        let stream = if opts.overlap_transfers && bi % 2 == 1 {
+            s1
+        } else {
+            s0
+        };
+        let mut panel = DeviceMatrix::alloc_inf(dev, chunk.len(), n)?;
+        let outcome = mssp_kernel(dev, stream, g, chunk, &mut panel, mssp_opts);
+        work.merge(&outcome.stats);
+        let host = &mut out[done * n..(done + chunk.len()) * n];
+        panel.download_rows(dev, stream, 0..chunk.len(), host, Pinning::Pinned);
+        done += chunk.len();
+        tel.phase_end(dev, ph, "johnson.sources_batch");
+        sup.check_barrier(
+            dev.elapsed().seconds(),
+            &format!("Johnson sources batch {bi} barrier"),
+        )?;
+    }
+    drop(graph_hold);
+    let sim_seconds = dev.synchronize().seconds() - start;
+    Ok(JohnsonRunStats {
+        batch_size: bat,
+        num_batches,
+        dynamic_parallelism: dynamic,
+        work,
+        sim_seconds,
+        retries: 0,
+        checkpoint_commits: 0,
+        sdc_panel_recoveries: 0,
+        sdc_round_recoveries: 0,
+    })
+}
+
 #[allow(clippy::too_many_arguments)]
 fn ooc_johnson_impl(
     dev: &mut GpuDevice,
@@ -751,6 +898,101 @@ mod tests {
         };
         let err = ooc_johnson_supervised(&mut dev, &g, &mut store, &opts, &sup).unwrap_err();
         assert_eq!(err.kind(), crate::ApspErrorKind::SilentCorruption, "{err}");
+    }
+
+    #[test]
+    fn partial_sources_match_dijkstra_rows() {
+        let g = gnp(140, 0.05, WeightRange::default(), 23);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let sources: Vec<VertexId> = vec![7, 0, 99, 42, 139, 42];
+        let (rows, stats) = ooc_johnson_sources(
+            &mut dev,
+            &g,
+            &sources,
+            &JohnsonOptions::default(),
+            &Supervisor::unarmed(),
+        )
+        .unwrap();
+        assert_eq!(rows.len(), sources.len() * 140);
+        assert!(stats.num_batches >= 1);
+        for (i, &s) in sources.iter().enumerate() {
+            let want = apsp_cpu::dijkstra_sssp(&g, s);
+            assert_eq!(&rows[i * 140..(i + 1) * 140], &want[..], "source {s}");
+        }
+    }
+
+    #[test]
+    fn partial_sources_move_k_by_n_not_n_squared() {
+        let n = 300;
+        let g = gnp(n, 0.03, WeightRange::default(), 5);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let sources: Vec<VertexId> = vec![1, 50, 200];
+        ooc_johnson_sources(
+            &mut dev,
+            &g,
+            &sources,
+            &JohnsonOptions::default(),
+            &Supervisor::unarmed(),
+        )
+        .unwrap();
+        let d2h = dev.report().bytes_d2h;
+        let k_n = (sources.len() * n * std::mem::size_of::<Dist>()) as u64;
+        let n_sq = (n * n * std::mem::size_of::<Dist>()) as u64;
+        assert!(d2h >= k_n, "panel must come down: {d2h} < {k_n}");
+        assert!(d2h < n_sq / 4, "partial query paid near-n² traffic: {d2h}");
+    }
+
+    #[test]
+    fn partial_sources_recover_from_transient_alloc_fault() {
+        let g = gnp(150, 0.04, WeightRange::default(), 19);
+        let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(512 << 10));
+        let sources: Vec<VertexId> = (0..40).collect();
+        // Allocation 1 is the graph hold, 2 the first panel.
+        dev.inject_alloc_failure(2);
+        let (rows, stats) = ooc_johnson_sources(
+            &mut dev,
+            &g,
+            &sources,
+            &JohnsonOptions::default(),
+            &Supervisor::unarmed(),
+        )
+        .unwrap();
+        assert_eq!(stats.retries, 1);
+        for (i, &s) in sources.iter().enumerate() {
+            let want = apsp_cpu::dijkstra_sssp(&g, s);
+            assert_eq!(&rows[i * 150..(i + 1) * 150], &want[..], "source {s}");
+        }
+    }
+
+    #[test]
+    fn partial_sources_reject_out_of_range() {
+        let g = gnp(50, 0.1, WeightRange::default(), 2);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let err = ooc_johnson_sources(
+            &mut dev,
+            &g,
+            &[3, 50],
+            &JohnsonOptions::default(),
+            &Supervisor::unarmed(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), crate::ApspErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn partial_sources_empty_inputs() {
+        let g = gnp(30, 0.1, WeightRange::default(), 2);
+        let mut dev = GpuDevice::new(DeviceProfile::v100());
+        let (rows, stats) = ooc_johnson_sources(
+            &mut dev,
+            &g,
+            &[],
+            &JohnsonOptions::default(),
+            &Supervisor::unarmed(),
+        )
+        .unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(stats.num_batches, 0);
     }
 
     #[test]
