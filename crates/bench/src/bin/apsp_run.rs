@@ -29,8 +29,8 @@
 //!                            stdout before the nonzero exit, so harnesses
 //!                            can distinguish SilentCorruption from, e.g.,
 //!                            DeadlineExceeded without scraping stderr
-//!   --backend scalar|parallel   host execution backend  (default parallel)
-//!   --threads <n>            thread count for the parallel backend
+//!   --backend scalar|parallel|simd   host execution backend  (default parallel)
+//!   --threads <n>            thread count for the parallel/simd backends
 //!                            (default: RAYON_NUM_THREADS or all cores)
 //!   --sources <i,j,k>        partial query: compute only these source rows
 //!                            through the Johnson batch driver instead of
@@ -101,7 +101,7 @@ struct Args {
     fallback: bool,
     sdc_guard: SdcGuardMode,
     error_json: bool,
-    backend_scalar: bool,
+    backend: String,
     threads: Option<usize>,
     sources: Option<Vec<usize>>,
     sample: usize,
@@ -127,7 +127,7 @@ fn parse_args() -> Result<Args, String> {
         fallback: false,
         sdc_guard: SdcGuardMode::Off,
         error_json: false,
-        backend_scalar: false,
+        backend: "parallel".into(),
         threads: None,
         sources: None,
         sample: 3,
@@ -203,8 +203,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--error-json" => args.error_json = true,
             "--backend" => match it.next().ok_or("--backend needs a value")?.as_str() {
-                "scalar" => args.backend_scalar = true,
-                "parallel" => args.backend_scalar = false,
+                b @ ("scalar" | "parallel" | "simd") => args.backend = b.into(),
                 other => return Err(format!("unknown backend '{other}'")),
             },
             "--threads" => {
@@ -261,8 +260,8 @@ fn parse_args() -> Result<Args, String> {
     if args.resume && args.checkpoint_dir.is_none() {
         return Err("--resume needs --checkpoint-dir".into());
     }
-    if args.backend_scalar && args.threads.is_some() {
-        return Err("--threads only applies to --backend parallel".into());
+    if args.backend == "scalar" && args.threads.is_some() {
+        return Err("--threads only applies to --backend parallel|simd".into());
     }
     if args.calibration_report && args.calibration_dir.is_none() {
         return Err("--calibration-report needs --calibration-dir".into());
@@ -316,7 +315,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--sdc-guard off|checksum|full] [--error-json] [--backend scalar|parallel] [--threads n] [--sample n] [--trace|--gantt] [--metrics-out path] [--calibration-dir dir] [--calibration-report]");
+            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--sdc-guard off|checksum|full] [--error-json] [--backend scalar|parallel|simd] [--threads n] [--sample n] [--trace|--gantt] [--metrics-out path] [--calibration-dir dir] [--calibration-report]");
             std::process::exit(2);
         }
     };
@@ -359,12 +358,14 @@ fn main() {
     if args.trace {
         dev.enable_trace();
     }
-    let exec = if args.backend_scalar {
-        ExecBackend::scalar()
-    } else {
-        ExecBackend::Parallel {
+    let exec = match args.backend.as_str() {
+        "scalar" => ExecBackend::scalar(),
+        "simd" => ExecBackend::Simd {
             threads: args.threads,
-        }
+        },
+        _ => ExecBackend::Parallel {
+            threads: args.threads,
+        },
     };
     let opts = ApspOptions {
         algorithm: args.algorithm,

@@ -1,11 +1,13 @@
-//! `bench_kernels` — wall-clock scalar-vs-parallel backend comparison.
+//! `bench_kernels` — wall-clock scalar vs parallel vs simd backend
+//! comparison.
 //!
 //! ```text
 //! bench_kernels [options]
 //!
-//!   --smoke        reduced sizes + CI gate: exit 1 unless the parallel
+//!   --smoke        reduced sizes + CI gates: exit 1 unless the parallel
 //!                  backend beats scalar by >= 1.5x on the medium
-//!                  min-plus shape
+//!                  min-plus shape, and (when an accelerated ISA is
+//!                  active) the simd backend beats scalar by >= 3x there
 //!   --out <path>   where to write the JSON report
 //!                  (default BENCH_kernels.json in the current directory)
 //!   --reps <n>     timing repetitions per case, best-of (default 3)
@@ -21,17 +23,17 @@
 //! Two families of cases:
 //!
 //! * **min-plus GEMM** on square shapes — the tile kernel every
-//!   out-of-core driver spends its time in, timed directly against both
-//!   backends on identical operands;
+//!   out-of-core driver spends its time in, timed directly against all
+//!   three backends on identical operands;
 //! * **full out-of-core runs** — the three algorithms crossed with
 //!   `Memory`/`Disk` storage on a deliberately small simulated device,
 //!   so the host-side tile loops (what the backend accelerates)
 //!   dominate.
 //!
-//! Every case records wall-clock seconds for both backends, the
-//! speedup, the resolved thread count, and an FNV-1a checksum of the
-//! result — which must be bit-identical across backends or the binary
-//! exits non-zero.
+//! Every case records wall-clock seconds for each backend, the
+//! per-backend speedups over scalar, the resolved thread count, and an
+//! FNV-1a checksum of the result — which must be bit-identical across
+//! all backends or the binary exits non-zero.
 //!
 //! `--smoke` additionally gates the silent-corruption guard's overhead:
 //! a representative out-of-core run with `--sdc-guard checksum` may cost
@@ -94,19 +96,28 @@ struct CaseResult {
     n: usize,
     scalar_secs: f64,
     parallel_secs: f64,
+    simd_secs: f64,
     checksum: u64,
     bit_identical: bool,
-    /// Run telemetry from the parallel-backend rep (ooc cases only).
+    /// Run telemetry from the simd-backend rep (ooc cases only).
     telemetry: Option<RunReport>,
 }
 
 impl CaseResult {
-    fn speedup(&self) -> f64 {
-        if self.parallel_secs > 0.0 {
-            self.scalar_secs / self.parallel_secs
+    fn speedup_over_scalar(&self, secs: f64) -> f64 {
+        if secs > 0.0 {
+            self.scalar_secs / secs
         } else {
             0.0
         }
+    }
+
+    fn parallel_speedup(&self) -> f64 {
+        self.speedup_over_scalar(self.parallel_secs)
+    }
+
+    fn simd_speedup(&self) -> f64 {
+        self.speedup_over_scalar(self.simd_secs)
     }
 }
 
@@ -149,14 +160,21 @@ fn bench_minplus(n: usize, reps: usize) -> CaseResult {
         );
     });
 
+    let mut c_simd = c0.clone();
+    let simd_secs = time_best(reps, || {
+        c_simd.copy_from_slice(&c0);
+        minplus_tile_exec(&mut c_simd, n, &a, n, &b, n, n, n, n, ExecBackend::simd());
+    });
+
     CaseResult {
         kind: "minplus",
         name: format!("minplus-{n}"),
         n,
         scalar_secs,
         parallel_secs,
+        simd_secs,
         checksum: fnv1a_u32s(&c_scalar, FNV_OFFSET_BASIS),
-        bit_identical: c_scalar == c_parallel,
+        bit_identical: c_scalar == c_parallel && c_scalar == c_simd,
         telemetry: None,
     }
 }
@@ -168,15 +186,27 @@ fn run_ooc(
     exec: ExecBackend,
     calibration_dir: Option<&std::path::Path>,
     sdc_guard: SdcGuardMode,
+    telemetry: bool,
 ) -> (f64, u64, Option<RunReport>) {
-    let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(256 << 10));
+    // 256 KiB keeps every case genuinely out-of-core (the full matrix
+    // never fits). Boundary additionally needs its k-partition working
+    // set resident — at the full-mode n that minimum exceeds 256 KiB —
+    // so it gets 1 MiB and still streams per-pair block products.
+    let mem = match algorithm {
+        Algorithm::Boundary => 1 << 20,
+        _ => 256 << 10,
+    };
+    let mut dev = GpuDevice::new(DeviceProfile::v100().with_memory_bytes(mem));
     let opts = ApspOptions {
         algorithm: Some(algorithm),
         storage: storage.clone(),
         exec,
-        // Both backends run with telemetry on, so the wall-clock
-        // comparison stays apples-to-apples and the report rides along.
-        telemetry: true,
+        // Timed reps run with telemetry off: enabling it triggers a
+        // shadow selection whose sampled probe batches are real host
+        // work, a fixed cost identical across backends that would dilute
+        // every speedup toward 1.0. The artifact's run report comes from
+        // one separate untimed telemetry pass instead.
+        telemetry,
         calibration_dir: calibration_dir.map(|d| d.to_path_buf()),
         sdc_guard,
         ..Default::default()
@@ -214,34 +244,48 @@ fn bench_ooc(
         StorageBackend::Memory
     };
 
-    let mut scalar_secs = f64::INFINITY;
-    let mut parallel_secs = f64::INFINITY;
-    let mut scalar_sum = 0;
-    let mut parallel_sum = 0;
-    let mut telemetry = None;
-    for _ in 0..reps.max(1) {
-        let (s, cs, _) = run_ooc(
-            graph,
-            algorithm,
-            &storage,
-            ExecBackend::scalar(),
-            calibration_dir,
-            sdc_guard,
-        );
-        scalar_secs = scalar_secs.min(s);
-        scalar_sum = cs;
-        let (p, cp, tel) = run_ooc(
-            graph,
-            algorithm,
-            &storage,
-            ExecBackend::parallel(),
-            calibration_dir,
-            sdc_guard,
-        );
-        parallel_secs = parallel_secs.min(p);
-        parallel_sum = cp;
-        telemetry = tel;
+    // Whole-pipeline runs are short (tens of ms) and the container's
+    // timing noise at that scale swamps real backend margins, so the
+    // out-of-core cases take a higher best-of floor than the dense
+    // kernels. The backend order also rotates every rep: any slow drift
+    // across the rep loop (page cache, co-tenant load) then hits each
+    // backend's sample set equally instead of always taxing whichever
+    // backend runs last.
+    let mut secs = [f64::INFINITY; 3];
+    let mut sums = [0u64; 3];
+    let backends = [
+        ExecBackend::scalar(),
+        ExecBackend::parallel(),
+        ExecBackend::simd(),
+    ];
+    for rep in 0..reps.max(12) {
+        for lane in 0..3 {
+            let b = (rep + lane) % 3;
+            let (s, c, _) = run_ooc(
+                graph,
+                algorithm,
+                &storage,
+                backends[b],
+                calibration_dir,
+                sdc_guard,
+                false,
+            );
+            secs[b] = secs[b].min(s);
+            sums[b] = c;
+        }
     }
+    let [scalar_secs, parallel_secs, simd_secs] = secs;
+    let [scalar_sum, parallel_sum, simd_sum] = sums;
+    // Untimed pass to harvest the run report (telemetry on).
+    let (_, _, telemetry) = run_ooc(
+        graph,
+        algorithm,
+        &storage,
+        ExecBackend::simd(),
+        calibration_dir,
+        sdc_guard,
+        true,
+    );
 
     CaseResult {
         kind: "ooc",
@@ -249,8 +293,9 @@ fn bench_ooc(
         n: graph.num_vertices(),
         scalar_secs,
         parallel_secs,
+        simd_secs,
         checksum: scalar_sum,
-        bit_identical: scalar_sum == parallel_sum,
+        bit_identical: scalar_sum == parallel_sum && scalar_sum == simd_sum,
         telemetry,
     }
 }
@@ -316,6 +361,10 @@ fn write_report(
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str(&format!("  \"reps\": {reps},\n"));
     out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"simd_isa\": \"{}\",\n",
+        apsp_cpu::simd::active_isa()
+    ));
     out.push_str("  \"cases\": [\n");
     for (i, c) in cases.iter().enumerate() {
         let telemetry = match &c.telemetry {
@@ -325,14 +374,17 @@ fn write_report(
         out.push_str(&format!(
             "    {{\"kind\": \"{}\", \"name\": \"{}\", \"n\": {}, \
              \"scalar_secs\": {:.6}, \"parallel_secs\": {:.6}, \
-             \"speedup\": {:.3}, \"checksum\": \"{:#018x}\", \
+             \"simd_secs\": {:.6}, \"parallel_speedup\": {:.3}, \
+             \"simd_speedup\": {:.3}, \"checksum\": \"{:#018x}\", \
              \"bit_identical\": {}{}}}{}\n",
             json_escape(c.kind),
             json_escape(&c.name),
             c.n,
             c.scalar_secs,
             c.parallel_secs,
-            c.speedup(),
+            c.simd_secs,
+            c.parallel_speedup(),
+            c.simd_speedup(),
             c.checksum,
             c.bit_identical,
             telemetry,
@@ -386,8 +438,9 @@ fn main() {
     }
 
     let threads = ExecBackend::parallel().resolved_threads();
+    let simd_isa = apsp_cpu::simd::active_isa();
     println!(
-        "bench_kernels: {} mode, {reps} rep(s), parallel backend uses {threads} thread(s)",
+        "bench_kernels: {} mode, {reps} rep(s), {threads} thread(s), simd isa: {simd_isa}",
         if smoke { "smoke" } else { "full" }
     );
 
@@ -396,17 +449,23 @@ fn main() {
     } else {
         &[96, 256, 448]
     };
-    let ooc_n = if smoke { 96 } else { 160 };
+    // Full-mode OOC shape: big enough that tile kernels dominate the
+    // wall clock. At n=160 the fixed driver overhead (staging, sim
+    // bookkeeping) was ~2/3 of each run, pinning backend ratios to
+    // 1.0 +- timer noise; at n=320 the cubic kernel work decides them.
+    let ooc_n = if smoke { 96 } else { 320 };
 
     let mut cases = Vec::new();
     for &n in minplus_shapes {
         let c = bench_minplus(n, reps);
         println!(
-            "  {:<16} scalar {:>9.4}s  parallel {:>9.4}s  speedup {:>5.2}x  {}",
+            "  {:<16} scalar {:>9.4}s  parallel {:>9.4}s ({:>5.2}x)  simd {:>9.4}s ({:>5.2}x)  {}",
             c.name,
             c.scalar_secs,
             c.parallel_secs,
-            c.speedup(),
+            c.parallel_speedup(),
+            c.simd_secs,
+            c.simd_speedup(),
             if c.bit_identical { "exact" } else { "MISMATCH" }
         );
         cases.push(c);
@@ -423,16 +482,18 @@ fn main() {
                 &graph,
                 algorithm,
                 disk,
-                reps.min(2),
+                reps,
                 calibration_dir.as_deref(),
                 sdc_guard,
             );
             println!(
-                "  {:<16} scalar {:>9.4}s  parallel {:>9.4}s  speedup {:>5.2}x  {}",
+                "  {:<16} scalar {:>9.4}s  parallel {:>9.4}s ({:>5.2}x)  simd {:>9.4}s ({:>5.2}x)  {}",
                 c.name,
                 c.scalar_secs,
                 c.parallel_secs,
-                c.speedup(),
+                c.parallel_speedup(),
+                c.simd_secs,
+                c.simd_speedup(),
                 if c.bit_identical { "exact" } else { "MISMATCH" }
             );
             cases.push(c);
@@ -477,6 +538,7 @@ fn main() {
                     ExecBackend::parallel(),
                     None,
                     mode,
+                    false,
                 );
                 best = best.min(s);
             }
@@ -497,21 +559,50 @@ fn main() {
              (budget {budget:.4}s)"
         );
 
-        // CI gate: the medium min-plus shape is the contract the branchless
-        // backend must honour on a multi-core runner.
-        let medium = &cases[1];
-        if medium.speedup() < 1.5 {
+        // CI gate: the largest smoke min-plus shape is the contract the
+        // parallel backend must honour on a multi-core runner — it is
+        // the smallest shape whose work clears the inline-dispatch
+        // floor, so threads genuinely engage (the smaller shapes run
+        // inline by design and pin near 1.0x).
+        // Re-time the gate shape with elevated reps: the gate compares
+        // two ~5 ms measurements, and on noisy (virtualized) runners a
+        // single unlucky rep can swing the ratio by 2-3x. Best-of-9
+        // keeps the gate about the kernels, not the scheduler.
+        let gate_shape = *minplus_shapes.last().expect("no minplus shapes");
+        let gate_case = bench_minplus(gate_shape, reps.max(9));
+        if gate_case.parallel_speedup() < 1.5 {
             eprintln!(
                 "FAIL: {} parallel speedup {:.2}x < 1.5x gate",
-                medium.name,
-                medium.speedup()
+                gate_case.name,
+                gate_case.parallel_speedup()
             );
             std::process::exit(1);
         }
         println!(
-            "smoke gate passed: {} at {:.2}x (>= 1.5x)",
-            medium.name,
-            medium.speedup()
+            "smoke gate passed: {} parallel at {:.2}x (>= 1.5x)",
+            gate_case.name,
+            gate_case.parallel_speedup()
         );
+        // CI gate: the register-tiled micro-kernel's floor on the same
+        // shape. Only enforceable when an accelerated ISA is actually
+        // running — the portable fallback (non-x86 or
+        // --no-default-features builds) has no vector floor to promise.
+        if simd_isa != "portable" {
+            if gate_case.simd_speedup() < 3.0 {
+                eprintln!(
+                    "FAIL: {} simd speedup {:.2}x < 3.0x gate (isa {simd_isa})",
+                    gate_case.name,
+                    gate_case.simd_speedup()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "smoke gate passed: {} simd at {:.2}x (>= 3.0x, isa {simd_isa})",
+                gate_case.name,
+                gate_case.simd_speedup()
+            );
+        } else {
+            println!("smoke gate skipped: simd micro-kernel running portable fallback");
+        }
     }
 }

@@ -155,15 +155,20 @@ pub fn apsp(
         }),
         None => None,
     };
-    // Calibration: open (or initialize) the profile's persisted store.
-    // A *corrupt* store must never fail or perturb the run — the
-    // selector falls back to the seed constants and the next commit
-    // rewrites the file; I/O errors (permissions, missing parent FS)
-    // still surface.
+    // Calibration: open (or initialize) the profile's persisted store,
+    // keyed per execution backend so observations made under one host
+    // kernel never steer another's selections. A *corrupt* store must
+    // never fail or perturb the run — the selector falls back to the
+    // seed constants and the next commit rewrites the file; I/O errors
+    // (permissions, missing parent FS) still surface.
     let mut calib_store = match &opts.calibration_dir {
-        Some(dir) => match CalibrationStore::open(dir, dev.profile()) {
+        Some(dir) => match CalibrationStore::open_for(dir, dev.profile(), opts.exec.name()) {
             Ok(store) => Some(store),
-            Err(ApspError::Corruption { .. }) => Some(CalibrationStore::fresh(dir, dev.profile())),
+            Err(ApspError::Corruption { .. }) => Some(CalibrationStore::fresh_for(
+                dir,
+                dev.profile(),
+                opts.exec.name(),
+            )),
             Err(e) => return Err(e),
         },
         None => None,
@@ -328,6 +333,7 @@ pub fn apsp(
     let supervision_events = sup.events();
     let telemetry = telemetry.build_report(
         algorithm_tag(algorithm),
+        opts.exec.name(),
         sim_seconds,
         &report,
         dev.trace(),

@@ -44,6 +44,10 @@ use std::path::{Path, PathBuf};
 /// Store format version this build writes and understands.
 pub const CALIBRATION_VERSION: u32 = 1;
 
+/// Backend key [`CalibrationStore::open`] / [`CalibrationStore::fresh`]
+/// assume; its store file keeps the legacy unsuffixed name.
+pub const DEFAULT_BACKEND: &str = "parallel";
+
 /// Log-ratio clamp: one observation can move a coefficient by at most
 /// a factor of 1024 in either direction.
 const LN_CLAMP: f64 = 6.931471805599453; // ln(1024)
@@ -254,14 +258,29 @@ pub struct CalibrationStore {
 }
 
 impl CalibrationStore {
-    /// Open (or initialize) the store for `profile` under `dir`.
+    /// Open (or initialize) the store for `profile` under `dir`, keyed
+    /// to the default (`"parallel"`) execution backend. See
+    /// [`CalibrationStore::open_for`].
+    pub fn open<P: AsRef<Path>>(dir: P, profile: &DeviceProfile) -> Result<Self, ApspError> {
+        CalibrationStore::open_for(dir, profile, DEFAULT_BACKEND)
+    }
+
+    /// Open (or initialize) the store for `profile` under `dir`, keyed
+    /// to one host execution `backend` (`"scalar"`, `"parallel"`,
+    /// `"simd"`). Observations made under one backend never steer
+    /// selections made under another — realized timings can shift with
+    /// the host kernel even when the modeled device time does not.
     ///
     /// A missing file is a fresh store with identity corrections; a
     /// present-but-invalid file is [`ApspError::Corruption`] — callers
     /// that want to proceed anyway (the front-end does) should fall
-    /// back to [`CalibrationStore::fresh`].
-    pub fn open<P: AsRef<Path>>(dir: P, profile: &DeviceProfile) -> Result<Self, ApspError> {
-        let mut store = CalibrationStore::fresh(&dir, profile);
+    /// back to [`CalibrationStore::fresh_for`].
+    pub fn open_for<P: AsRef<Path>>(
+        dir: P,
+        profile: &DeviceProfile,
+        backend: &str,
+    ) -> Result<Self, ApspError> {
+        let mut store = CalibrationStore::fresh_for(&dir, profile, backend);
         let bytes = match std::fs::read(&store.path) {
             Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(store),
@@ -276,13 +295,26 @@ impl CalibrationStore {
         Ok(store)
     }
 
-    /// A fresh (identity) store for `profile` under `dir`, ignoring any
-    /// file already there. Nothing touches the disk until
-    /// [`CalibrationStore::commit`].
+    /// A fresh (identity) store for `profile` under `dir` at the
+    /// default backend key; see [`CalibrationStore::fresh_for`].
     pub fn fresh<P: AsRef<Path>>(dir: P, profile: &DeviceProfile) -> Self {
+        CalibrationStore::fresh_for(dir, profile, DEFAULT_BACKEND)
+    }
+
+    /// A fresh (identity) store for `profile` under `dir` keyed to
+    /// `backend`, ignoring any file already there. Nothing touches the
+    /// disk until [`CalibrationStore::commit`]. The default backend
+    /// keeps the legacy unsuffixed file name, so stores persisted
+    /// before backend keying existed keep loading.
+    pub fn fresh_for<P: AsRef<Path>>(dir: P, profile: &DeviceProfile, backend: &str) -> Self {
         let fingerprint = profile_fingerprint(profile);
+        let file = if backend == DEFAULT_BACKEND {
+            format!("profile-{fingerprint:016x}.cal")
+        } else {
+            format!("profile-{fingerprint:016x}-{backend}.cal")
+        };
         CalibrationStore {
-            path: dir.as_ref().join(format!("profile-{fingerprint:016x}.cal")),
+            path: dir.as_ref().join(file),
             fingerprint,
             profile_name: profile.name.clone(),
             runs: 0,

@@ -227,15 +227,17 @@ impl Telemetry {
 
     /// Assemble the final [`RunReport`]. Returns `None` when disabled.
     ///
-    /// `algorithm` is the algorithm that produced the result,
-    /// `sim_seconds` its realized driver time, `report`/`trace` the
-    /// device's profiling snapshot and event log, `events` the
-    /// supervision log, and `retries`/`checkpoint_commits` the driver
-    /// stats.
+    /// `algorithm` is the algorithm that produced the result, `backend`
+    /// the host execution backend it ran under (`"scalar"`,
+    /// `"parallel"`, `"simd"`), `sim_seconds` its realized driver time,
+    /// `report`/`trace` the device's profiling snapshot and event log,
+    /// `events` the supervision log, and `retries`/`checkpoint_commits`
+    /// the driver stats.
     #[allow(clippy::too_many_arguments)]
     pub fn build_report(
         &self,
         algorithm: &str,
+        backend: &str,
         sim_seconds: f64,
         report: &SimReport,
         trace: &[TraceEvent],
@@ -261,6 +263,7 @@ impl Telemetry {
             .count() as u64;
         Some(RunReport {
             algorithm: algorithm.to_string(),
+            backend: backend.to_string(),
             sim_seconds,
             retries,
             checkpoint_commits,
@@ -300,6 +303,9 @@ impl Telemetry {
 pub struct RunReport {
     /// Display name of the algorithm that produced the result.
     pub algorithm: String,
+    /// Host execution backend the run used (`"scalar"`, `"parallel"`,
+    /// `"simd"`).
+    pub backend: String,
     /// Realized simulated seconds of the successful attempt.
     pub sim_seconds: f64,
     /// Transient failures absorbed by the retry policy.
@@ -408,8 +414,9 @@ impl RunReport {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"record\":\"run\",\"algorithm\":\"{}\",\"sim_seconds\":{},\"retries\":{},\"checkpoint_commits\":{},\"fallbacks\":{},\"stalls\":{},\"sdc_detected\":{},\"sdc_recovered_panel\":{},\"sdc_recovered_round\":{},\"phases\":{}{}}}\n",
+            "{{\"record\":\"run\",\"algorithm\":\"{}\",\"backend\":\"{}\",\"sim_seconds\":{},\"retries\":{},\"checkpoint_commits\":{},\"fallbacks\":{},\"stalls\":{},\"sdc_detected\":{},\"sdc_recovered_panel\":{},\"sdc_recovered_round\":{},\"phases\":{}{}}}\n",
             json_escape(&self.algorithm),
+            json_escape(&self.backend),
             secs(self.sim_seconds),
             self.retries,
             self.checkpoint_commits,
@@ -879,7 +886,7 @@ mod tests {
         tel.record_calibration(vec![]);
         tel.set_realized(1.0);
         assert!(tel
-            .build_report("fw", 0.0, &SimReport::default(), &[], &[], 0, 0)
+            .build_report("fw", "parallel", 0.0, &SimReport::default(), &[], &[], 0, 0)
             .is_none());
     }
 
@@ -901,7 +908,7 @@ mod tests {
         let dur = tel.phase_end(&dev, ph, "p1").unwrap();
         assert!(dur > 0.0);
         let report = tel
-            .build_report("fw", dur, &dev.report(), dev.trace(), &[], 0, 0)
+            .build_report("fw", "parallel", dur, &dev.report(), dev.trace(), &[], 0, 0)
             .unwrap();
         assert_eq!(report.spans.len(), 1);
         let span = &report.spans[0];
@@ -928,7 +935,7 @@ mod tests {
         tel.record_calibration(vec![rec("fw", false), rec("boundary", true)]);
         tel.set_realized(3.0);
         let report = tel
-            .build_report("fw", 3.0, &SimReport::default(), &[], &[], 0, 0)
+            .build_report("fw", "parallel", 3.0, &SimReport::default(), &[], &[], 0, 0)
             .unwrap();
         let realized: Vec<Option<f64>> = report.calibration.iter().map(|c| c.realized_s).collect();
         assert_eq!(realized, vec![Some(2.0), Some(2.0), Some(3.0), None]);
@@ -938,7 +945,7 @@ mod tests {
     fn jsonl_is_deterministic_and_marks_empty_timelines() {
         let tel = Telemetry::enabled();
         let report = tel
-            .build_report("fw", 0.0, &SimReport::default(), &[], &[], 0, 0)
+            .build_report("fw", "parallel", 0.0, &SimReport::default(), &[], &[], 0, 0)
             .unwrap();
         let a = report.to_jsonl();
         let b = report.to_jsonl();

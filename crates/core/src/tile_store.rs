@@ -10,7 +10,7 @@
 use crate::error::{CorruptionMark, SdcMark};
 use crate::options::SdcGuardMode;
 use crate::supervisor::Supervisor;
-use apsp_cpu::parallel::{par_bands, ExecBackend, SharedSliceMut};
+use apsp_cpu::parallel::{par_bands_weighted, ExecBackend, SharedSliceMut};
 use apsp_graph::{Dist, INF};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -910,7 +910,7 @@ impl TileStore {
                 let row_start = row_range.start;
                 let col_start = col_range.start;
                 let shared = SharedSliceMut::new(buf.as_mut_slice());
-                par_bands(rows, threads, STORE_MIN_ROWS_PER_BAND, |band| {
+                par_bands_weighted(rows, threads, STORE_MIN_ROWS_PER_BAND, width, |band| {
                     // SAFETY: bands write disjoint row ranges of the backing.
                     let buf = unsafe { shared.slice() };
                     for r in band {
@@ -965,7 +965,7 @@ impl TileStore {
                 let col_start = col_range.start;
                 let threads = self.exec.resolved_threads();
                 let shared = SharedSliceMut::new(out.as_mut_slice());
-                par_bands(rows, threads, STORE_MIN_ROWS_PER_BAND, |band| {
+                par_bands_weighted(rows, threads, STORE_MIN_ROWS_PER_BAND, width, |band| {
                     // SAFETY: bands write disjoint row ranges of `out`.
                     let out = unsafe { shared.slice() };
                     for r in band {
@@ -1169,7 +1169,7 @@ impl TileStore {
                 let num_panels = n.div_ceil(panel_rows);
                 let mut out = vec![0u64; num_panels];
                 let shared = SharedSliceMut::new(&mut out);
-                par_bands(num_panels, threads, 1, |band| {
+                par_bands_weighted(num_panels, threads, 1, panel_rows * n, |band| {
                     // SAFETY: each band writes a disjoint range of `out`.
                     let out = unsafe { shared.slice() };
                     for p in band {

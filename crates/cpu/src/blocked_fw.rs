@@ -3,7 +3,7 @@
 
 use crate::dense::DistMatrix;
 use crate::parallel::{
-    branchless_add, par_bands, relax_row_branchless, ExecBackend, SharedSliceMut,
+    branchless_add, par_bands_weighted, relax_row_branchless, ExecBackend, SharedSliceMut,
 };
 use apsp_graph::{dist_add, Dist};
 use rayon::prelude::*;
@@ -111,7 +111,8 @@ pub fn blocked_floyd_warshall_exec(m: &mut DistMatrix, block: usize, exec: ExecB
         crate::parallel::floyd_warshall_exec(m, exec);
         return;
     }
-    let threads = exec.resolved_threads();
+    let backend = exec.resolve();
+    let threads = backend.threads();
     let extent = |b_idx: usize| -> (usize, usize) {
         let start = b_idx * block;
         (start, (start + block).min(n) - start)
@@ -166,7 +167,7 @@ pub fn blocked_floyd_warshall_exec(m: &mut DistMatrix, block: usize, exec: ExecB
             }
         } else {
             let shared = SharedSliceMut::new(m.as_mut_slice());
-            par_bands(num_b, threads, 1, |band| {
+            par_bands_weighted(num_b, threads, 1, 2 * kl * kl * block, |band| {
                 for ib in band {
                     if ib == kb {
                         continue;
@@ -225,7 +226,9 @@ pub fn blocked_floyd_warshall_exec(m: &mut DistMatrix, block: usize, exec: ExecB
                 });
         } else {
             let shared = SharedSliceMut::new(m.as_mut_slice());
-            par_bands(num_b, threads, 1, |band| {
+            let backend = &*backend;
+            let work = num_b.saturating_sub(1) * block * kl * block;
+            par_bands_weighted(num_b, threads, 1, work, |band| {
                 for ib in band {
                     if ib == kb {
                         continue;
@@ -233,7 +236,8 @@ pub fn blocked_floyd_warshall_exec(m: &mut DistMatrix, block: usize, exec: ExecB
                     let (is, il) = extent(ib);
                     // SAFETY: as in the scalar stage 3 — distinct ib bands
                     // write disjoint row ranges, shared reads are to the
-                    // pivot panels stage 3 never writes.
+                    // pivot panels stage 3 never writes (C tile disjoint
+                    // from A and B because ib != kb and jb != kb).
                     let data = unsafe { shared.slice() };
                     for jb in 0..num_b {
                         if jb == kb {
@@ -241,7 +245,9 @@ pub fn blocked_floyd_warshall_exec(m: &mut DistMatrix, block: usize, exec: ExecB
                         }
                         let (js, jl) = extent(jb);
                         let (a_base, b_base, c_base) = (is * n + ks, ks * n + js, is * n + js);
-                        minplus_tile_raw_disjoint(data, n, c_base, a_base, b_base, il, kl, jl);
+                        unsafe {
+                            backend.minplus_tile_raw_st(data, n, c_base, a_base, b_base, il, kl, jl)
+                        };
                     }
                 }
             });
@@ -252,7 +258,7 @@ pub fn blocked_floyd_warshall_exec(m: &mut DistMatrix, block: usize, exec: ExecB
 /// Like [`minplus_tile`] but all three operands live in one row-major
 /// buffer (base offsets + shared stride), with C disjoint from A and B.
 #[allow(clippy::too_many_arguments)]
-fn minplus_tile_raw(
+pub(crate) fn minplus_tile_raw(
     data: &mut [Dist],
     stride: usize,
     c_base: usize,
@@ -317,7 +323,7 @@ fn minplus_tile_raw_branchless(
 /// Callers must guarantee the C tile overlaps neither the A nor the B
 /// tile (stage 3 has `ib != kb` and `jb != kb`, which does exactly that).
 #[allow(clippy::too_many_arguments)]
-fn minplus_tile_raw_disjoint(
+pub(crate) fn minplus_tile_raw_disjoint(
     data: &mut [Dist],
     stride: usize,
     c_base: usize,
@@ -471,16 +477,15 @@ mod tests {
         for block in [7, 16, 53] {
             let mut scalar = DistMatrix::from_graph(&g);
             blocked_floyd_warshall_exec(&mut scalar, block, ExecBackend::Scalar);
-            for threads in [1usize, 3] {
+            for exec in [
+                ExecBackend::Parallel { threads: Some(1) },
+                ExecBackend::Parallel { threads: Some(3) },
+                ExecBackend::Simd { threads: Some(1) },
+                ExecBackend::Simd { threads: Some(3) },
+            ] {
                 let mut fast = DistMatrix::from_graph(&g);
-                blocked_floyd_warshall_exec(
-                    &mut fast,
-                    block,
-                    ExecBackend::Parallel {
-                        threads: Some(threads),
-                    },
-                );
-                assert_eq!(fast, scalar, "block {block}, {threads} threads");
+                blocked_floyd_warshall_exec(&mut fast, block, exec);
+                assert_eq!(fast, scalar, "block {block}, {exec}");
             }
         }
     }

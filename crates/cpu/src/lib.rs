@@ -20,6 +20,7 @@
 //! benchmark harness can report GPU-vs-CPU speedup *shapes* at paper
 //! scale; see DESIGN.md for the calibration rationale.
 
+pub mod backend;
 pub mod bellman_ford;
 pub mod bgl_plus;
 pub mod blocked_fw;
@@ -29,7 +30,9 @@ pub mod dense;
 pub mod dijkstra;
 pub mod johnson_reweight;
 pub mod parallel;
+pub mod simd;
 
+pub use backend::{MinPlusBackend, ParallelBackend, ScalarBackend, SimdBackend};
 pub use bgl_plus::bgl_plus_apsp;
 pub use blocked_fw::{blocked_floyd_warshall, blocked_floyd_warshall_exec};
 pub use dense::DistMatrix;

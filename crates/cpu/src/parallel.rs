@@ -45,6 +45,12 @@ pub enum ExecBackend {
         /// Worker thread count; `None` auto-detects.
         threads: Option<usize>,
     },
+    /// Band-parallel register-tiled SIMD micro-kernels
+    /// ([`crate::simd`]); threads resolve like `Parallel`.
+    Simd {
+        /// Worker thread count; `None` auto-detects.
+        threads: Option<usize>,
+    },
 }
 
 impl Default for ExecBackend {
@@ -59,6 +65,8 @@ impl std::fmt::Display for ExecBackend {
             ExecBackend::Scalar => f.write_str("scalar"),
             ExecBackend::Parallel { threads: None } => f.write_str("parallel"),
             ExecBackend::Parallel { threads: Some(t) } => write!(f, "parallel({t})"),
+            ExecBackend::Simd { threads: None } => f.write_str("simd"),
+            ExecBackend::Simd { threads: Some(t) } => write!(f, "simd({t})"),
         }
     }
 }
@@ -74,23 +82,59 @@ impl ExecBackend {
         ExecBackend::Parallel { threads: None }
     }
 
+    /// The SIMD backend with auto-detected thread count.
+    pub fn simd() -> Self {
+        ExecBackend::Simd { threads: None }
+    }
+
     /// Whether this is the scalar reference backend.
     pub fn is_scalar(&self) -> bool {
         matches!(self, ExecBackend::Scalar)
+    }
+
+    /// Stable short name of the backend this spec resolves to, as used
+    /// by telemetry run records, calibration store keys, and bench
+    /// columns.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecBackend::Scalar => "scalar",
+            ExecBackend::Parallel { .. } => "parallel",
+            ExecBackend::Simd { .. } => "simd",
+        }
     }
 
     /// Worker threads this backend will use (1 for `Scalar`).
     pub fn resolved_threads(&self) -> usize {
         match self {
             ExecBackend::Scalar => 1,
-            ExecBackend::Parallel { threads: Some(t) } => (*t).max(1),
-            ExecBackend::Parallel { threads: None } => env_threads().unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            }),
+            ExecBackend::Parallel { threads: Some(t) } | ExecBackend::Simd { threads: Some(t) } => {
+                (*t).max(1)
+            }
+            ExecBackend::Parallel { threads: None } | ExecBackend::Simd { threads: None } => {
+                default_threads()
+            }
         }
     }
+}
+
+/// Default worker-thread count, resolved once per process.
+///
+/// `available_parallelism` is not a cheap call: under cgroup CPU quotas
+/// it walks `/sys/fs/cgroup` on every invocation, which costs tens of
+/// microseconds — enough to dominate per-tile dispatch when a driver
+/// re-resolves `threads: None` for every staged tile (measured as a 2-3x
+/// wall-clock regression on the out-of-core benches). The count cannot
+/// change mid-process in any supported configuration, so cache it.
+fn default_threads() -> usize {
+    use std::sync::OnceLock;
+    static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+    *DEFAULT_THREADS.get_or_init(|| {
+        env_threads().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+    })
 }
 
 /// `RAYON_NUM_THREADS`, when set to a positive integer.
@@ -156,6 +200,39 @@ where
     });
 }
 
+/// Minimum elementary operations a dispatch must carry before spawning
+/// threads is worth the scoped-spawn overhead (there is no persistent
+/// pool — the vendored rayon shim is sequential, so every parallel
+/// dispatch pays thread creation, typically a few hundred µs on a
+/// loaded small-core box). Below this, [`par_bands_weighted`] runs the
+/// whole range inline: on small shapes the spawn cost had been *losing*
+/// to scalar (fw-disk 0.985×, johnson-memory 0.935× in the PR 4 bench;
+/// far worse once spawns actually fire), and an inline fallback
+/// restores those to ≥1.0× while leaving large shapes untouched. 2²¹
+/// u32 relaxations ≈ 1–2 ms of inner-loop time — the break-even point
+/// against one scoped spawn, measured on the bench host.
+pub const MIN_WORK_PER_DISPATCH: usize = 1 << 21;
+
+/// [`par_bands`] with a work-aware band floor: `work_per_item` is the
+/// approximate elementary-operation cost of one item, and the effective
+/// minimum band size is raised so each spawned thread carries at least
+/// [`MIN_WORK_PER_DISPATCH`] operations. Dispatches too small to
+/// amortize a spawn therefore run inline — same partition semantics,
+/// bit-identical results (banding never reorders the per-row
+/// reductions).
+pub fn par_bands_weighted<F>(
+    items: usize,
+    threads: usize,
+    min_per_band: usize,
+    work_per_item: usize,
+    f: F,
+) where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let floor = min_per_band.max(MIN_WORK_PER_DISPATCH.div_ceil(work_per_item.max(1)));
+    par_bands(items, threads, floor, f);
+}
+
 /// A `Send + Sync` wrapper around a raw mutable slice, for band-parallel
 /// writers whose disjointness the call site proves.
 #[derive(Clone, Copy)]
@@ -198,7 +275,7 @@ impl<T> SharedSliceMut<T> {
 /// (the scalar variant tolerates blocked-FW in-place aliasing; this one
 /// is for the disjoint stage-3 / product shapes).
 #[allow(clippy::too_many_arguments)]
-fn minplus_rows_branchless(
+pub(crate) fn minplus_rows_branchless(
     c: &mut [Dist],
     c_stride: usize,
     a: &[Dist],
@@ -226,9 +303,13 @@ fn minplus_rows_branchless(
 
 /// [`crate::blocked_fw::minplus_tile`] under an execution backend.
 /// Scalar delegates to the reference loops (including their in-place
-/// aliasing tolerance); Parallel requires `c` disjoint from `a` and `b`
-/// and splits output rows into bands. Bit-identical to scalar for
-/// disjoint operands.
+/// aliasing tolerance); Parallel and Simd require `c` disjoint from `a`
+/// and `b` and split output rows into bands. Bit-identical to scalar
+/// for disjoint operands.
+///
+/// Compatibility wrapper over
+/// [`MinPlusBackend::minplus_tile`](crate::backend::MinPlusBackend::minplus_tile);
+/// hot callers resolve once and hold the `&dyn` backend instead.
 #[allow(clippy::too_many_arguments)]
 pub fn minplus_tile_exec(
     c: &mut [Dist],
@@ -242,22 +323,8 @@ pub fn minplus_tile_exec(
     cols: usize,
     exec: ExecBackend,
 ) {
-    if exec.is_scalar() {
-        crate::blocked_fw::minplus_tile(c, c_stride, a, a_stride, b, b_stride, rows, inner, cols);
-        return;
-    }
-    let threads = exec.resolved_threads();
-    if threads <= 1 {
-        minplus_rows_branchless(c, c_stride, a, a_stride, b, b_stride, 0..rows, inner, cols);
-        return;
-    }
-    let shared = SharedSliceMut::new(c);
-    par_bands(rows, threads, MIN_ROWS_PER_BAND, |band| {
-        // SAFETY: bands partition the row range; row `i` of C is written
-        // only by the band owning `i`, and A/B are read-only.
-        let c = unsafe { shared.slice() };
-        minplus_rows_branchless(c, c_stride, a, a_stride, b, b_stride, band, inner, cols);
-    });
+    exec.resolve()
+        .minplus_tile(c, c_stride, a, a_stride, b, b_stride, rows, inner, cols);
 }
 
 /// [`crate::blocked_fw::floyd_warshall`] under an execution backend.
@@ -267,16 +334,21 @@ pub fn minplus_tile_exec(
 /// `i == k` update is skipped as a no-op), so every band reads the same
 /// pivot row the scalar loop reads, and each band writes only its own
 /// rows — the result is bit-identical to scalar.
+///
+/// Compatibility wrapper over
+/// [`MinPlusBackend::floyd_warshall`](crate::backend::MinPlusBackend::floyd_warshall).
 pub fn floyd_warshall_exec(m: &mut DistMatrix, exec: ExecBackend) {
-    if exec.is_scalar() {
-        crate::blocked_fw::floyd_warshall(m);
-        return;
-    }
+    exec.resolve().floyd_warshall(m);
+}
+
+/// The band-parallel FW sweep shared by the Parallel and Simd backends
+/// (FW's pivot round is a rank-1 update — no `k` loop to register-tile,
+/// so the branchless banded sweep is the kernel for both).
+pub(crate) fn floyd_warshall_banded(m: &mut DistMatrix, threads: usize) {
     let n = m.n();
     if n == 0 {
         return;
     }
-    let threads = exec.resolved_threads();
     let data = m.as_mut_slice();
     // Per-round snapshot of the pivot row. Row k is invariant during
     // round k, so the snapshot equals the live row; copying it once
@@ -286,7 +358,7 @@ pub fn floyd_warshall_exec(m: &mut DistMatrix, exec: ExecBackend) {
         pivot.copy_from_slice(&data[k * n..(k + 1) * n]);
         let shared = SharedSliceMut::new(data);
         let pivot_ref = &pivot;
-        par_bands(n, threads, MIN_ROWS_PER_BAND, |band| {
+        par_bands_weighted(n, threads, MIN_ROWS_PER_BAND, n, |band| {
             // SAFETY: bands own disjoint row ranges and row k is only
             // read through the snapshot.
             let data = unsafe { shared.slice() };

@@ -129,6 +129,28 @@ mod tests {
     }
 
     #[test]
+    fn exec_backends_bit_identical_on_device_fw() {
+        // Ragged n so the simd backend exercises both the register tiles
+        // and the scalar-equivalent tails inside stage 3.
+        let g = gnp(FW_TILE + 29, 0.08, WeightRange::default(), 23);
+        let run = |exec: ExecBackend| {
+            let mut d = dev();
+            let s = d.default_stream();
+            let mut m = upload_graph(&d, &g);
+            fw_device_exec(&mut d, s, &mut m, exec);
+            (m.as_slice().to_vec(), d.synchronize().seconds())
+        };
+        let scalar = run(ExecBackend::Scalar);
+        for exec in [
+            ExecBackend::Parallel { threads: Some(2) },
+            ExecBackend::Simd { threads: Some(1) },
+            ExecBackend::Simd { threads: Some(2) },
+        ] {
+            assert_eq!(run(exec), scalar, "{exec}");
+        }
+    }
+
+    #[test]
     fn charged_time_bounded_below_by_flops_and_grows_superquadratically() {
         let time_for = |n: usize| {
             let mut d = dev();

@@ -4,13 +4,13 @@
 //! the paper's Stage 2/3 update and the boundary algorithm's two chained
 //! multiplications. The modeled cost follows the classic shared-memory
 //! tiling [14]: every operand tile is staged through shared memory once
-//! per use, giving DRAM traffic `≈ 4 bytes · (r·i + i·c) · (other/T) +
+//! per use, giving DRAM traffic `≈ 4 bytes · (r·i + i·c) · ⌈other/T⌉ +
 //! 8 bytes · r·c` for tile side `T`.
 
 use crate::matrix::DeviceMatrix;
 use crate::model::{MINPLUS_TILE, THREADS_PER_BLOCK};
 use apsp_cpu::parallel::{
-    minplus_tile_exec, par_bands, relax_row_branchless, ExecBackend, SharedSliceMut,
+    minplus_tile_exec, par_bands_weighted, relax_row_branchless, ExecBackend, SharedSliceMut,
 };
 use apsp_gpu_sim::{GpuDevice, KernelCost, LaunchConfig, StreamId};
 
@@ -20,8 +20,12 @@ pub fn minplus_cost(rows: usize, inner: usize, cols: usize) -> KernelCost {
     let flops = r * i * c;
     let t = MINPLUS_TILE as f64;
     // A tiles reloaded once per column-tile of C; B tiles once per
-    // row-tile of C; C read+written once.
-    let bytes = 4.0 * (r * i * (c / t).max(1.0) + i * c * (r / t).max(1.0)) + 8.0 * r * c;
+    // row-tile of C; C read+written once. Tile counts are whole tiles:
+    // a 1.5-tile extent still stages two tiles, hence the ceil before
+    // the ≥1 floor (plain `(x/t).max(1.0)` under-charged every extent
+    // that isn't a multiple of T).
+    let bytes =
+        4.0 * (r * i * (c / t).ceil().max(1.0) + i * c * (r / t).ceil().max(1.0)) + 8.0 * r * c;
     KernelCost::regular(flops, bytes)
 }
 
@@ -223,10 +227,11 @@ fn inplace_update(
     } else {
         // Each row depends only on itself and the read-only pivot:
         // band-parallel over rows, with the scalar `j == k` skip kept by
-        // splitting the relaxation around column k.
+        // splitting the relaxation around column k. Weighted banding so
+        // small updates stay inline instead of paying thread spawns.
         let threads = exec.resolved_threads();
         let shared = SharedSliceMut::new(c);
-        par_bands(rows, threads, 4, |band| {
+        par_bands_weighted(rows, threads, 4, cols * cols, |band| {
             // SAFETY: bands own disjoint rows; `p` is a separate buffer.
             let c = unsafe { shared.slice() };
             for i in band {
@@ -408,6 +413,8 @@ mod tests {
         let backends = [
             ExecBackend::Parallel { threads: Some(1) },
             ExecBackend::Parallel { threads: Some(3) },
+            ExecBackend::Simd { threads: Some(1) },
+            ExecBackend::Simd { threads: Some(3) },
         ];
         let (rows, inner, cols) = (19usize, 23usize, 17usize);
         // Three-operand kernel.

@@ -13,7 +13,7 @@ use crate::model::{
     BYTES_PER_RELAXATION, FRONTIER_IRREGULARITY, OPS_PER_RELAXATION, THREADS_PER_BLOCK,
 };
 use crate::nearfar::{near_far_sssp, NearFarStats};
-use apsp_cpu::parallel::{par_bands, ExecBackend, SharedSliceMut};
+use apsp_cpu::parallel::{par_bands_weighted, ExecBackend, SharedSliceMut};
 use apsp_gpu_sim::{GpuDevice, KernelCost, LaunchConfig, StreamId};
 use apsp_graph::{CsrGraph, Dist, VertexId};
 
@@ -144,28 +144,42 @@ fn mssp_kernel_impl(
                 .as_deref_mut()
                 .map(|p| SharedSliceMut::new(p.as_mut_slice()));
             let stats_shared = SharedSliceMut::new(&mut per_source);
-            par_bands(bat, threads, 1, |band| {
+            // One SSSP traverses ~n + m elements; weight bands by that so
+            // tiny batches on tiny graphs run inline (no thread spawns).
+            // Do not be tempted to scale this up to reflect the higher
+            // per-element cost of bucket-queue traversal: threading
+            // Near-Far instances was measured slower than inline on the
+            // bench host even at multi-millisecond bands (irregular
+            // access patterns contend for shared cache), so the floor
+            // errs toward inline on purpose.
+            let work_per_source = n + g.num_edges();
+            par_bands_weighted(bat, threads, 1, work_per_source, |band| {
                 // SAFETY: bands own disjoint source indices, hence
                 // disjoint output rows and stats slots.
                 let out = unsafe { out_shared.slice() };
                 let per = unsafe { stats_shared.slice() };
+                // One scratch per band: the reference backend allocates
+                // per source, the optimized backends amortize the six
+                // working buffers across the whole band (identical
+                // traversal, bit-identical distances — see
+                // [`crate::nearfar::NearFarScratch`]).
+                let mut scratch = crate::nearfar::NearFarScratch::new(n);
+                let track_parents = parents_shared.is_some();
                 for i in band {
                     let src = sources[i];
+                    let s = crate::nearfar::near_far_sssp_scratch(
+                        g,
+                        src,
+                        opts.delta,
+                        heavy_threshold,
+                        &mut scratch,
+                        track_parents,
+                    );
+                    per[i] = s;
+                    out[i * n..(i + 1) * n].copy_from_slice(scratch.dist());
                     if let Some(ps) = parents_shared {
                         let pm = unsafe { ps.slice() };
-                        let (dist, par, s) = crate::nearfar::near_far_sssp_with_parents(
-                            g,
-                            src,
-                            opts.delta,
-                            heavy_threshold,
-                        );
-                        per[i] = s;
-                        out[i * n..(i + 1) * n].copy_from_slice(&dist);
-                        pm[i * n..(i + 1) * n].copy_from_slice(&par);
-                    } else {
-                        let (dist, s) = near_far_sssp(g, src, opts.delta, heavy_threshold);
-                        per[i] = s;
-                        out[i * n..(i + 1) * n].copy_from_slice(&dist);
+                        pm[i * n..(i + 1) * n].copy_from_slice(scratch.parents());
                     }
                 }
             });
@@ -386,7 +400,11 @@ mod tests {
             let fast = run(ExecBackend::Parallel {
                 threads: Some(threads),
             });
-            assert_eq!(fast, scalar, "{threads} threads");
+            assert_eq!(fast, scalar, "parallel, {threads} threads");
+            let simd = run(ExecBackend::Simd {
+                threads: Some(threads),
+            });
+            assert_eq!(simd, scalar, "simd, {threads} threads");
         }
     }
 

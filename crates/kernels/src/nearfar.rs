@@ -56,8 +56,16 @@ pub fn near_far_sssp(
     delta: Dist,
     heavy_degree_threshold: usize,
 ) -> (Vec<Dist>, NearFarStats) {
-    let (dist, _, stats) = near_far_sssp_impl(g, source, delta, heavy_degree_threshold, false);
-    (dist, stats)
+    let mut scratch = NearFarScratch::new(g.num_vertices());
+    let stats = near_far_core(
+        g,
+        source,
+        delta,
+        heavy_degree_threshold,
+        &mut scratch,
+        false,
+    );
+    (scratch.dist, stats)
 }
 
 /// [`near_far_sssp`] that additionally records the shortest-path tree:
@@ -71,47 +79,138 @@ pub fn near_far_sssp_with_parents(
     delta: Dist,
     heavy_degree_threshold: usize,
 ) -> (Vec<Dist>, Vec<VertexId>, NearFarStats) {
-    let (dist, parents, stats) = near_far_sssp_impl(g, source, delta, heavy_degree_threshold, true);
-    (dist, parents.expect("parents requested"), stats)
+    let mut scratch = NearFarScratch::new(g.num_vertices());
+    let stats = near_far_core(g, source, delta, heavy_degree_threshold, &mut scratch, true);
+    (scratch.dist, scratch.parents, stats)
 }
 
-fn near_far_sssp_impl(
+/// Reusable working state for repeated Near-Far runs over one graph.
+///
+/// A single SSSP instance needs six heap buffers (distances, parents,
+/// three membership-flag arrays, two queues). Allocating them fresh per
+/// source is fine for one-off calls, but a batched MSSP launch runs
+/// hundreds of instances back to back — there the per-source malloc/free
+/// churn is measurable against the ~tens-of-µs traversal itself, so the
+/// optimized backends hold one scratch per worker and reset it between
+/// sources. Resetting writes exactly the values fresh allocation would
+/// (`INF` / `VertexId::MAX` / `false` / empty queues), so a reused run
+/// is bit-identical to a fresh one by construction.
+pub struct NearFarScratch {
+    dist: Vec<Dist>,
+    parents: Vec<VertexId>,
+    heavy_seen: Vec<bool>,
+    in_near: Vec<bool>,
+    in_far: Vec<bool>,
+    near: Vec<VertexId>,
+    far: Vec<VertexId>,
+    frontier: Vec<VertexId>,
+}
+
+impl NearFarScratch {
+    /// Scratch for a graph of `n` vertices.
+    pub fn new(n: usize) -> Self {
+        NearFarScratch {
+            dist: vec![INF; n],
+            parents: vec![VertexId::MAX; n],
+            heavy_seen: vec![false; n],
+            in_near: vec![false; n],
+            in_far: vec![false; n],
+            near: Vec::new(),
+            far: Vec::new(),
+            frontier: Vec::new(),
+        }
+    }
+
+    /// The distance vector of the most recent run.
+    pub fn dist(&self) -> &[Dist] {
+        &self.dist
+    }
+
+    /// The parents vector of the most recent run (all `VertexId::MAX`
+    /// unless that run tracked parents).
+    pub fn parents(&self) -> &[VertexId] {
+        &self.parents
+    }
+
+    /// Reset every buffer to its fresh-allocation state.
+    fn reset(&mut self, track_parents: bool) {
+        self.dist.fill(INF);
+        if track_parents {
+            self.parents.fill(VertexId::MAX);
+        }
+        self.heavy_seen.fill(false);
+        self.in_near.fill(false);
+        self.in_far.fill(false);
+        self.near.clear();
+        self.far.clear();
+        self.frontier.clear();
+    }
+}
+
+/// [`near_far_sssp`] into caller-provided scratch: identical traversal,
+/// identical stats, no per-call allocation. Distances land in
+/// `scratch.dist()` (and predecessors in `scratch.parents()` when
+/// `track_parents` is set).
+pub fn near_far_sssp_scratch(
     g: &CsrGraph,
     source: VertexId,
     delta: Dist,
     heavy_degree_threshold: usize,
+    scratch: &mut NearFarScratch,
     track_parents: bool,
-) -> (Vec<Dist>, Option<Vec<VertexId>>, NearFarStats) {
+) -> NearFarStats {
+    near_far_core(
+        g,
+        source,
+        delta,
+        heavy_degree_threshold,
+        scratch,
+        track_parents,
+    )
+}
+
+fn near_far_core(
+    g: &CsrGraph,
+    source: VertexId,
+    delta: Dist,
+    heavy_degree_threshold: usize,
+    scratch: &mut NearFarScratch,
+    track_parents: bool,
+) -> NearFarStats {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
     assert!(delta >= 1, "delta must be at least 1");
-    let mut dist = vec![INF; n];
-    let mut parents = if track_parents {
-        Some(vec![VertexId::MAX; n])
-    } else {
-        None
-    };
+    assert_eq!(scratch.dist.len(), n, "scratch sized for a different graph");
+    scratch.reset(track_parents);
+    let NearFarScratch {
+        dist,
+        parents,
+        heavy_seen,
+        in_near,
+        in_far,
+        near,
+        far,
+        frontier,
+    } = scratch;
+    let mut parents = track_parents.then_some(parents);
     let mut stats = NearFarStats::default();
     dist[source as usize] = 0;
-    let mut near: Vec<VertexId> = vec![source];
-    let mut far: Vec<VertexId> = Vec::new();
+    near.push(source);
     let mut threshold: Dist = delta;
-    let mut heavy_seen = vec![false; n];
     // Queue-membership flags: the GPU implementation dedups insertions
     // with per-vertex status words (an improved vertex already queued for
     // this pass is not enqueued again); without them every in-degree
     // improvement reprocesses the whole adjacency list and the work count
     // inflates several-fold on high-degree graphs.
-    let mut in_near = vec![false; n];
-    let mut in_far = vec![false; n];
     in_near[source as usize] = true;
 
     loop {
         // Drain the Near queue.
         while !near.is_empty() {
             stats.near_iterations += 1;
-            let frontier = std::mem::take(&mut near);
-            for &v in &frontier {
+            frontier.clear();
+            std::mem::swap(near, frontier);
+            for &v in frontier.iter() {
                 in_near[v as usize] = false;
                 let dv = dist[v as usize];
                 // Stale entries (distance advanced past the threshold by
@@ -160,8 +259,9 @@ fn near_far_sssp_impl(
         // Advance the threshold and split Far.
         stats.far_splits += 1;
         threshold += delta;
-        let pending = std::mem::take(&mut far);
-        for v in pending {
+        frontier.clear();
+        std::mem::swap(far, frontier);
+        for &v in frontier.iter() {
             in_far[v as usize] = false;
             let dv = dist[v as usize];
             if dv < threshold {
@@ -178,7 +278,7 @@ fn near_far_sssp_impl(
             break;
         }
     }
-    (dist, parents, stats)
+    stats
 }
 
 /// Default Δ for a graph: its mean edge weight (the heuristic the Near-Far
