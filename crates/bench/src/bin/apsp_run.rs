@@ -6,7 +6,11 @@
 //! apsp-run serve [serve options]
 //!
 //!   --device v100|k80        device profile          (default v100)
-//!   --memory-mib <n>         override device memory
+//!   --devices <n>            run the sharded multi-device boundary
+//!                            executor across n copies of --device
+//!   --fleet <p1,p2,...>      explicit heterogeneous fleet (e.g.
+//!                            v100,k80); implies the multi-device path
+//!   --memory-mib <n>         override device memory (per device)
 //!   --algorithm fw|johnson|boundary   force an implementation
 //!   --spill <dir>            disk-backed result store
 //!   --checkpoint-dir <dir>   commit crash-safe progress to this directory
@@ -90,6 +94,8 @@ use std::path::PathBuf;
 struct Args {
     path: PathBuf,
     device: String,
+    devices: Option<usize>,
+    fleet: Option<String>,
     memory_mib: Option<u64>,
     algorithm: Option<Algorithm>,
     spill: Option<PathBuf>,
@@ -116,6 +122,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         path: PathBuf::new(),
         device: "v100".into(),
+        devices: None,
+        fleet: None,
         memory_mib: None,
         algorithm: None,
         spill: None,
@@ -142,6 +150,15 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--device" => args.device = it.next().ok_or("--device needs a value")?,
+            "--devices" => {
+                args.devices = Some(
+                    it.next()
+                        .ok_or("--devices needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --devices")?,
+                )
+            }
+            "--fleet" => args.fleet = Some(it.next().ok_or("--fleet needs a value")?),
             "--memory-mib" => {
                 args.memory_mib = Some(
                     it.next()
@@ -279,6 +296,25 @@ fn parse_args() -> Result<Args, String> {
                 .into(),
         );
     }
+    if args.devices == Some(0) {
+        return Err("--devices must be positive".into());
+    }
+    if args.devices.is_some() || args.fleet.is_some() {
+        if !matches!(args.algorithm, None | Some(Algorithm::Boundary)) {
+            return Err("the multi-device path runs the boundary algorithm only".into());
+        }
+        if args.sources.is_some() {
+            return Err("--sources routes through Johnson — it has no multi-device path".into());
+        }
+        if args.calibration_dir.is_some() || args.calibration_report {
+            return Err("selector calibration does not apply to a forced multi-device run".into());
+        }
+        if args.fallback {
+            return Err(
+                "--fallback re-enters the selector, which the multi-device path bypasses".into(),
+            );
+        }
+    }
     Ok(args)
 }
 
@@ -315,7 +351,7 @@ fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
-            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--sdc-guard off|checksum|full] [--error-json] [--backend scalar|parallel|simd] [--threads n] [--sample n] [--trace|--gantt] [--metrics-out path] [--calibration-dir dir] [--calibration-report]");
+            eprintln!("error: {e}\nusage: apsp-run <graph.mtx|graph.gr> [--device v100|k80] [--devices n] [--fleet p1,p2,...] [--memory-mib n] [--algorithm fw|johnson|boundary] [--spill dir] [--checkpoint-dir dir] [--resume] [--scale s] [--deadline-ms n] [--progress-budget-ms n] [--fallback] [--sdc-guard off|checksum|full] [--error-json] [--backend scalar|parallel|simd] [--threads n] [--sample n] [--trace|--gantt] [--metrics-out path] [--calibration-dir dir] [--calibration-report]");
             std::process::exit(2);
         }
     };
@@ -347,6 +383,10 @@ fn main() {
     }
     if let Some(mib) = args.memory_mib {
         profile = profile.with_memory_bytes(mib << 20);
+    }
+    if args.devices.is_some() || args.fleet.is_some() {
+        run_multi(&graph, &profile, &args);
+        return;
     }
     println!(
         "device: {} ({} MiB)",
@@ -511,6 +551,250 @@ fn main() {
     if args.trace {
         println!("\ndevice timeline:");
         print!("{}", apsp_gpu_sim::trace::render_gantt(dev.trace(), 100));
+    }
+}
+
+/// The `--devices`/`--fleet` path: the sharded multi-device boundary
+/// executor over a (possibly heterogeneous) simulated fleet, with the
+/// same checkpoint, supervision, spill, telemetry, sampling, and
+/// verification plumbing as the single-device run.
+fn run_multi(graph: &CsrGraph, base_profile: &DeviceProfile, args: &Args) {
+    use apsp_core::{ooc_boundary_multi_checkpointed_supervised, ooc_boundary_multi_supervised};
+    use apsp_core::{parse_fleet, BoundaryOptions, Checkpoint, Supervisor, TileStore};
+
+    let profiles: Vec<DeviceProfile> = match &args.fleet {
+        Some(spec) => {
+            let fleet = match parse_fleet(spec) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("bad --fleet: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if let Some(d) = args.devices {
+                if d != fleet.len() {
+                    eprintln!(
+                        "--devices {d} contradicts --fleet ({} device(s)); drop one",
+                        fleet.len()
+                    );
+                    std::process::exit(2);
+                }
+            }
+            fleet
+                .into_iter()
+                .map(|mut p| {
+                    if let Some(s) = args.scale {
+                        p = p.scaled_for_reproduction(s);
+                    }
+                    if let Some(mib) = args.memory_mib {
+                        p = p.with_memory_bytes(mib << 20);
+                    }
+                    p
+                })
+                .collect()
+        }
+        // `base_profile` already carries --scale and --memory-mib.
+        None => vec![base_profile.clone(); args.devices.unwrap_or(1)],
+    };
+    for (d, p) in profiles.iter().enumerate() {
+        println!("device {d}: {} ({} MiB)", p.name, p.memory_bytes >> 20);
+    }
+    let mut devs: Vec<GpuDevice> = profiles.iter().map(|p| GpuDevice::new(p.clone())).collect();
+    if args.trace {
+        for dev in &mut devs {
+            dev.enable_trace();
+        }
+    }
+
+    let exec = match args.backend.as_str() {
+        "scalar" => ExecBackend::scalar(),
+        "simd" => ExecBackend::Simd {
+            threads: args.threads,
+        },
+        _ => ExecBackend::Parallel {
+            threads: args.threads,
+        },
+    };
+    let telemetry = if args.metrics_out.is_some() {
+        apsp_core::telemetry::Telemetry::enabled()
+    } else {
+        apsp_core::telemetry::Telemetry::disabled()
+    };
+    let sup = Supervisor::with_telemetry(
+        &SupervisionOptions {
+            deadline_ms: args.deadline_ms,
+            progress_budget_ms: args.progress_budget_ms,
+            ..Default::default()
+        },
+        0.0,
+        telemetry.clone(),
+    );
+    let n = graph.num_vertices();
+    let storage = match &args.spill {
+        Some(dir) => StorageBackend::Disk(dir.clone()),
+        None => StorageBackend::Memory,
+    };
+    let mut store = match TileStore::new(n, &storage) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to open the result store: {e}");
+            std::process::exit(1);
+        }
+    };
+    store.set_exec_backend(exec);
+    store.set_supervision(sup.clone());
+    let opts = BoundaryOptions {
+        exec,
+        sdc_guard: args.sdc_guard,
+        ..Default::default()
+    };
+    if args.sdc_guard.is_on() {
+        println!("sdc guard: {}", args.sdc_guard);
+    }
+
+    let run = match &args.checkpoint_dir {
+        Some(dir) => {
+            println!(
+                "checkpointing to {} ({})",
+                dir.display(),
+                if args.resume {
+                    "resuming if a run is in flight"
+                } else {
+                    "starting fresh"
+                }
+            );
+            let ckpt = match Checkpoint::new(dir, graph) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("failed to open the checkpoint directory: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if !args.resume {
+                if let Err(e) = ckpt.clear() {
+                    eprintln!("failed to clear a stale checkpoint: {e}");
+                    std::process::exit(1);
+                }
+            }
+            ooc_boundary_multi_checkpointed_supervised(
+                &mut devs, graph, &mut store, &opts, &ckpt, &sup,
+            )
+        }
+        None => ooc_boundary_multi_supervised(&mut devs, graph, &mut store, &opts, &sup),
+    };
+    let stats = match run {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("apsp failed: {e}");
+            if args.error_json {
+                println!(
+                    "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+                    e.kind().as_str(),
+                    json_escape(&e.to_string())
+                );
+            }
+            std::process::exit(1);
+        }
+    };
+
+    println!("algorithm: boundary ({} device(s))", stats.num_devices);
+    println!("backend: {exec} ({} thread(s))", exec.resolved_threads());
+    println!(
+        "partition: {} component(s), {} boundary vertices; dist2 placement {:?}, {} dist4 panel(s) stolen",
+        stats.num_components, stats.total_boundary, stats.placement, stats.stolen_panels
+    );
+    println!(
+        "phases: dist2 {:.6} s, dist3 {:.6} s, dist4 {:.6} s",
+        stats.phase_seconds[0], stats.phase_seconds[1], stats.phase_seconds[2]
+    );
+    println!("simulated makespan: {:.6} s", stats.sim_seconds);
+
+    // The fleet-wide profiling snapshot: counters sum across devices,
+    // the makespan and peak memory are maxima.
+    let merged =
+        devs.iter()
+            .map(|d| d.report())
+            .fold(apsp_gpu_sim::SimReport::default(), |mut acc, r| {
+                for (name, k) in &r.kernels {
+                    let e = acc.kernels.entry(name.clone()).or_default();
+                    e.launches += k.launches;
+                    e.seconds += k.seconds;
+                }
+                acc.bytes_h2d += r.bytes_h2d;
+                acc.bytes_d2h += r.bytes_d2h;
+                acc.transfers_h2d += r.transfers_h2d;
+                acc.transfers_d2h += r.transfers_d2h;
+                acc.compute_busy += r.compute_busy;
+                acc.h2d_busy += r.h2d_busy;
+                acc.d2h_busy += r.d2h_busy;
+                acc.elapsed = acc.elapsed.max(r.elapsed);
+                acc.peak_memory = acc.peak_memory.max(r.peak_memory);
+                acc.allocations += r.allocations;
+                acc
+            });
+    println!(
+        "transfers: {:.1} MiB D2H in {} calls, {:.1} MiB H2D in {} calls; peak device memory {:.1} MiB",
+        merged.bytes_d2h as f64 / (1 << 20) as f64,
+        merged.transfers_d2h,
+        merged.bytes_h2d as f64 / (1 << 20) as f64,
+        merged.transfers_h2d,
+        merged.peak_memory as f64 / (1 << 20) as f64,
+    );
+
+    let mut state = 0x5EEDu64;
+    for _ in 0..args.sample {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let i = (state as usize) % n;
+        let j = (state >> 32) as usize % n;
+        match store.get(i, j) {
+            Ok(d) if d < apsp_graph::INF => println!("dist({i}, {j}) = {d}"),
+            Ok(_) => println!("dist({i}, {j}) = unreachable"),
+            Err(e) => println!("dist({i}, {j}) read failed: {e}"),
+        }
+    }
+    if args.verify > 0 {
+        match apsp_core::verify::verify_rows(graph, &store, args.verify, 0xC0FFEE) {
+            Ok(v) if v.is_verified() => println!("verification: {v:?}"),
+            Ok(v) => {
+                eprintln!("VERIFICATION FAILED: {v:?}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("verification read error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        let report = telemetry
+            .build_report(
+                "boundary",
+                exec.name(),
+                stats.sim_seconds,
+                &merged,
+                &[],
+                &sup.events(),
+                stats.retries as u64,
+                stats.checkpoint_commits as u64,
+            )
+            .expect("telemetry was enabled for --metrics-out");
+        if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "metrics: {} record(s) written to {}",
+            report.to_jsonl().lines().count(),
+            path.display()
+        );
+    }
+    if args.trace {
+        for (d, dev) in devs.iter().enumerate() {
+            println!("\ndevice {d} timeline:");
+            print!("{}", apsp_gpu_sim::trace::render_gantt(dev.trace(), 100));
+        }
     }
 }
 

@@ -21,6 +21,11 @@
 //!   algorithm killed at a seed-chosen store operation and resumed in a
 //!   fresh device/store must reproduce the uninterrupted run's matrix
 //!   bit-for-bit;
+//! * [`multi`] — the fleet differential: the sharded multi-device
+//!   executor across device counts, V100/K80 mixes, and storage
+//!   backends must reproduce the single-device oracle bit-for-bit, stay
+//!   makespan-monotone as devices are added, and survive kill–resume
+//!   across *different* fleet shapes;
 //! * [`calibration`] — the selector-calibration replay: the same graph
 //!   run repeatedly against a persisted per-profile calibration store,
 //!   asserting the selector's prediction error converges onto the
@@ -51,6 +56,7 @@ pub mod calibration;
 pub mod corpus;
 pub mod crash;
 pub mod fault;
+pub mod multi;
 pub mod runner;
 pub mod sdc;
 pub mod service;
@@ -60,6 +66,10 @@ pub use calibration::{replay, ReplayReport, ReplayRound};
 pub use corpus::{Case, Corpus, Family};
 pub use crash::{run_kill_resume, CrashCellOptions, CrashReport};
 pub use fault::{run_under_faults, Fault, FaultPlan, FaultRunOutcome};
+pub use multi::{
+    makespan_curve, run_multi_cell, run_multi_kill_resume, single_device_oracle, MultiCellReport,
+    StoreKind,
+};
 pub use runner::{all_variants, run_case, CaseReport, Divergence, RunnerConfig, Variant};
 pub use sdc::{run_under_bit_flip, FlipSite, SdcOutcome, SdcVerdict};
 pub use service::{

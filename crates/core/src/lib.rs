@@ -48,6 +48,11 @@ pub use calibration::{
 };
 pub use checkpoint::{graph_fingerprint, Checkpoint, Manifest, Progress};
 pub use error::{ApspError, ApspErrorKind};
+pub use multi_gpu::{
+    ooc_boundary_multi, ooc_boundary_multi_checkpointed,
+    ooc_boundary_multi_checkpointed_supervised, ooc_boundary_multi_supervised, parse_fleet,
+    MultiGpuStats,
+};
 pub use options::{
     Algorithm, ApspOptions, BoundaryOptions, CheckpointOptions, JohnsonOptions, SdcGuardMode,
 };

@@ -27,6 +27,7 @@
 mod boundary_model;
 mod fw_model;
 mod johnson_model;
+pub mod placement;
 
 pub use boundary_model::BoundaryModel;
 pub use fw_model::FwModel;

@@ -1,0 +1,236 @@
+//! Fleet scheduling: the selector extended from "which algorithm" to
+//! "which (algorithm, shard) pair runs on which device".
+//!
+//! The multi-device boundary executor (`core::multi_gpu`) partitions the
+//! graph into `k` components and must place each component's work on one
+//! of several — possibly heterogeneous — simulated devices. Two phases
+//! need placement decisions:
+//!
+//! * **dist₂** (per-component Floyd-Warshall): placed once up front by
+//!   longest-processing-time (LPT) greedy scheduling over the component
+//!   cost model, normalized by each profile's compute throughput.
+//! * **dist₄** (per-component row-panel multiplies): re-planned at the
+//!   phase boundary with each device's *actual* elapsed time as its
+//!   initial load — the deterministic equivalent of tile-panel work
+//!   stealing. A device that finished dist₂ early starts dist₄ with a
+//!   smaller load and therefore "steals" panels a slower device would
+//!   otherwise own.
+//!
+//! Every decision is a pure function of the layout and the profiles, so
+//! a run is exactly reproducible — and because the panel math itself is
+//! device-independent, any placement yields bit-identical output.
+
+use apsp_gpu_sim::DeviceProfile;
+use apsp_partition::PartitionLayout;
+
+/// Operation-count cost model for one partition layout: how much work
+/// each component contributes to the dist₂ and dist₄ phases. Units are
+/// abstract "ops" — only ratios matter, the scheduler divides by each
+/// device's throughput.
+#[derive(Debug, Clone)]
+pub struct ShardCosts {
+    /// Per-component dist₂ cost: `sz³` (blocked FW on the diagonal
+    /// block).
+    pub dist2_ops: Vec<f64>,
+    /// Per-component dist₄ cost: the two chained min-plus products
+    /// summed over all `k` column blocks,
+    /// `sz_i · nb_i · NB + sz_i · Σ_j nb_j · sz_j`.
+    pub dist4_ops: Vec<f64>,
+}
+
+impl ShardCosts {
+    /// Cost model for `layout`.
+    pub fn of(layout: &PartitionLayout) -> ShardCosts {
+        let k = layout.num_components();
+        let nb_total = layout.total_boundary() as f64;
+        let cross: f64 = (0..k)
+            .map(|j| (layout.boundary_count(j) * layout.component_size(j)) as f64)
+            .sum();
+        let mut dist2_ops = Vec::with_capacity(k);
+        let mut dist4_ops = Vec::with_capacity(k);
+        for i in 0..k {
+            let sz = layout.component_size(i) as f64;
+            let nb = layout.boundary_count(i) as f64;
+            dist2_ops.push(sz * sz * sz);
+            dist4_ops.push(sz * nb * nb_total + sz * cross);
+        }
+        ShardCosts {
+            dist2_ops,
+            dist4_ops,
+        }
+    }
+}
+
+/// A device's relative speed for placement purposes: its peak compute
+/// throughput. (All boundary-phase kernels are compute-shaped; transfer
+/// terms are near-uniform across the fleet and cancel out of the
+/// ranking.)
+pub fn device_speed(profile: &DeviceProfile) -> f64 {
+    profile.compute_ops_per_sec
+}
+
+/// Deterministic LPT greedy list scheduling: tasks in descending cost
+/// order (ties by lower index) are each assigned to the device with the
+/// earliest finish time `load_d + cost / speed_d` (ties by lower device
+/// index). `initial_load` seeds each device's clock — zeros for an
+/// up-front placement, actual elapsed seconds for a phase-boundary
+/// re-plan. Returns the owner of every task.
+pub fn place_lpt(costs: &[f64], speeds: &[f64], initial_load: &[f64]) -> Vec<usize> {
+    assert!(!speeds.is_empty(), "placement needs at least one device");
+    assert_eq!(speeds.len(), initial_load.len());
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut load = initial_load.to_vec();
+    let mut owner = vec![0usize; costs.len()];
+    for t in order {
+        let mut best = 0usize;
+        let mut best_finish = f64::INFINITY;
+        for (d, (&l, &s)) in load.iter().zip(speeds.iter()).enumerate() {
+            let finish = l + costs[t] / s.max(f64::MIN_POSITIVE);
+            if finish < best_finish {
+                best_finish = finish;
+                best = d;
+            }
+        }
+        owner[t] = best;
+        load[best] += costs[t] / speeds[best].max(f64::MIN_POSITIVE);
+    }
+    owner
+}
+
+/// The device that should solve the serial dist₃ phase: the fastest
+/// profile in the fleet (ties by lower index), since the boundary-graph
+/// FW cannot be sharded and every other device waits on it.
+pub fn dist3_solver(profiles: &[&DeviceProfile]) -> usize {
+    let mut best = 0usize;
+    for (d, p) in profiles.iter().enumerate() {
+        if device_speed(p) > device_speed(profiles[best]) {
+            best = d;
+        }
+    }
+    best
+}
+
+/// The up-front fleet plan for one multi-device boundary run: dist₂
+/// ownership from the cost model and the dist₃ solver. (The dist₄ plan
+/// is made later, at the phase boundary, from realized loads — see
+/// [`place_lpt`].)
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    /// Component → device for the dist₂ phase.
+    pub dist2_owner: Vec<usize>,
+    /// Device index that solves dist₃.
+    pub dist3_solver: usize,
+    /// The cost model the plan was made from, kept for the dist₄
+    /// re-plan.
+    pub costs: ShardCosts,
+}
+
+impl FleetPlan {
+    /// Plan `layout`'s components across `profiles`.
+    pub fn new(layout: &PartitionLayout, profiles: &[&DeviceProfile]) -> FleetPlan {
+        let costs = ShardCosts::of(layout);
+        let speeds: Vec<f64> = profiles.iter().map(|p| device_speed(p)).collect();
+        let zeros = vec![0.0; speeds.len()];
+        FleetPlan {
+            dist2_owner: place_lpt(&costs.dist2_ops, &speeds, &zeros),
+            dist3_solver: dist3_solver(profiles),
+            costs,
+        }
+    }
+
+    /// Re-plan the dist₄ panels given each device's elapsed seconds at
+    /// the phase boundary — the work-stealing step.
+    pub fn dist4_owners(&self, profiles: &[&DeviceProfile], elapsed: &[f64]) -> Vec<usize> {
+        let speeds: Vec<f64> = profiles.iter().map(|p| device_speed(p)).collect();
+        place_lpt(&self.costs.dist4_ops, &speeds, elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators::{grid_2d, GridOptions, WeightRange};
+    use apsp_partition::{kway_partition, PartitionConfig};
+
+    fn layout(k: usize) -> PartitionLayout {
+        let g = grid_2d(12, 12, GridOptions::default(), WeightRange::default(), 5);
+        PartitionLayout::new(&g, &kway_partition(&g, k, &PartitionConfig::default()))
+    }
+
+    #[test]
+    fn lpt_beats_round_robin_on_heterogeneous_fleets() {
+        // Two devices, one 4× faster: LPT must land at most the
+        // round-robin makespan (it provably does better or equal).
+        let costs = [8.0, 8.0, 8.0, 8.0, 2.0, 2.0, 2.0, 2.0];
+        let speeds = [4.0, 1.0];
+        let zeros = [0.0, 0.0];
+        let owner = place_lpt(&costs, &speeds, &zeros);
+        let makespan = |owner: &[usize]| {
+            let mut load = [0.0f64; 2];
+            for (t, &d) in owner.iter().enumerate() {
+                load[d] += costs[t] / speeds[d];
+            }
+            load[0].max(load[1])
+        };
+        let rr: Vec<usize> = (0..costs.len()).map(|t| t % 2).collect();
+        assert!(makespan(&owner) <= makespan(&rr));
+        // The fast device must carry more raw work than the slow one.
+        let fast_work: f64 = owner
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(t, _)| costs[t])
+            .sum();
+        assert!(fast_work > costs.iter().sum::<f64>() / 2.0);
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_tie_breaks_low_index() {
+        let costs = [1.0, 1.0, 1.0];
+        let speeds = [1.0, 1.0, 1.0];
+        let zeros = [0.0, 0.0, 0.0];
+        let a = place_lpt(&costs, &speeds, &zeros);
+        let b = place_lpt(&costs, &speeds, &zeros);
+        assert_eq!(a, b);
+        // Equal costs, equal speeds: tasks spread one per device in
+        // index order.
+        assert_eq!(a, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn initial_load_steers_work_away_from_busy_devices() {
+        // Device 0 is still busy from the previous phase; the single
+        // task must be stolen by the idle device 1.
+        let owner = place_lpt(&[5.0], &[1.0, 1.0], &[100.0, 0.0]);
+        assert_eq!(owner, vec![1]);
+    }
+
+    #[test]
+    fn dist3_goes_to_the_fastest_profile() {
+        let v100 = DeviceProfile::v100();
+        let k80 = DeviceProfile::k80();
+        assert_eq!(dist3_solver(&[&k80, &v100, &k80]), 1);
+        // Homogeneous fleet: lowest index.
+        assert_eq!(dist3_solver(&[&v100, &v100]), 0);
+    }
+
+    #[test]
+    fn fleet_plan_covers_every_component() {
+        let layout = layout(6);
+        let v100 = DeviceProfile::v100();
+        let k80 = DeviceProfile::k80();
+        let plan = FleetPlan::new(&layout, &[&v100, &k80]);
+        assert_eq!(plan.dist2_owner.len(), layout.num_components());
+        assert!(plan.dist2_owner.iter().all(|&d| d < 2));
+        assert_eq!(plan.costs.dist2_ops.len(), layout.num_components());
+        // Re-planning with device 0 very busy shifts panels to device 1.
+        let hot = plan.dist4_owners(&[&v100, &k80], &[1e9, 0.0]);
+        assert!(hot.iter().all(|&d| d == 1));
+    }
+}

@@ -62,6 +62,9 @@ pub struct PhaseSpan {
     pub bytes_d2h: u64,
     /// Kernel launches inside the span.
     pub kernel_launches: u64,
+    /// Fleet device index the span ran on; `None` for single-device
+    /// runs, where the field is omitted from the JSONL record.
+    pub device: Option<usize>,
 }
 
 impl PhaseSpan {
@@ -159,6 +162,29 @@ impl Telemetry {
     /// under `name`. Returns the span's duration (for callers that need
     /// the realized time of a failed attempt), or `None` when disabled.
     pub fn phase_end(&self, dev: &GpuDevice, start: Option<PhaseStart>, name: &str) -> Option<f64> {
+        self.close_span(dev, start, name, None)
+    }
+
+    /// [`Telemetry::phase_end`] for multi-device runs: tags the span with
+    /// the fleet device index it ran on, so the JSONL record carries a
+    /// `device` field.
+    pub fn phase_end_on_device(
+        &self,
+        dev: &GpuDevice,
+        start: Option<PhaseStart>,
+        name: &str,
+        device: usize,
+    ) -> Option<f64> {
+        self.close_span(dev, start, name, Some(device))
+    }
+
+    fn close_span(
+        &self,
+        dev: &GpuDevice,
+        start: Option<PhaseStart>,
+        name: &str,
+        device: Option<usize>,
+    ) -> Option<f64> {
         let inner = self.inner.as_ref()?;
         let start = start?;
         let now = dev.counters();
@@ -169,6 +195,7 @@ impl Telemetry {
             bytes_h2d: now.bytes_h2d - start.counters.bytes_h2d,
             bytes_d2h: now.bytes_d2h - start.counters.bytes_d2h,
             kernel_launches: now.kernel_launches - start.counters.kernel_launches,
+            device,
         };
         let seconds = span.seconds();
         inner.lock().spans.push(span);
@@ -436,7 +463,7 @@ impl RunReport {
         ));
         for s in &self.spans {
             out.push_str(&format!(
-                "{{\"record\":\"phase\",\"name\":\"{}\",\"start_s\":{},\"end_s\":{},\"seconds\":{},\"bytes_h2d\":{},\"bytes_d2h\":{},\"kernel_launches\":{}}}\n",
+                "{{\"record\":\"phase\",\"name\":\"{}\",\"start_s\":{},\"end_s\":{},\"seconds\":{},\"bytes_h2d\":{},\"bytes_d2h\":{},\"kernel_launches\":{}{}}}\n",
                 json_escape(&s.name),
                 secs(s.start_s),
                 secs(s.end_s),
@@ -444,6 +471,10 @@ impl RunReport {
                 s.bytes_h2d,
                 s.bytes_d2h,
                 s.kernel_launches,
+                match s.device {
+                    Some(d) => format!(",\"device\":{d}"),
+                    None => String::new(),
+                },
             ));
         }
         out.push_str(&format!(

@@ -4,8 +4,13 @@
 //! input; for the paper's Table III graphs it fits in host RAM, for the
 //! Table IV graphs it does not. [`TileStore`] abstracts both regimes:
 //! the `Memory` backend holds one flat `n × n` buffer, the `Disk` backend
-//! spills to a single file addressed with positional I/O — the same
-//! row-major layout either way.
+//! spills to one or more files addressed with positional I/O — the same
+//! row-major layout either way. Spill files split at a configurable
+//! byte threshold ([`DEFAULT_SHARD_BYTES`], 1 GiB, by default; see
+//! [`StorageBackend::DiskSharded`]), row-aligned so a single row never
+//! straddles two files, which keeps the hot row/panel paths one
+//! `pread`/`pwrite` each while letting paper-scale matrices escape the
+//! single-file sequential-I/O bottleneck.
 
 use crate::error::{CorruptionMark, SdcMark};
 use crate::options::SdcGuardMode;
@@ -51,14 +56,29 @@ const FOOTER_HEADER_BYTES: u64 = 16;
 /// panel geometry so the two layers report comparable coordinates.
 pub const SDC_PANEL_ROWS: usize = 64;
 
+/// Spill-file split threshold for [`StorageBackend::Disk`]: shards roll
+/// over at 1 GiB, the split the reference `diskMatrix` implementations
+/// use. Row-aligned, so the effective shard size is the largest multiple
+/// of the row width at or under this (one full row minimum).
+pub const DEFAULT_SHARD_BYTES: u64 = 1 << 30;
+
 /// Where the result matrix lives.
 #[derive(Debug, Clone)]
 pub enum StorageBackend {
     /// Host RAM (Table III regime).
     Memory,
-    /// A file inside this directory (Table IV regime). The directory is
-    /// created if missing; the file is removed when the store drops.
+    /// Files inside this directory (Table IV regime). The directory is
+    /// created if missing; the files are removed when the store drops.
+    /// Spills split across multiple files at [`DEFAULT_SHARD_BYTES`].
     Disk(PathBuf),
+    /// [`StorageBackend::Disk`] with an explicit spill-file split
+    /// threshold in bytes (row-aligned, minimum one row per file).
+    DiskSharded {
+        /// Spill directory (created if missing).
+        dir: PathBuf,
+        /// Bytes per spill file before rolling over to the next shard.
+        shard_bytes: u64,
+    },
 }
 
 /// One injectable disk-I/O fault (see [`DiskFaultPlan`]).
@@ -154,15 +174,71 @@ pub(crate) fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
 /// The FNV-1a 64-bit offset basis — the seed for [`fnv1a`].
 pub(crate) const FNV_OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
 
+/// One spill file of a disk-backed store.
+struct DiskShard {
+    file: File,
+    /// Empty for files opened via [`TileStore::open`] (caller-owned;
+    /// drop removes nothing).
+    path: PathBuf,
+}
+
+/// The disk backing: consecutive row-aligned shard files presenting one
+/// flat logical payload. Shard `k` holds logical payload bytes
+/// `[k·cap, (k+1)·cap)`; because `cap` is a multiple of the row width, a
+/// single row is always one `pread`/`pwrite`, and only multi-row calls
+/// ever split across files.
+struct DiskBacking {
+    shards: Vec<DiskShard>,
+    /// Shard capacity in bytes (row-aligned; the last shard may hold
+    /// less). Never zero.
+    cap: u64,
+    /// Byte offset of logical payload offset 0 within shard 0: zero for
+    /// spill files, the header length for files opened via
+    /// [`TileStore::open`] (always single-shard).
+    base: u64,
+}
+
+impl DiskBacking {
+    /// Apply `f` to each `(file, file_offset, buf_range)` segment of the
+    /// logical payload range `offset..offset + len`.
+    fn for_each_segment<F>(&self, offset: u64, len: usize, mut f: F) -> io::Result<()>
+    where
+        F: FnMut(&File, u64, std::ops::Range<usize>) -> io::Result<()>,
+    {
+        let mut pos = 0usize;
+        while pos < len {
+            let o = offset + pos as u64;
+            let idx = (o / self.cap) as usize;
+            let local = o % self.cap;
+            let take = ((self.cap - local) as usize).min(len - pos);
+            let file_off = if idx == 0 { self.base + local } else { local };
+            f(&self.shards[idx].file, file_off, pos..pos + take)?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    /// Positional write of the logical payload range, splitting across
+    /// shard files as needed. No fault accounting — that lives in
+    /// [`write_at`], once per *logical* call regardless of segment count.
+    fn write_all_at(&self, buf: &[u8], offset: u64) -> io::Result<()> {
+        self.for_each_segment(offset, buf.len(), |file, off, range| {
+            file.write_all_at(&buf[range], off)
+        })
+    }
+
+    /// Positional read of the logical payload range (see
+    /// [`DiskBacking::write_all_at`]).
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        self.for_each_segment(offset, buf.len(), |file, off, range| {
+            file.read_exact_at(&mut buf[range], off)
+        })
+    }
+}
+
 enum Backing {
     Memory(Vec<Dist>),
-    Disk {
-        file: File,
-        path: PathBuf,
-        /// Byte offset of row 0 in the file: 0 for spill files, the
-        /// header length for files opened via [`TileStore::open`].
-        base: u64,
-    },
+    Disk(DiskBacking),
 }
 
 /// Live state of the silent-corruption guard (see
@@ -220,7 +296,7 @@ impl std::fmt::Debug for TileStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let kind = match &self.backing {
             Backing::Memory(_) => "memory",
-            Backing::Disk { .. } => "disk",
+            Backing::Disk(..) => "disk",
         };
         write!(f, "TileStore {{ n: {}, backing: {kind} }}", self.n)
     }
@@ -249,44 +325,80 @@ impl TileStore {
                     open_verify: None,
                 })
             }
-            StorageBackend::Disk(dir) => {
-                std::fs::create_dir_all(dir)?;
-                let path = unique_file(dir);
+            StorageBackend::Disk(dir) => Self::new_disk(n, dir, DEFAULT_SHARD_BYTES),
+            StorageBackend::DiskSharded { dir, shard_bytes } => {
+                Self::new_disk(n, dir, *shard_bytes)
+            }
+        }
+    }
+
+    /// Disk-backed construction: row-aligned spill shards of at most
+    /// `shard_bytes` each (minimum one row per shard).
+    fn new_disk(n: usize, dir: &Path, shard_bytes: u64) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let row_bytes = n * std::mem::size_of::<Dist>();
+        let rows_per_shard = if row_bytes == 0 {
+            1
+        } else {
+            ((shard_bytes / row_bytes as u64) as usize).max(1)
+        };
+        let num_shards = n.div_ceil(rows_per_shard).max(1);
+        let first = unique_file(dir);
+        let mut shards: Vec<DiskShard> = Vec::with_capacity(num_shards);
+        let open_all = |shards: &mut Vec<DiskShard>| -> io::Result<()> {
+            for s in 0..num_shards {
+                let path = if s == 0 {
+                    first.clone()
+                } else {
+                    // Sibling shards append `.s<k>` to the spill name, so
+                    // one store's family is recognizable (and removable)
+                    // as a unit.
+                    PathBuf::from(format!("{}.s{s}", first.display()))
+                };
                 let file = OpenOptions::new()
                     .read(true)
                     .write(true)
                     .create_new(true)
                     .open(&path)?;
-                file.set_len((n * n * std::mem::size_of::<Dist>()) as u64)?;
-                let store = TileStore {
-                    n,
-                    backing: Backing::Disk {
-                        file,
-                        path,
-                        base: 0,
-                    },
-                    faults: None,
-                    crash: None,
-                    supervision: None,
-                    exec: ExecBackend::default(),
-                    sdc: None,
-                    sdc_round: AtomicU64::new(0),
-                    bit_flips: Vec::new(),
-                    open_verify: None,
-                };
-                // Materialize the INF + zero-diagonal initialization one
-                // row at a time so even huge matrices never need n² RAM.
-                let mut row = vec![INF; n];
-                for i in 0..n {
-                    if i > 0 {
-                        row[i - 1] = INF;
-                    }
-                    row[i] = 0;
-                    store.write_row_raw(i, &row)?;
-                }
-                Ok(store)
+                let rows_here = n.min((s + 1) * rows_per_shard) - s * rows_per_shard;
+                file.set_len((rows_here * row_bytes) as u64)?;
+                shards.push(DiskShard { file, path });
             }
+            Ok(())
+        };
+        if let Err(e) = open_all(&mut shards) {
+            for shard in &shards {
+                let _ = std::fs::remove_file(&shard.path);
+            }
+            return Err(e);
         }
+        let store = TileStore {
+            n,
+            backing: Backing::Disk(DiskBacking {
+                shards,
+                cap: ((rows_per_shard * row_bytes) as u64).max(1),
+                base: 0,
+            }),
+            faults: None,
+            crash: None,
+            supervision: None,
+            exec: ExecBackend::default(),
+            sdc: None,
+            sdc_round: AtomicU64::new(0),
+            bit_flips: Vec::new(),
+            open_verify: None,
+        };
+        // Materialize the INF + zero-diagonal initialization one
+        // row at a time so even huge matrices never need n² RAM.
+        let mut row = vec![INF; n];
+        for i in 0..n {
+            if i > 0 {
+                row[i - 1] = INF;
+            }
+            row[i] = 0;
+            store.write_row_raw(i, &row)?;
+        }
+        Ok(store)
     }
 
     /// Matrix dimension.
@@ -297,7 +409,7 @@ impl TileStore {
 
     /// Whether the store spills to disk.
     pub fn is_disk_backed(&self) -> bool {
-        matches!(self.backing, Backing::Disk { .. })
+        matches!(self.backing, Backing::Disk(..))
     }
 
     /// Arm a deterministic [`DiskFaultPlan`]. Positional-I/O ordinals
@@ -434,7 +546,7 @@ impl TileStore {
                     *sum = fnv1a(cast_bytes(&data[i * n..(i + 1) * n]), FNV_OFFSET_BASIS);
                 }
             }
-            Backing::Disk { .. } => {
+            Backing::Disk(..) => {
                 let mut row = vec![0 as Dist; n];
                 for (i, sum) in rows.iter_mut().enumerate() {
                     self.row_unaccounted_into(i, &mut row)?;
@@ -512,7 +624,7 @@ impl TileStore {
                     }
                 }
             }
-            Backing::Disk { .. } => {
+            Backing::Disk(..) => {
                 let mut row = vec![0 as Dist; n];
                 for i in 0..n {
                     self.row_unaccounted_into(i, &mut row)?;
@@ -550,7 +662,7 @@ impl TileStore {
                 Backing::Memory(data) => {
                     fnv1a(cast_bytes(&data[i * n..(i + 1) * n]), FNV_OFFSET_BASIS)
                 }
-                Backing::Disk { .. } => {
+                Backing::Disk(..) => {
                     self.row_unaccounted_into(i, &mut buf)?;
                     fnv1a(cast_bytes(&buf), FNV_OFFSET_BASIS)
                 }
@@ -606,9 +718,9 @@ impl TileStore {
                 buf.copy_from_slice(&data[i * self.n..(i + 1) * self.n]);
                 Ok(())
             }
-            Backing::Disk { file, base, .. } => {
-                let offset = base + (i * self.n * std::mem::size_of::<Dist>()) as u64;
-                file.read_exact_at(cast_bytes_mut(buf), offset)
+            Backing::Disk(d) => {
+                let offset = (i * self.n * std::mem::size_of::<Dist>()) as u64;
+                d.read_exact_at(cast_bytes_mut(buf), offset)
             }
         }
     }
@@ -746,12 +858,12 @@ impl TileStore {
                 cast_bytes_mut(elems)[b / 8] ^= 1 << (b % 8);
                 Ok(())
             }
-            Backing::Disk { file, base, .. } => {
-                let offset = *base + (row * row_bytes) as u64 + (b / 8) as u64;
+            Backing::Disk(d) => {
+                let offset = (row * row_bytes) as u64 + (b / 8) as u64;
                 let mut one = [0u8; 1];
-                file.read_exact_at(&mut one, offset)?;
+                d.read_exact_at(&mut one, offset)?;
                 one[0] ^= 1 << (b % 8);
-                file.write_all_at(&one, offset)
+                d.write_all_at(&one, offset)
             }
         }
     }
@@ -769,9 +881,12 @@ impl TileStore {
         }
         ov.invalidated = true;
         ov.pending.lock().clear();
-        if let Backing::Disk { file, base, .. } = &self.backing {
-            let footer_off = base + (self.n * self.n * std::mem::size_of::<Dist>()) as u64;
-            file.write_all_at(&[0u8; 8], footer_off)?;
+        if let Backing::Disk(d) = &self.backing {
+            // Only stores opened from a persisted file carry a footer,
+            // and those are always single-shard: the footer lives past
+            // the payload in shard 0's file.
+            let footer_off = d.base + (self.n * self.n * std::mem::size_of::<Dist>()) as u64;
+            d.shards[0].file.write_all_at(&[0u8; 8], footer_off)?;
         }
         Ok(())
     }
@@ -841,10 +956,10 @@ impl TileStore {
     fn write_row_raw(&self, i: usize, row: &[Dist]) -> io::Result<()> {
         match &self.backing {
             Backing::Memory(_) => unreachable!("memory writes go through write_row"),
-            Backing::Disk { file, base, .. } => {
-                let offset = base + (i * self.n * std::mem::size_of::<Dist>()) as u64;
+            Backing::Disk(d) => {
+                let offset = (i * self.n * std::mem::size_of::<Dist>()) as u64;
                 write_at(
-                    file,
+                    d,
                     self.faults.as_ref(),
                     self.supervision.as_ref(),
                     cast_bytes(row),
@@ -866,10 +981,10 @@ impl TileStore {
             Backing::Memory(data) => {
                 data[row_start * self.n..row_start * self.n + rows.len()].copy_from_slice(rows);
             }
-            Backing::Disk { file, base, .. } => {
-                let offset = *base + (row_start * self.n * std::mem::size_of::<Dist>()) as u64;
+            Backing::Disk(d) => {
+                let offset = (row_start * self.n * std::mem::size_of::<Dist>()) as u64;
                 write_at(
-                    file,
+                    d,
                     self.faults.as_ref(),
                     self.supervision.as_ref(),
                     cast_bytes(rows),
@@ -919,12 +1034,12 @@ impl TileStore {
                     }
                 });
             }
-            Backing::Disk { file, base, .. } => {
+            Backing::Disk(d) => {
                 for (r, i) in row_range.clone().enumerate() {
-                    let offset = *base
-                        + ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
+                    let offset =
+                        ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
                     write_at(
-                        file,
+                        d,
                         self.faults.as_ref(),
                         self.supervision.as_ref(),
                         cast_bytes(&data[r * width..(r + 1) * width]),
@@ -974,12 +1089,12 @@ impl TileStore {
                     }
                 });
             }
-            Backing::Disk { file, base, .. } => {
+            Backing::Disk(d) => {
                 for (r, i) in row_range.clone().enumerate() {
-                    let offset = base
-                        + ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
+                    let offset =
+                        ((i * self.n + col_range.start) * std::mem::size_of::<Dist>()) as u64;
                     read_at(
-                        file,
+                        d,
                         self.faults.as_ref(),
                         self.supervision.as_ref(),
                         cast_bytes_mut(&mut out[r * width..(r + 1) * width]),
@@ -1009,11 +1124,11 @@ impl TileStore {
         self.open_verify_panels(i..i + 1)?;
         let row = match &self.backing {
             Backing::Memory(data) => data[i * self.n..(i + 1) * self.n].to_vec(),
-            Backing::Disk { file, base, .. } => {
+            Backing::Disk(d) => {
                 let mut row = vec![0 as Dist; self.n];
-                let offset = base + (i * self.n * std::mem::size_of::<Dist>()) as u64;
+                let offset = (i * self.n * std::mem::size_of::<Dist>()) as u64;
                 read_at(
-                    file,
+                    d,
                     self.faults.as_ref(),
                     self.supervision.as_ref(),
                     cast_bytes_mut(&mut row),
@@ -1038,11 +1153,11 @@ impl TileStore {
         self.sdc_mark_consumed(i..i + 1);
         match &self.backing {
             Backing::Memory(data) => Ok(data[i * self.n + j]),
-            Backing::Disk { file, base, .. } => {
+            Backing::Disk(d) => {
                 let mut one = [0 as Dist; 1];
-                let offset = base + ((i * self.n + j) * std::mem::size_of::<Dist>()) as u64;
+                let offset = ((i * self.n + j) * std::mem::size_of::<Dist>()) as u64;
                 read_at(
-                    file,
+                    d,
                     self.faults.as_ref(),
                     self.supervision.as_ref(),
                     cast_bytes_mut(&mut one),
@@ -1070,7 +1185,8 @@ impl TileStore {
     /// to save.
     pub fn persist<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
         let path = path.as_ref();
-        if let Backing::Disk { path: own, .. } = &self.backing {
+        if let Backing::Disk(d) = &self.backing {
+            let own = &d.shards[0].path;
             if let Some(own_dir) = own.parent() {
                 if !own.as_os_str().is_empty() && same_dir(own_dir, parent_dir(path)) {
                     return Err(io::Error::new(
@@ -1117,7 +1233,7 @@ impl TileStore {
                         footer.push(fnv1a(cast_bytes(&data[lo..hi]), FNV_OFFSET_BASIS));
                     }
                 }
-                Backing::Disk { .. } => {
+                Backing::Disk(..) => {
                     let mut hash = FNV_OFFSET_BASIS;
                     for i in 0..self.n {
                         let row = self.read_row(i)?;
@@ -1271,13 +1387,19 @@ impl TileStore {
                 path.as_ref().display()
             )));
         };
+        let payload = (n * n * std::mem::size_of::<Dist>()) as u64;
         Ok(TileStore {
             n,
-            backing: Backing::Disk {
-                file,
-                path: PathBuf::new(), // empty ⇒ drop() removes nothing
+            backing: Backing::Disk(DiskBacking {
+                shards: vec![DiskShard {
+                    file,
+                    path: PathBuf::new(), // empty ⇒ drop() removes nothing
+                }],
+                // A persisted matrix is one file: the single shard spans
+                // the whole payload.
+                cap: payload.max(1),
                 base: PERSIST_HEADER_BYTES,
-            },
+            }),
             faults: None,
             crash: None,
             supervision: None,
@@ -1304,7 +1426,7 @@ impl TileStore {
         let mut data = Vec::with_capacity(self.n * self.n);
         match &self.backing {
             Backing::Memory(buf) => data.extend_from_slice(buf),
-            Backing::Disk { .. } => {
+            Backing::Disk(..) => {
                 for i in 0..self.n {
                     data.extend_from_slice(&self.read_row(i)?);
                 }
@@ -1316,11 +1438,13 @@ impl TileStore {
 
 impl Drop for TileStore {
     fn drop(&mut self) {
-        if let Backing::Disk { path, .. } = &self.backing {
-            // Stores opened from a user-owned file carry an empty path
-            // and must survive the drop.
-            if !path.as_os_str().is_empty() {
-                let _ = std::fs::remove_file(path);
+        if let Backing::Disk(d) = &self.backing {
+            for shard in &d.shards {
+                // Stores opened from a user-owned file carry an empty
+                // path and must survive the drop.
+                if !shard.path.as_os_str().is_empty() {
+                    let _ = std::fs::remove_file(&shard.path);
+                }
             }
         }
     }
@@ -1355,14 +1479,17 @@ fn unique_file(dir: &Path) -> PathBuf {
 }
 
 /// Positional write with fault application: counts the op against the
-/// armed plan and fires any scheduled write-direction fault.
+/// armed plan and fires any scheduled write-direction fault. One fault
+/// ordinal per *logical* call — a write that straddles shard files is
+/// still one op, so fault plans replay identically at every shard
+/// threshold.
 ///
 /// A [`DiskFault::HangMicros`] fault succeeds but charges its duration
 /// to the attached supervisor's io-stall clock (simulated time — the
 /// host thread never sleeps), so a hung disk is only observable when a
 /// supervisor is watching.
 fn write_at(
-    file: &File,
+    disk: &DiskBacking,
     faults: Option<&FaultState>,
     sup: Option<&Supervisor>,
     buf: &[u8],
@@ -1375,8 +1502,10 @@ fn write_at(
                 return Err(io::Error::from_raw_os_error(ENOSPC_ERRNO));
             }
             Some(DiskFault::ShortWrite) => {
+                // First half of the *logical* buffer persists, wherever
+                // its bytes land across shards.
                 let half = buf.len() / 2;
-                file.write_all_at(&buf[..half], offset)?;
+                disk.write_all_at(&buf[..half], offset)?;
                 return Err(io::Error::new(
                     io::ErrorKind::WriteZero,
                     format!(
@@ -1394,12 +1523,12 @@ fn write_at(
             Some(DiskFault::ShortRead) | None => {}
         }
     }
-    file.write_all_at(buf, offset)
+    disk.write_all_at(buf, offset)
 }
 
 /// Positional read with fault application (see [`write_at`]).
 fn read_at(
-    file: &File,
+    disk: &DiskBacking,
     faults: Option<&FaultState>,
     sup: Option<&Supervisor>,
     buf: &mut [u8],
@@ -1410,7 +1539,7 @@ fn read_at(
         match state.plan.read_fault_at(op) {
             Some(DiskFault::ShortRead) => {
                 let half = buf.len() / 2;
-                file.read_exact_at(&mut buf[..half], offset)?;
+                disk.read_exact_at(&mut buf[..half], offset)?;
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     format!(
@@ -1428,7 +1557,7 @@ fn read_at(
             Some(DiskFault::ShortWrite) | Some(DiskFault::Enospc) | None => {}
         }
     }
-    file.read_exact_at(buf, offset)
+    disk.read_exact_at(buf, offset)
 }
 
 fn cast_bytes(d: &[Dist]) -> &[u8] {
@@ -2034,5 +2163,135 @@ mod tests {
         drop(a);
         // b still works after a's file is gone.
         assert_eq!(b.get(1, 1).unwrap(), 0);
+    }
+
+    /// Sharded backend with `rows` rows per spill file.
+    fn sharded(dir: PathBuf, n: usize, rows: usize) -> StorageBackend {
+        StorageBackend::DiskSharded {
+            dir,
+            shard_bytes: (rows * n * std::mem::size_of::<Dist>()) as u64,
+        }
+    }
+
+    #[test]
+    fn sharded_store_splits_at_threshold_and_roundtrips() {
+        let dir = tmp_dir().join("sharding_roundtrip");
+        let n = 5;
+        {
+            // Two rows per file ⇒ shards of 2, 2, 1 rows.
+            let mut s = TileStore::new(n, &sharded(dir.clone(), n, 2)).unwrap();
+            let files: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .collect();
+            assert_eq!(files.len(), 3, "5 rows at 2 rows/file is 3 shards");
+            // Initialization convention holds across every shard.
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(s.get(i, j).unwrap(), if i == j { 0 } else { INF });
+                }
+            }
+            // A multi-row write spanning a shard boundary.
+            let rows: Vec<Dist> = (0..3 * n as Dist).collect();
+            s.write_rows(1, &rows).unwrap();
+            assert_eq!(s.read_rows_concat(1, 3), rows);
+            // Block ops crossing a shard boundary.
+            s.write_block(1..4, 1..3, &[70, 71, 72, 73, 74, 75])
+                .unwrap();
+            assert_eq!(
+                s.read_block(1..4, 1..3).unwrap(),
+                vec![70, 71, 72, 73, 74, 75]
+            );
+            // Last row (sole row of the last shard) round-trips.
+            let last: Vec<Dist> = (900..900 + n as Dist).collect();
+            s.write_row(n - 1, &last).unwrap();
+            assert_eq!(s.read_row(n - 1).unwrap(), last);
+        }
+        // Drop removes the whole shard family.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir(&dir).unwrap();
+    }
+
+    impl TileStore {
+        /// Test helper: `count` rows from `start`, concatenated.
+        fn read_rows_concat(&self, start: usize, count: usize) -> Vec<Dist> {
+            let mut out = Vec::new();
+            for i in start..start + count {
+                out.extend_from_slice(&self.read_row(i).unwrap());
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn sharded_store_matches_single_file_bit_for_bit() {
+        // Same content and same fault/crash ordinals at every split
+        // threshold: sharding must be invisible to everything above it.
+        let n = 6;
+        let mut probes = Vec::new();
+        for rows_per_shard in [1, 2, 4, n] {
+            let dir = tmp_dir().join(format!("shard_parity_{rows_per_shard}"));
+            let mut s = TileStore::new(n, &sharded(dir.clone(), n, rows_per_shard)).unwrap();
+            s.arm_crash(u64::MAX);
+            s.arm_faults(DiskFaultPlan::default());
+            s.write_rows(0, &vec![3; 3 * n]).unwrap();
+            s.write_block(2..5, 1..4, &[8; 9]).unwrap();
+            s.write_row(n - 1, &vec![5; n]).unwrap();
+            s.read_block(0..n, 0..n).unwrap();
+            probes.push((s.to_dist_matrix().unwrap(), s.crash_ops(), s.io_ops()));
+            drop(s);
+            std::fs::remove_dir(&dir).unwrap();
+        }
+        for p in &probes[1..] {
+            assert_eq!(p, &probes[0]);
+        }
+    }
+
+    #[test]
+    fn sharded_short_write_persists_half_the_logical_buffer() {
+        // A ShortWrite on a call spanning shards persists the first half
+        // of the *logical* buffer (here exactly row 0, in shard 0) and
+        // leaves the rest untouched — one fault ordinal for the call.
+        let dir = tmp_dir().join("shard_short_write");
+        let n = 4;
+        let mut s = TileStore::new(n, &sharded(dir.clone(), n, 1)).unwrap();
+        s.arm_faults(DiskFaultPlan {
+            write_faults: vec![(0, DiskFault::ShortWrite)],
+            read_faults: vec![],
+        });
+        let err = s.write_rows(0, &[9; 8]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(s.read_row(0).unwrap(), vec![9, 9, 9, 9]);
+        assert_eq!(s.read_row(1).unwrap(), vec![INF, 0, INF, INF]);
+        assert_eq!(s.io_ops().0, 1, "a spanning write is one ordinal");
+        drop(s);
+        std::fs::remove_dir(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_store_persists_and_guards_like_single_file() {
+        let dir = tmp_dir().join("shard_persist");
+        let out = tmp_dir().join("shard_persist_out");
+        std::fs::create_dir_all(&out).unwrap();
+        let n = 5;
+        let mut s = TileStore::new(n, &sharded(dir.clone(), n, 2)).unwrap();
+        s.set_sdc_guard(SdcGuardMode::Checksum).unwrap();
+        s.write_row(4, &[1, 2, 3, 4, 0]).unwrap();
+        s.verify_checksums().unwrap();
+        // Bit flips land in the right shard and are still caught.
+        s.arm_bit_flip(0, 3);
+        s.write_row(2, &[7, 7, 7, 7, 7]).unwrap();
+        assert!(s.read_row(2).is_err());
+        // Repair, then persist → one merged file, reopenable.
+        s.write_row(2, &[7, 7, 7, 7, 7]).unwrap();
+        let target = out.join("m.bin");
+        s.persist(&target).unwrap();
+        drop(s);
+        let reopened = TileStore::open(&target, n).unwrap();
+        assert_eq!(reopened.read_row(4).unwrap(), vec![1, 2, 3, 4, 0]);
+        assert_eq!(reopened.read_row(2).unwrap(), vec![7, 7, 7, 7, 7]);
+        drop(reopened);
+        std::fs::remove_file(&target).unwrap();
+        std::fs::remove_dir(&dir).unwrap();
     }
 }
